@@ -1,0 +1,75 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each figure of the paper's §6 maps to one module here; the
+pytest-benchmark table, grouped per figure, *is* the reproduced series
+(one row per x-value). Shape assertions (linearity, NaïveQ vs RoundRobin
+ordering, cost-model fit) run on the engine's deterministic modeled cost
+so they hold regardless of machine noise. ``run_experiments.py`` prints
+the same series as explicit tables for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench import chain_database, chain_graph, random_schema_graph
+from repro.core import WeightThreshold, generate_result_schema
+from repro.graph import random_weight_assignments
+
+
+@pytest.fixture(scope="session")
+def fig7_graph():
+    """IMDB-scale random schema graph (30 relations × 8 attributes)."""
+    return random_schema_graph(n_relations=30, attrs_per_relation=8, seed=0)
+
+
+@pytest.fixture(scope="session")
+def fig7_weight_sets(fig7_graph):
+    """The paper's '20 randomly generated sets of weights'."""
+    return random_weight_assignments(fig7_graph, 20, seed=1)
+
+
+@pytest.fixture(scope="session")
+def fig7_start_relations(fig7_graph):
+    rng = random.Random(2)
+    return rng.sample(list(fig7_graph.relations), 10)
+
+
+class ChainSetup:
+    """A populated chain R1 → … → Rn with its result schema and seeds."""
+
+    def __init__(self, n_relations: int, seed: int = 0):
+        self.db = chain_database(
+            n_relations, roots=100, fanout=3, seed=seed,
+            max_tuples_per_relation=3000,
+        )
+        self.graph = chain_graph(n_relations)
+        self.schema = generate_result_schema(
+            self.graph, ["R1"], WeightThreshold(0.9)
+        )
+        rng = random.Random(seed + 17)
+        all_tids = list(self.db.relation("R1").tids())
+        # 40 seed roots x fanout 3 = 120 joinable tuples at every level,
+        # enough to saturate the largest c_R the Figure 8 sweep uses (90)
+        self.seed_sets = [
+            {"R1": set(rng.sample(all_tids, 40))} for __ in range(5)
+        ]
+
+
+@pytest.fixture(scope="session")
+def chains():
+    """Chain setups keyed by length, built lazily and cached."""
+    cache: dict[int, ChainSetup] = {}
+
+    def get(n: int) -> ChainSetup:
+        if n not in cache:
+            cache[n] = ChainSetup(n)
+        return cache[n]
+
+    return get

@@ -1,0 +1,275 @@
+"""Regenerate every §6 series as explicit tables (for EXPERIMENTS.md).
+
+Usage::
+
+    python benchmarks/run_experiments.py
+
+Prints, for each figure of the paper's evaluation, the x-axis, the
+wall-clock time per point (this machine) and the deterministic modeled
+cost (abstract I/O units, machine-independent), plus the ablation
+tables. The pytest-benchmark suite covers the same ground with rigorous
+timing; this script exists to produce compact, diffable tables.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import time
+
+from repro.bench import (
+    chain_database,
+    chain_graph,
+    fit_linear,
+    print_series,
+    random_schema_graph,
+)
+from repro.core import (
+    MaxTuplesPerRelation,
+    STRATEGY_NAIVE,
+    STRATEGY_ROUND_ROBIN,
+    TopRProjections,
+    WeightThreshold,
+    generate_result_database,
+    generate_result_schema,
+)
+from repro.core.schema_generator import SchemaGeneratorStats
+from repro.graph import random_weight_assignments
+
+
+def _time(fn, repeat=3):
+    best = float("inf")
+    for __ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def figure_7():
+    """Result Schema Generator time vs degree d (tokens in one relation,
+
+    20 random weight sets x 10 start relations per point)."""
+    graph = random_schema_graph(n_relations=30, attrs_per_relation=8, seed=0)
+    weight_sets = random_weight_assignments(graph, 20, seed=1)
+    rng = random.Random(2)
+    origins = rng.sample(list(graph.relations), 10)
+    rows = []
+    for d in (5, 10, 20, 40, 80, 120):
+        runs = [
+            (graph.with_weights(w), o) for w in weight_sets for o in origins
+        ]
+
+        def sweep():
+            for personalized, origin in runs:
+                generate_result_schema(
+                    personalized, [origin], TopRProjections(d)
+                )
+
+        seconds = _time(sweep, repeat=1)
+        stats = SchemaGeneratorStats()
+        generate_result_schema(
+            graph.with_weights(weight_sets[0]), [origins[0]],
+            TopRProjections(d), stats=stats,
+        )
+        rows.append([d, seconds / len(runs) * 1e3, stats.paths_popped])
+    print_series(
+        "Figure 7 — Result Schema Generator vs degree d "
+        "(avg of 200 runs/point)",
+        ["d", "ms/run", "paths popped (1 run)"],
+        rows,
+    )
+
+
+class _Chain:
+    def __init__(self, n):
+        self.db = chain_database(
+            n, roots=100, fanout=3, seed=0, max_tuples_per_relation=3000
+        )
+        self.schema = generate_result_schema(
+            chain_graph(n), ["R1"], WeightThreshold(0.9)
+        )
+        rng = random.Random(17)
+        tids = list(self.db.relation("R1").tids())
+        self.seed_sets = [
+            {"R1": set(rng.sample(tids, 40))} for __ in range(5)
+        ]
+
+    def run(self, c_r, strategy):
+        for seeds in self.seed_sets:
+            generate_result_database(
+                self.db, self.schema, seeds,
+                MaxTuplesPerRelation(c_r), strategy=strategy,
+            )
+
+
+def figure_8():
+    """Result Database Generator vs c_R (n_R = 4, NaïveQ)."""
+    chain = _Chain(4)
+    rows = []
+    for c_r in (10, 30, 50, 70, 90):
+        seconds = _time(lambda: chain.run(c_r, STRATEGY_NAIVE))
+        with chain.db.meter.measure() as measured:
+            chain.run(c_r, STRATEGY_NAIVE)
+        rows.append(
+            [c_r, seconds / 5 * 1e3, measured.modeled_cost / 5]
+        )
+    fit = fit_linear([r[0] for r in rows], [r[2] for r in rows])
+    print_series(
+        "Figure 8 — Result Database Generator vs c_R (naive, n_R=4)",
+        ["c_R", "ms/run", "modeled cost/run"],
+        rows,
+    )
+    print(f"   linear fit of modeled cost: r^2 = {fit.r_squared:.4f}")
+
+
+def figure_9():
+    """NaïveQ vs RoundRobin vs n_R (c_R = 50)."""
+    rows = []
+    for n_r in range(1, 9):
+        chain = _Chain(n_r)
+        t_naive = _time(lambda: chain.run(50, STRATEGY_NAIVE))
+        t_rr = _time(lambda: chain.run(50, STRATEGY_ROUND_ROBIN))
+        with chain.db.meter.measure() as m_naive:
+            chain.run(50, STRATEGY_NAIVE)
+        with chain.db.meter.measure() as m_rr:
+            chain.run(50, STRATEGY_ROUND_ROBIN)
+        rows.append(
+            [
+                n_r,
+                t_naive / 5 * 1e3,
+                t_rr / 5 * 1e3,
+                m_naive.modeled_cost / 5,
+                m_rr.modeled_cost / 5,
+            ]
+        )
+    print_series(
+        "Figure 9 — NaïveQ vs RoundRobin vs n_R (c_R=50)",
+        ["n_R", "naive ms", "rrobin ms", "naive cost", "rrobin cost"],
+        rows,
+    )
+    for label, column in (("naive", 3), ("round-robin", 4)):
+        fit = fit_linear([r[0] for r in rows], [r[column] for r in rows])
+        print(f"   {label} modeled cost linear fit: r^2 = {fit.r_squared:.4f}")
+
+
+def formula_2():
+    """Cost model check: measured vs c_R * n_R * (IndexTime+TupleTime)."""
+    rows = []
+    for n_r, c_r in ((2, 20), (4, 30), (4, 60), (6, 40), (8, 50)):
+        chain = _Chain(n_r)
+        with chain.db.meter.measure() as measured:
+            generate_result_database(
+                chain.db, chain.schema, chain.seed_sets[0],
+                MaxTuplesPerRelation(c_r), strategy=STRATEGY_NAIVE,
+            )
+        predicted = c_r * n_r * chain.db.meter.params.unit_fetch
+        rows.append(
+            [n_r, c_r, measured.modeled_cost, predicted,
+             measured.modeled_cost / predicted]
+        )
+    print_series(
+        "Formula (2) — measured modeled cost vs c_R*n_R*(It+Tt)",
+        ["n_R", "c_R", "measured", "formula2", "ratio"],
+        rows,
+    )
+
+
+def ablation_strategies():
+    """Coverage under skew: the §5.2 motivation for RoundRobin."""
+    from repro.bench import chain_graph, chain_schema
+    from repro.relational import Database
+
+    schema = chain_schema(2)
+    db = Database(schema)
+    n_parents, heavy = 20, 50
+    for pid in range(1, n_parents + 1):
+        db.insert("R1", {"ID": pid, "VAL": f"parent {pid}"})
+    cid = 1000
+    for __ in range(heavy):
+        db.insert("R2", {"ID": cid, "REF": 1, "VAL": f"child {cid}"})
+        cid += 1
+    for pid in range(2, n_parents + 1):
+        db.insert("R2", {"ID": cid, "REF": pid, "VAL": f"child {cid}"})
+        cid += 1
+    db.create_join_indexes()
+    result_schema = generate_result_schema(
+        chain_graph(2), ["R1"], WeightThreshold(0.9)
+    )
+    seeds = {"R1": set(db.relation("R1").tids())}
+    rows = []
+    for strategy in ("naive", "round_robin", "auto"):
+        answer, __ = generate_result_database(
+            db, result_schema, seeds, MaxTuplesPerRelation(20),
+            strategy=strategy,
+        )
+        parents = {r["ID"] for r in answer.relation("R1").scan(["ID"])}
+        covered = {r["REF"] for r in answer.relation("R2").scan(["REF"])}
+        rows.append([strategy, len(parents & covered) / len(parents)])
+    print_series(
+        "Ablation — retrieval strategies under skew "
+        "(1 parent owns 50/69 children, budget 20)",
+        ["strategy", "driving-tuple coverage"],
+        rows,
+    )
+
+
+def ablation_join_order():
+    """Budget-weighted relevance: heaviest-first vs FIFO (§5.2)."""
+    from repro.core import JOIN_ORDER_FIFO, JOIN_ORDER_WEIGHT, MaxTotalTuples
+    from repro.datasets import generate_movies_database, movies_graph
+    from repro.graph import random_weight_assignment
+
+    db = generate_movies_database(n_movies=150, seed=5)
+    seeds = {
+        "MOVIE": set(list(db.relation("MOVIE").tids())[:2]),
+        "ACTOR": set(list(db.relation("ACTOR").tids())[:2]),
+        "THEATRE": set(list(db.relation("THEATRE").tids())[:2]),
+    }
+
+    def relevance(report):
+        score = float(sum(report.seed_counts.values()))
+        for execution in report.executions:
+            score += execution.tuples_new * execution.edge.weight
+        return score
+
+    totals = {"weight": 0.0, "fifo": 0.0}
+    for seed in range(12):
+        graph = movies_graph().with_weights(
+            random_weight_assignment(movies_graph(), random.Random(seed))
+        )
+        schema = generate_result_schema(
+            graph, ["MOVIE", "ACTOR", "THEATRE"], TopRProjections(12)
+        )
+        for name, order in (
+            ("weight", JOIN_ORDER_WEIGHT),
+            ("fifo", JOIN_ORDER_FIFO),
+        ):
+            __, report = generate_result_database(
+                db, schema, seeds, MaxTotalTuples(40), join_order=order
+            )
+            totals[name] += relevance(report)
+    print_series(
+        "Ablation — join order under a 40-tuple total budget "
+        "(12 random weight sets)",
+        ["order", "budget-weighted relevance"],
+        [[name, value] for name, value in totals.items()],
+    )
+
+
+def main(argv=None):
+    figures = {
+        "fig7": figure_7,
+        "fig8": figure_8,
+        "fig9": figure_9,
+        "formula2": formula_2,
+        "strategies": ablation_strategies,
+        "joinorder": ablation_join_order,
+    }
+    wanted = (argv or sys.argv)[1:] or list(figures)
+    for name in wanted:
+        figures[name]()
+
+
+if __name__ == "__main__":
+    main()

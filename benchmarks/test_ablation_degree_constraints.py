@@ -1,0 +1,123 @@
+"""Ablation — degree-constraint forms under schema restructuring (§3.3).
+
+The paper argues that *weight-threshold* constraints are "more immune to
+the effects of database normalization or database restructuring" than
+top-r or path-length constraints: splitting MOVIE–DIRECTOR through a
+DIRECTED_BY bridge relation lengthens every path, so count- and
+length-based constraints change the answer while a weight threshold
+(with the bridge edges at weight 1) does not.
+
+This bench measures all three constraint forms on the same query and
+*verifies the robustness claim* by actually restructuring the schema.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    MaxPathLength,
+    TopRProjections,
+    WeightThreshold,
+    generate_result_schema,
+)
+from repro.datasets import movies_graph
+from repro.graph import SchemaGraph
+
+
+def _restructured_graph() -> SchemaGraph:
+    """Figure-1 graph with MOVIE→DIRECTOR factored through DIRECTED_BY,
+
+    bridge edges at weight 1 so path weights are preserved."""
+    base = movies_graph()
+    graph = SchemaGraph()
+    for relation in base.relations:
+        graph.add_relation(relation)
+        for attribute in base.attributes_of(relation):
+            graph.add_attribute(
+                relation,
+                attribute,
+                base.projection_edge(relation, attribute).weight,
+            )
+    graph.add_relation("DIRECTED_BY")
+    graph.add_attribute("DIRECTED_BY", "MID", 0.2)
+    graph.add_attribute("DIRECTED_BY", "DID", 0.2)
+    for edge in base.all_join_edges():
+        if {edge.source, edge.target} == {"MOVIE", "DIRECTOR"}:
+            continue
+        graph.add_join(
+            edge.source,
+            edge.target,
+            edge.source_attribute,
+            edge.target_attribute,
+            edge.weight,
+        )
+    # MOVIE -> DIRECTED_BY -> DIRECTOR with the original weight on the
+    # first hop and weight 1 on the bridge (and vice versa)
+    graph.add_join("MOVIE", "DIRECTED_BY", "MID", "MID",
+                   base.join_edge("MOVIE", "DIRECTOR").weight)
+    graph.add_join("DIRECTED_BY", "DIRECTOR", "DID", "DID", 1.0)
+    graph.add_join("DIRECTOR", "DIRECTED_BY", "DID", "DID",
+                   base.join_edge("DIRECTOR", "MOVIE").weight)
+    graph.add_join("DIRECTED_BY", "MOVIE", "MID", "MID", 1.0)
+    return graph
+
+
+CONSTRAINTS = {
+    "weight>=0.9": WeightThreshold(0.9),
+    "top-7": TopRProjections(7),
+    "length<=2": MaxPathLength(2),
+}
+
+
+@pytest.mark.parametrize("name", list(CONSTRAINTS))
+def test_degree_constraint_speed(benchmark, name):
+    benchmark.group = "ablation: degree-constraint forms"
+    graph = movies_graph()
+    constraint = CONSTRAINTS[name]
+    benchmark(
+        generate_result_schema, graph, ["DIRECTOR", "ACTOR"], constraint
+    )
+
+
+def _visible(schema):
+    return schema.projected_attributes
+
+
+def test_weight_threshold_robust_to_restructuring(benchmark):
+    """§3.3's robustness claim, verified end to end."""
+    benchmark.group = "ablation: degree-constraint forms"
+    base, bridged = movies_graph(), _restructured_graph()
+
+    def run():
+        return (
+            generate_result_schema(base, ["ACTOR"], WeightThreshold(0.9)),
+            generate_result_schema(bridged, ["ACTOR"], WeightThreshold(0.9)),
+        )
+
+    before, after = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert _visible(before) == _visible(after), (
+        "weight threshold should survive normalization"
+    )
+
+
+def test_length_constraint_not_robust(benchmark):
+    """The same restructuring changes a length-bounded answer — the
+
+    contrast that motivates weight constraints."""
+    benchmark.group = "ablation: degree-constraint forms"
+    base, bridged = movies_graph(), _restructured_graph()
+
+    def run():
+        return (
+            generate_result_schema(base, ["DIRECTOR"], MaxPathLength(2)),
+            generate_result_schema(bridged, ["DIRECTOR"], MaxPathLength(2)),
+        )
+
+    before, after = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert _visible(before) != _visible(after), (
+        "path-length constraints should break under normalization"
+    )
+    # specifically: MOVIE's attributes drift out of reach
+    assert ("MOVIE", "TITLE") in _visible(before)
+    assert ("MOVIE", "TITLE") not in _visible(after)

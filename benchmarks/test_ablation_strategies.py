@@ -1,0 +1,102 @@
+"""Ablation — retrieval strategies: NaïveQ vs RoundRobin vs auto (§5.2).
+
+Beyond Figure 9's timing comparison, this quantifies *why* the paper
+bothers with RoundRobin at all:
+
+    "if the join is to-n, there is a risk of selecting a subset of
+    R_j's tuples that join to only a subset of R_i's tuples … since the
+    real distribution in the database may be very different [from
+    uniform], we have adopted the round-robin method."
+
+So the workload here is *skewed*: one driving tuple owns most of the
+join partners. Measured as **coverage** — the fraction of driving tuples
+with at least one join partner in the answer. NaïveQ's tid-order prefix
+collapses onto the heavy tuple; RoundRobin spreads the budget; ``auto``
+(RoundRobin only where the join is 1-to-n) matches RoundRobin.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import chain_graph, chain_schema
+from repro.core import (
+    MaxTuplesPerRelation,
+    WeightThreshold,
+    generate_result_database,
+    generate_result_schema,
+)
+from repro.relational import Database
+
+STRATEGIES = ["naive", "round_robin", "auto"]
+N_PARENTS = 20
+HEAVY_CHILDREN = 50  # parent 1's children
+C_R = 20
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    """R1 with 20 parents; parent 1 has 50 children, the rest 1 each."""
+    schema = chain_schema(2)
+    db = Database(schema)
+    for pid in range(1, N_PARENTS + 1):
+        db.insert("R1", {"ID": pid, "VAL": f"parent {pid}"})
+    cid = 1000
+    for __ in range(HEAVY_CHILDREN):
+        db.insert("R2", {"ID": cid, "REF": 1, "VAL": f"child {cid}"})
+        cid += 1
+    for pid in range(2, N_PARENTS + 1):
+        db.insert("R2", {"ID": cid, "REF": pid, "VAL": f"child {cid}"})
+        cid += 1
+    db.create_join_indexes()
+    graph = chain_graph(2)
+    result_schema = generate_result_schema(graph, ["R1"], WeightThreshold(0.9))
+    seeds = {"R1": set(db.relation("R1").tids())}
+    return db, result_schema, seeds
+
+
+def _coverage(answer):
+    parents = {row["ID"] for row in answer.relation("R1").scan(["ID"])}
+    covered = {row["REF"] for row in answer.relation("R2").scan(["REF"])}
+    return len(parents & covered) / len(parents)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_strategy_speed_and_coverage(benchmark, skewed, strategy):
+    benchmark.group = "ablation: retrieval strategies under skew (c_R=20)"
+    db, result_schema, seeds = skewed
+
+    def run():
+        answer, __ = generate_result_database(
+            db, result_schema, seeds,
+            MaxTuplesPerRelation(C_R), strategy=strategy,
+        )
+        return answer
+
+    answer = benchmark(run)
+    benchmark.extra_info["coverage"] = _coverage(answer)
+
+
+def test_round_robin_fixes_naive_starvation(benchmark, skewed):
+    benchmark.group = "ablation: retrieval strategies under skew (c_R=20)"
+    db, result_schema, seeds = skewed
+
+    def run():
+        out = {}
+        for strategy in STRATEGIES:
+            answer, __ = generate_result_database(
+                db, result_schema, seeds,
+                MaxTuplesPerRelation(C_R), strategy=strategy,
+            )
+            out[strategy] = _coverage(answer)
+        return out
+
+    coverage = benchmark.pedantic(run, rounds=1, iterations=1)
+    # NaïveQ's tid-order prefix is exactly parent 1's 50 children
+    # truncated to 20 -> only 1 of 20 parents covered
+    assert coverage["naive"] == pytest.approx(1 / N_PARENTS)
+    # RoundRobin's first round gives every parent one child
+    assert coverage["round_robin"] == 1.0
+    # auto detects the to-n join and behaves like RoundRobin
+    assert coverage["auto"] == 1.0
+    benchmark.extra_info["coverage"] = coverage

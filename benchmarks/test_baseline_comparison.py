@@ -1,0 +1,138 @@
+"""Ablation — précis vs DISCOVER-style vs BANKS-style keyword search.
+
+Related-work positioning (§2): same tokens, same inverted index, same
+schema graph, three answer models. Reports response time per system plus
+answer-shape metrics in extra_info: the précis answer is *one*
+multi-relation database; DISCOVER returns N flattened rows that repeat
+the same director once per movie-genre combination; BANKS returns rooted
+tuple trees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MaxTuplesPerRelation, PrecisEngine, WeightThreshold
+from repro.baselines import BanksSearch, DiscoverSearch
+from repro.datasets import generate_movies_database, movies_graph
+
+
+@pytest.fixture(scope="module")
+def setup():
+    db = generate_movies_database(n_movies=150, seed=21)
+    graph = movies_graph()
+    engine = PrecisEngine(db, graph=graph)
+    # a director with several movies makes the flattening effect visible
+    director = max(
+        (
+            (
+                sum(
+                    1
+                    for row in db.relation("MOVIE").scan(["DID"])
+                    if row["DID"] == d["DID"]
+                ),
+                d["DNAME"],
+            )
+            for d in (
+                row.as_dict() for row in db.relation("DIRECTOR").scan()
+            )
+        )
+    )[1]
+    discover = DiscoverSearch(db, graph, engine.index)
+    banks = BanksSearch(db, graph, engine.index)
+    banks.data_graph()  # build once, outside the timed region
+    return engine, discover, banks, director
+
+
+def test_precis(benchmark, setup):
+    benchmark.group = "baseline comparison (same token)"
+    engine, __, ___, director = setup
+    answer = benchmark(
+        engine.ask,
+        f'"{director}"',
+        degree=WeightThreshold(0.9),
+        cardinality=MaxTuplesPerRelation(10),
+    )
+    assert answer.found
+    benchmark.extra_info["answer shape"] = (
+        f"1 sub-database: {answer.cardinalities()}"
+    )
+
+
+def test_discover(benchmark, setup):
+    benchmark.group = "baseline comparison (same token)"
+    __, discover, ___, director = setup
+    surname = director.split()[-1]
+    results = benchmark(discover.search, [surname], 50)
+    assert results
+    benchmark.extra_info["answer shape"] = f"{len(results)} flat joined rows"
+
+
+def test_banks(benchmark, setup):
+    benchmark.group = "baseline comparison (same token)"
+    __, ___, banks, director = setup
+    surname = director.split()[-1]
+    trees = benchmark(banks.search, [surname], 10)
+    assert trees
+    benchmark.extra_info["answer shape"] = f"{len(trees)} tuple trees"
+
+
+def _shared_genre(db, director):
+    """A genre carried by at least two of the director's movies."""
+    did = next(
+        row["DID"]
+        for row in db.relation("DIRECTOR").scan()
+        if row["DNAME"] == director
+    )
+    mids = {
+        row["MID"]
+        for row in db.relation("MOVIE").scan(["MID", "DID"])
+        if row["DID"] == did
+    }
+    counts: dict[str, int] = {}
+    for row in db.relation("GENRE").scan(["MID", "GENRE"]):
+        if row["MID"] in mids:
+            counts[row["GENRE"]] = counts.get(row["GENRE"], 0) + 1
+    return max(counts, key=counts.get)
+
+
+def test_flattening_redundancy(benchmark, setup):
+    """DISCOVER repeats the matching tuple once per join combination
+
+    (one row per drama movie of the director); the précis carries the
+    director exactly once."""
+    benchmark.group = "baseline comparison (same token)"
+    engine, discover, __, director = setup
+    genre = _shared_genre(engine.db, director)
+    surname = director.split()[-1]
+
+    def run():
+        answer = engine.ask(
+            f'"{director}"',
+            degree=WeightThreshold(0.9),
+            cardinality=MaxTuplesPerRelation(10),
+        )
+        rows = discover.search([surname, genre], limit=None)
+        return answer, rows
+
+    answer, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    director_copies = sum(
+        1
+        for r in rows
+        if any(
+            row.relation == "DIRECTOR"
+            and row.get("DNAME") == director
+            for row in r.rows.values()
+        )
+    )
+    in_precis = sum(
+        1
+        for row in answer.database.relation("DIRECTOR").scan(["DNAME"])
+        if row["DNAME"] == director
+    )
+    assert in_precis == 1
+    assert director_copies > 1
+    benchmark.extra_info["copies"] = {
+        "discover_rows_repeating_director": director_copies,
+        "precis_director_tuples": in_precis,
+    }

@@ -1,0 +1,99 @@
+"""Formulas (1)–(3) — validating the paper's cost model.
+
+The paper models the Result Database Generator as::
+
+    Cost(D') = c_R · n_R · (IndexTime + TupleTime)          (2)
+
+and derives cardinality constraints from a response-time budget::
+
+    c_R = cost_M / (n_R · (IndexTime + TupleTime))          (3)
+
+Our engine charges exactly those unit operations, so the fit can be
+checked analytically: the measured modeled cost must track the Formula-2
+prediction within a small constant factor (the formula ignores the
+seed retrieval and counts one index probe per tuple rather than per
+driving value).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    MaxTuplesPerRelation,
+    STRATEGY_NAIVE,
+    cardinality_for_response_time,
+    generate_result_database,
+)
+
+CASES = [(2, 20), (4, 30), (4, 60), (6, 40), (8, 50)]
+
+
+def _formula_2(setup, c_r):
+    params = setup.db.meter.params
+    n_r = len(setup.schema.relations)
+    return c_r * n_r * params.unit_fetch
+
+
+@pytest.mark.parametrize("n_r,c_r", CASES)
+def test_formula2_tracks_measured_cost(benchmark, chains, n_r, c_r):
+    benchmark.group = "cost model (formula 2)"
+    setup = chains(n_r)
+    seeds = setup.seed_sets[0]
+
+    def run():
+        with setup.db.meter.measure() as measured:
+            answer, __ = generate_result_database(
+                setup.db,
+                setup.schema,
+                seeds,
+                MaxTuplesPerRelation(c_r),
+                strategy=STRATEGY_NAIVE,
+            )
+        return measured.modeled_cost, answer
+
+    (cost, answer) = benchmark(run)
+    predicted = _formula_2(setup, c_r)
+    # Formula (2) assumes every relation contributes exactly c_R tuples;
+    # seed relations may contribute fewer (40 seeds < c_R impossible
+    # here: 40 seeds vs c_R up to 60 — recompute with actual counts).
+    actual_tuples = answer.total_tuples()
+    refined = actual_tuples * setup.db.meter.params.unit_fetch
+    assert cost == pytest.approx(refined, rel=0.35), (
+        f"measured {cost} vs per-tuple prediction {refined}"
+    )
+    assert cost == pytest.approx(predicted, rel=0.6), (
+        f"measured {cost} vs formula-2 prediction {predicted}"
+    )
+    benchmark.extra_info["measured"] = cost
+    benchmark.extra_info["formula2"] = predicted
+
+
+def test_formula3_budget_respected(benchmark, chains):
+    """A Formula-3-derived constraint keeps the measured cost within
+
+    the requested budget (plus bounded slack for seed retrieval)."""
+    benchmark.group = "cost model (formula 3)"
+    setup = chains(4)
+    params = setup.db.meter.params
+    budget = 600.0
+    constraint = cardinality_for_response_time(
+        budget, len(setup.schema.relations), params
+    )
+
+    def run():
+        with setup.db.meter.measure() as measured:
+            generate_result_database(
+                setup.db,
+                setup.schema,
+                setup.seed_sets[0],
+                constraint,
+                strategy=STRATEGY_NAIVE,
+            )
+        return measured.modeled_cost
+
+    cost = benchmark(run)
+    slack = len(setup.schema.relations) * params.unit_fetch
+    assert cost <= budget + slack
+    benchmark.extra_info["budget"] = budget
+    benchmark.extra_info["measured"] = cost

@@ -1,0 +1,83 @@
+"""Figure 8 — Result Database Generator time vs tuples-per-relation c_R.
+
+Paper setup: ``n_R = 4`` relations in the answer, NaïveQ everywhere,
+``c_R ∈ {10 … 90}``, averaging over relation sets / start relations /
+5 random seed sets. Paper observation: "time increases almost linearly
+with c_R, in agreement with Formula (2)".
+
+The parametrized benchmark is the series; the shape test fits a line to
+the deterministic modeled cost and requires r² ≥ 0.98.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import fit_linear
+from repro.core import (
+    MaxTuplesPerRelation,
+    STRATEGY_NAIVE,
+    generate_result_database,
+)
+
+CARDINALITIES = [10, 30, 50, 70, 90]
+N_RELATIONS = 4
+
+
+def _generate(setup, c_r, seeds):
+    return generate_result_database(
+        setup.db,
+        setup.schema,
+        seeds,
+        MaxTuplesPerRelation(c_r),
+        strategy=STRATEGY_NAIVE,
+    )
+
+
+@pytest.mark.parametrize("c_r", CARDINALITIES)
+def test_fig8_point(benchmark, chains, c_r):
+    benchmark.group = "fig8 result-database-generator vs c_R (naive, n_R=4)"
+    setup = chains(N_RELATIONS)
+
+    def run():
+        for seeds in setup.seed_sets:
+            _generate(setup, c_r, seeds)
+
+    benchmark(run)
+
+
+def test_fig8_shape_linear_in_cr(benchmark, chains):
+    """Modeled cost (and tuple count) grow linearly in c_R."""
+    benchmark.group = "fig8 result-database-generator vs c_R (naive, n_R=4)"
+    setup = chains(N_RELATIONS)
+
+    def sweep():
+        series = []
+        for c_r in CARDINALITIES:
+            with setup.db.meter.measure() as measured:
+                for seeds in setup.seed_sets:
+                    answer, __ = _generate(setup, c_r, seeds)
+            series.append((c_r, measured.modeled_cost / len(setup.seed_sets)))
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    fit = fit_linear([x for x, __ in series], [y for __, y in series])
+    assert fit.r_squared >= 0.98, f"not linear in c_R: {series}"
+    assert fit.slope > 0
+    benchmark.extra_info["series (c_R, modeled cost)"] = series
+    benchmark.extra_info["r_squared"] = fit.r_squared
+
+
+def test_fig8_cardinalities_saturate_at_cap(benchmark, chains):
+    """Sanity: each relation actually reaches the c_R cap (the chain
+
+    has enough joinable tuples at every level), so the sweep measures
+    retrieval, not data exhaustion."""
+    benchmark.group = "fig8 result-database-generator vs c_R (naive, n_R=4)"
+    setup = chains(N_RELATIONS)
+    answer, __ = benchmark.pedantic(
+        _generate, args=(setup, 90, setup.seed_sets[0]), rounds=1, iterations=1
+    )
+    cards = answer.cardinalities()
+    for relation in ("R2", "R3", "R4"):
+        assert cards[relation] == 90, cards

@@ -1,0 +1,55 @@
+"""Inverted-index substrate bench (§4: "we chose to build our own
+
+inverted index that allows efficient retrieval of all occurrences of a
+token"). Measures build throughput and word/phrase lookup latency at
+three database scales, so index costs can be separated from generator
+costs in the other figures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_movies_database
+from repro.text import build_index
+
+SCALES = [100, 400, 1600]
+
+
+@pytest.fixture(scope="module")
+def databases():
+    return {n: generate_movies_database(n_movies=n, seed=3) for n in SCALES}
+
+
+@pytest.fixture(scope="module")
+def indexes(databases):
+    return {n: build_index(db) for n, db in databases.items()}
+
+
+@pytest.mark.parametrize("n_movies", SCALES)
+def test_index_build(benchmark, databases, n_movies):
+    benchmark.group = "inverted index: build"
+    db = databases[n_movies]
+    index = benchmark(build_index, db)
+    benchmark.extra_info["vocabulary"] = index.vocabulary_size
+    benchmark.extra_info["postings"] = index.postings_count()
+
+
+@pytest.mark.parametrize("n_movies", SCALES)
+def test_word_lookup(benchmark, indexes, n_movies):
+    benchmark.group = "inverted index: word lookup"
+    index = indexes[n_movies]
+    occurrences = benchmark(index.lookup_word, "drama")
+    assert occurrences
+
+
+@pytest.mark.parametrize("n_movies", SCALES)
+def test_phrase_lookup(benchmark, databases, indexes, n_movies):
+    benchmark.group = "inverted index: phrase lookup"
+    db = databases[n_movies]
+    index = indexes[n_movies]
+    name = next(
+        row["DNAME"] for row in db.relation("DIRECTOR").scan(["DNAME"])
+    )
+    occurrences = benchmark(index.lookup_token, name)
+    assert any(o.relation == "DIRECTOR" for o in occurrences)

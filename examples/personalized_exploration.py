@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Personalized answers — the §3.1 scenario.
+
+    "Reviewers and cinema fans have access to a movies database. The
+    former may be typically interested in in-depth, detailed answers …
+    Cinema fans usually prefer shorter answers."
+
+Builds two stored profiles over a synthetic movies database and runs
+the *same* précis query under each, showing how the weight sets and
+default constraints reshape both the result schema and the tuples.
+Also demonstrates interactive exploration: progressively lowering the
+weight threshold expands the explored region of the database.
+
+Run::
+
+    python examples/personalized_exploration.py
+"""
+
+from repro import (
+    MaxTuplesPerRelation,
+    PrecisEngine,
+    Profile,
+    WeightThreshold,
+)
+from repro.datasets import generate_movies_database, movies_graph
+
+
+def build_profiles(engine):
+    reviewer = Profile(
+        "reviewer",
+        degree=WeightThreshold(0.55),
+        cardinality=MaxTuplesPerRelation(8),
+        description="in-depth answers exploring a large database region",
+    )
+    # reviewers want production context: theatres and play dates matter
+    reviewer.set_join_weight("MOVIE", "PLAY", 0.9)
+    reviewer.set_projection_weight("PLAY", "DATE", 0.9)
+    reviewer.set_projection_weight("THEATRE", "REGION", 0.9)
+
+    fan = Profile(
+        "fan",
+        degree=WeightThreshold(0.95),
+        cardinality=MaxTuplesPerRelation(3),
+        description="short answers containing only highly related objects",
+    )
+    # fans don't care who directed what
+    fan.set_join_weight("MOVIE", "DIRECTOR", 0.2)
+
+    engine.register_profile(reviewer)
+    engine.register_profile(fan)
+
+
+def show(answer, label):
+    print(f"--- {label} ---")
+    print(f"relations in answer : {', '.join(answer.result_schema.relations)}")
+    print(f"projected attributes: {len(answer.result_schema.projected_attributes)}")
+    print(f"tuples retrieved    : {answer.total_tuples()}")
+    for relation in answer.result_schema.relations:
+        rows = answer.rows_of(relation)
+        if rows:
+            print(f"  {relation}: e.g. {rows[0]}")
+    print()
+
+
+def main():
+    db = generate_movies_database(n_movies=200, seed=42)
+    engine = PrecisEngine(db, graph=movies_graph())
+    build_profiles(engine)
+
+    title = next(
+        row["TITLE"] for row in db.relation("MOVIE").scan(["TITLE"])
+    )
+    query = f'"{title}"'
+    print(f"query: {query}\n")
+
+    for profile in ("reviewer", "fan"):
+        show(engine.ask(query, profile=profile), f"profile: {profile}")
+
+    print("--- interactive exploration: loosening the weight threshold ---")
+    for threshold in (1.0, 0.9, 0.7, 0.5):
+        answer = engine.ask(
+            query,
+            degree=WeightThreshold(threshold),
+            cardinality=MaxTuplesPerRelation(3),
+        )
+        relations = ", ".join(answer.result_schema.relations) or "(nothing)"
+        print(f"  w >= {threshold:<4} -> {relations}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Generate a static web page of précis answers (the §1 web scenario).
+
+The paper motivates précis queries with "web accessible databases, which
+have emerged as libraries, museums, and other organizations publish
+their electronic contents on the Web", where answers should read like a
+short narrative whose key values are hyperlinks to further queries.
+
+This script renders a small HTML page: for each query, the narrative
+(values linkified as follow-up précis queries) plus the answer's
+relation tables, using the interactive Explorer to show three zoom
+levels of the same query.
+
+Run::
+
+    python examples/web_precis_page.py [output.html]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import MaxTuplesPerRelation, PrecisEngine, WeightThreshold
+from repro.core import Explorer
+from repro.datasets import (
+    movies_graph,
+    movies_translation_spec,
+    paper_instance,
+)
+from repro.nlg import Translator, answer_to_html
+
+_PAGE = """<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>Précis demo</title>
+<style>
+ body {{ font-family: Georgia, serif; max-width: 52em; margin: 2em auto; }}
+ .precis {{ border-top: 1px solid #999; padding: 1em 0; }}
+ .precis-narrative {{ font-size: 1.05em; line-height: 1.5; }}
+ table.precis-relation {{ border-collapse: collapse; margin: .5em 0; }}
+ table.precis-relation td, table.precis-relation th
+   {{ border: 1px solid #ccc; padding: .2em .6em; }}
+ a {{ color: #1a5276; }}
+</style></head><body>
+<h1>Précis: the essence of a query answer</h1>
+{body}
+</body></html>
+"""
+
+
+def main():
+    engine = PrecisEngine(
+        paper_instance(),
+        graph=movies_graph(),
+        translator=Translator(movies_translation_spec()),
+    )
+
+    sections = []
+    for query in ('"Woody Allen"', '"Match Point"', "Thriller"):
+        answer = engine.ask(
+            query,
+            degree=WeightThreshold(0.9),
+            cardinality=MaxTuplesPerRelation(3),
+        )
+        sections.append(answer_to_html(answer))
+
+    # the same query at three exploration depths
+    explorer = Explorer(
+        engine, '"Match Point"', cardinality=MaxTuplesPerRelation(3)
+    )
+    for __ in range(3):
+        answer = explorer.expand()
+        sections.append(
+            answer_to_html(
+                answer,
+                title=(
+                    f"Exploring “Match Point” at weight ≥ "
+                    f"{explorer.threshold:.2f}"
+                ),
+            )
+        )
+
+    target = (
+        Path(sys.argv[1])
+        if len(sys.argv) > 1
+        else Path(tempfile.mkdtemp(prefix="precis_web_")) / "index.html"
+    )
+    target.write_text(_PAGE.format(body="\n".join(sections)))
+    print(f"wrote {target}")
+    print("open it in a browser; every linked value is a follow-up query")
+
+
+if __name__ == "__main__":
+    main()

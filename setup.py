@@ -1,0 +1,10 @@
+"""Thin setup shim.
+
+Metadata lives in pyproject.toml. This file exists so the package can be
+installed in environments without the ``wheel`` package (PEP 660
+editable installs build a wheel; ``python setup.py develop`` does not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""Baseline keyword-search systems the paper positions against.
+
+* :class:`~repro.baselines.discover.DiscoverSearch` — schema-graph
+  candidate networks returning flattened joined rows (DISCOVER /
+  DBXplorer style, references [7, 8] of the paper);
+* :class:`~repro.baselines.banks.BanksSearch` — data-graph backward
+  expanding search returning rooted connection trees (BANKS style,
+  reference [5]).
+
+Both share the précis system's inverted index and schema graph, so the
+comparison isolates the *answer model* — flat rows / tuple trees vs an
+entire sub-database.
+"""
+
+from .banks import BanksSearch, ConnectionTree
+from .discover import CandidateNetwork, DiscoverSearch, JoinedResult
+
+__all__ = [
+    "DiscoverSearch",
+    "CandidateNetwork",
+    "JoinedResult",
+    "BanksSearch",
+    "ConnectionTree",
+]

@@ -1,0 +1,197 @@
+"""A BANKS-style keyword-search baseline over the *data graph*.
+
+BANKS (Bhalotia et al., ICDE'02 — reference [5] of the paper) models the
+database as a graph whose nodes are tuples and whose edges connect tuples
+related by foreign keys, then answers a keyword query with rooted
+*connection trees*: a root tuple with a path to at least one matching
+tuple per keyword, ranked by total path cost (smaller trees first).
+
+We implement the backward-expanding search: one Dijkstra frontier grows
+from each keyword's set of matching tuples along reversed edges; a node
+reached by *every* frontier becomes the root of an answer tree.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..graph.schema_graph import SchemaGraph
+from ..relational.database import Database
+from ..text.inverted_index import InvertedIndex, build_index
+
+__all__ = ["TupleNode", "ConnectionTree", "BanksSearch"]
+
+
+#: a node of the data graph: one tuple of one relation
+TupleNode = tuple[str, int]
+
+
+@dataclass
+class ConnectionTree:
+    """One BANKS answer: a root joining paths to each keyword group."""
+
+    root: TupleNode
+    #: per keyword, the path (list of nodes) from root to a matching tuple
+    paths: dict[str, list[TupleNode]]
+    cost: float
+
+    @property
+    def nodes(self) -> set[TupleNode]:
+        out = {self.root}
+        for path in self.paths.values():
+            out.update(path)
+        return out
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self):
+        return (
+            f"ConnectionTree(root={self.root[0]}#{self.root[1]}, "
+            f"cost={self.cost:g}, {self.size} tuples)"
+        )
+
+
+class BanksSearch:
+    """Backward-expanding keyword search on the tuple-level data graph."""
+
+    def __init__(
+        self,
+        db: Database,
+        graph: SchemaGraph,
+        index: Optional[InvertedIndex] = None,
+    ):
+        self.db = db
+        self.graph = graph
+        self.index = index if index is not None else build_index(db)
+        self._adjacency: Optional[dict[TupleNode, list[tuple[TupleNode, float]]]] = None
+
+    # --------------------------------------------------------------- graph
+
+    def _edge_cost(self, weight: float) -> float:
+        """Schema-graph weight (significance) → traversal cost."""
+        return 2.0 - weight  # heavier edges are cheaper to cross
+
+    def data_graph(self) -> dict[TupleNode, list[tuple[TupleNode, float]]]:
+        """Build (lazily, once) the undirected tuple-level graph."""
+        if self._adjacency is not None:
+            return self._adjacency
+        adjacency: dict[TupleNode, list[tuple[TupleNode, float]]] = {}
+        for relation in self.db:
+            for tid in relation.tids():
+                adjacency[(relation.name, tid)] = []
+        for edge in self.graph.all_join_edges():
+            # each undirected tuple pair appears once per schema direction;
+            # keep the cheaper cost by processing both directions
+            source = self.db.relation(edge.source)
+            target = self.db.relation(edge.target)
+            cost = self._edge_cost(edge.weight)
+            src_pos = source.schema.position(edge.source_attribute)
+            for tid in source.tids():
+                value = source.fetch(tid)[src_pos]
+                if value is None:
+                    continue
+                for other in target.lookup(edge.target_attribute, value):
+                    adjacency[(edge.source, tid)].append(
+                        ((edge.target, other), cost)
+                    )
+        self._adjacency = adjacency
+        return adjacency
+
+    # --------------------------------------------------------------- search
+
+    def search(
+        self,
+        keywords: Sequence[str],
+        top_k: int = 10,
+        max_cost: float = 20.0,
+    ) -> list[ConnectionTree]:
+        """Top-k connection trees for *keywords* (AND semantics)."""
+        groups: list[set[TupleNode]] = []
+        for keyword in keywords:
+            nodes: set[TupleNode] = set()
+            for occurrence in self.index.lookup_token(keyword):
+                nodes.update(
+                    (occurrence.relation, tid) for tid in occurrence.tids
+                )
+            if not nodes:
+                return []
+            groups.append(nodes)
+
+        adjacency = self.data_graph()
+        n_groups = len(groups)
+
+        # one Dijkstra per keyword group
+        dist: list[dict[TupleNode, float]] = [dict() for __ in range(n_groups)]
+        parent: list[dict[TupleNode, Optional[TupleNode]]] = [
+            dict() for __ in range(n_groups)
+        ]
+        heap: list[tuple[float, int, int, TupleNode]] = []
+        counter = 0
+        for gi, nodes in enumerate(groups):
+            for node in sorted(nodes):
+                dist[gi][node] = 0.0
+                parent[gi][node] = None
+                heapq.heappush(heap, (0.0, counter, gi, node))
+                counter += 1
+
+        answers: dict[TupleNode, ConnectionTree] = {}
+        while heap:
+            cost, __, gi, node = heapq.heappop(heap)
+            if cost > dist[gi].get(node, float("inf")):
+                continue
+            if cost > max_cost:
+                break
+            # is `node` now reached by all groups?
+            if node not in answers and all(
+                node in dist[g] for g in range(n_groups)
+            ):
+                answers[node] = self._build_tree(
+                    node, keywords, dist, parent
+                )
+                if len(answers) >= top_k * 3:
+                    break
+            for neighbour, edge_cost in adjacency.get(node, ()):
+                new_cost = cost + edge_cost
+                if new_cost < dist[gi].get(neighbour, float("inf")):
+                    dist[gi][neighbour] = new_cost
+                    parent[gi][neighbour] = node
+                    heapq.heappush(heap, (new_cost, counter, gi, neighbour))
+                    counter += 1
+
+        trees = sorted(answers.values(), key=lambda t: (t.cost, t.root))
+        return self._deduplicate(trees)[:top_k]
+
+    def _build_tree(
+        self,
+        root: TupleNode,
+        keywords: Sequence[str],
+        dist: list[dict[TupleNode, float]],
+        parent: list[dict[TupleNode, Optional[TupleNode]]],
+    ) -> ConnectionTree:
+        paths: dict[str, list[TupleNode]] = {}
+        total = 0.0
+        for gi, keyword in enumerate(keywords):
+            path = [root]
+            node = root
+            while parent[gi].get(node) is not None:
+                node = parent[gi][node]  # type: ignore[assignment]
+                path.append(node)
+            paths[keyword] = path
+            total += dist[gi][root]
+        return ConnectionTree(root=root, paths=paths, cost=total)
+
+    @staticmethod
+    def _deduplicate(trees: list[ConnectionTree]) -> list[ConnectionTree]:
+        """Drop trees whose node set duplicates a cheaper tree's."""
+        seen: set[frozenset[TupleNode]] = set()
+        out = []
+        for tree in trees:
+            key = frozenset(tree.nodes)
+            if key not in seen:
+                seen.add(key)
+                out.append(tree)
+        return out

@@ -1,0 +1,26 @@
+"""Benchmark harness support: §6 workload builders and measurement."""
+
+from .measurement import LinearFit, fit_linear, print_series, time_call
+from .workloads import (
+    chain_database,
+    chain_graph,
+    chain_schema,
+    connected_relation_sets,
+    random_schema_graph,
+    random_seed_tids,
+    tokens_in_single_relation,
+)
+
+__all__ = [
+    "time_call",
+    "fit_linear",
+    "LinearFit",
+    "print_series",
+    "tokens_in_single_relation",
+    "connected_relation_sets",
+    "random_seed_tids",
+    "chain_schema",
+    "chain_database",
+    "chain_graph",
+    "random_schema_graph",
+]

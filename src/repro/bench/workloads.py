@@ -1,0 +1,260 @@
+"""Workload builders for the §6 experiments.
+
+The paper's evaluation machinery, rebuilt:
+
+* Figure 7 needs query tokens "contained in a single relation R_o" and
+  "20 randomly generated sets of weights" — see
+  :func:`tokens_in_single_relation` and
+  :func:`repro.graph.weights.random_weight_assignments`;
+* Figures 8–9 need "sets of 4 relations, making sure that there is no
+  relation in any set that does not join with another relation of this
+  set" and, for each start relation, "5 random sets of tuples as the
+  seed" — see :func:`connected_relation_sets` and :func:`random_seed_tids`;
+* Figure 9 scales the number of relations ``n_R`` in the answer from 1
+  to 8, which exceeds the movies schema, so a synthetic **chain
+  database** ``R1 → R2 → … → Rn`` with controllable fan-out provides the
+  substrate (:func:`chain_database` / :func:`chain_graph`) — every join
+  is 1-to-n with the same fan-out, which makes the NaïveQ/RoundRobin
+  comparison clean.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from ..graph.schema_graph import SchemaGraph
+from ..relational.database import Database
+from ..relational.datatypes import DataType
+from ..relational.schema import (
+    Column,
+    DatabaseSchema,
+    ForeignKey,
+    RelationSchema,
+)
+from ..text.inverted_index import InvertedIndex
+
+__all__ = [
+    "tokens_in_single_relation",
+    "connected_relation_sets",
+    "random_seed_tids",
+    "chain_schema",
+    "chain_database",
+    "chain_graph",
+    "random_schema_graph",
+]
+
+
+def tokens_in_single_relation(
+    index: InvertedIndex, relation: str, limit: int = 50
+) -> list[str]:
+    """Words whose *only* occurrences lie in the given relation.
+
+    The Figure 7 setup requires tokens contained in a single relation
+    ``R_o``; this mines the inverted index for suitable words.
+    """
+    out = []
+    # Walk the vocabulary through the public lookup API per word found
+    # in the relation's attributes.
+    words = sorted(index._postings)  # noqa: SLF001 - intimate by design
+    for word in words:
+        occurrences = index.lookup_word(word)
+        relations = {occ.relation for occ in occurrences}
+        if relations == {relation}:
+            out.append(word)
+            if len(out) >= limit:
+                break
+    return out
+
+
+def connected_relation_sets(
+    graph: SchemaGraph,
+    size: int,
+    count: int,
+    seed: int = 0,
+) -> list[tuple[str, ...]]:
+    """Random connected relation subsets of the join graph.
+
+    Mirrors the paper's "sets of 4 relations … no relation in any set
+    that does not join with another relation of this set". Sampling is
+    by random connected growth; duplicates are filtered; raises if the
+    graph cannot host a connected set of the requested size.
+    """
+    rng = random.Random(seed)
+    adjacency: dict[str, set[str]] = {name: set() for name in graph.relations}
+    for edge in graph.all_join_edges():
+        adjacency[edge.source].add(edge.target)
+        adjacency[edge.target].add(edge.source)
+
+    found: list[tuple[str, ...]] = []
+    seen: set[tuple[str, ...]] = set()
+    attempts = 0
+    max_attempts = max(200, count * 50)
+    while len(found) < count and attempts < max_attempts:
+        attempts += 1
+        start = rng.choice(list(graph.relations))
+        subset = {start}
+        while len(subset) < size:
+            frontier = sorted(
+                set().union(*(adjacency[r] for r in subset)) - subset
+            )
+            if not frontier:
+                break
+            subset.add(rng.choice(frontier))
+        if len(subset) != size:
+            continue
+        key = tuple(sorted(subset))
+        if key not in seen:
+            seen.add(key)
+            found.append(key)
+    if not found:
+        raise ValueError(
+            f"no connected relation set of size {size} exists in the graph"
+        )
+    # if the graph has fewer distinct sets than requested, cycle them
+    while len(found) < count:
+        found.append(found[len(found) % len(seen)])
+    return found
+
+
+def random_seed_tids(
+    db: Database, relation: str, count: int, rng: random.Random
+) -> list[int]:
+    """A random sample of tuple ids from *relation* (the §6 seeds)."""
+    tids = list(db.relation(relation).tids())
+    if not tids:
+        return []
+    if len(tids) <= count:
+        return tids
+    return sorted(rng.sample(tids, count))
+
+
+# ------------------------------------------------------------------ chain
+
+
+def chain_schema(n_relations: int) -> DatabaseSchema:
+    """``R1(ID, VAL) ← R2(ID, REF, VAL) ← … ← Rn``: each ``R_{i+1}.REF``
+
+    references ``R_i.ID``, so the join ``R_i → R_{i+1}`` is 1-to-n."""
+    if n_relations < 1:
+        raise ValueError("need at least one relation")
+    relations = []
+    fks = []
+    for i in range(1, n_relations + 1):
+        columns = [
+            Column("ID", DataType.INT, nullable=False),
+            Column("VAL", DataType.TEXT),
+        ]
+        if i > 1:
+            columns.insert(1, Column("REF", DataType.INT, nullable=False))
+            fks.append(ForeignKey(f"R{i}", "REF", f"R{i - 1}", "ID"))
+        relations.append(RelationSchema(f"R{i}", columns, primary_key="ID"))
+    return DatabaseSchema(relations, fks)
+
+
+def chain_database(
+    n_relations: int,
+    roots: int = 20,
+    fanout: int = 4,
+    seed: int = 0,
+    max_tuples_per_relation: Optional[int] = 20000,
+) -> Database:
+    """Populate a chain: ``roots`` tuples in R1, each tuple of ``R_i``
+
+    fanning out to ``fanout`` children in ``R_{i+1}`` (capped so deep
+    chains don't explode combinatorially: once a level reaches the cap,
+    children are spread round-robin over the parents)."""
+    if fanout < 1 or roots < 1:
+        raise ValueError("roots and fanout must be positive")
+    rng = random.Random(seed)
+    schema = chain_schema(n_relations)
+    data: dict[str, list[dict]] = {}
+    next_id = 1
+    parents = list(range(1, roots + 1))
+    data["R1"] = [
+        {"ID": pid, "VAL": f"alpha{pid} token{rng.randint(0, 9)}"}
+        for pid in parents
+    ]
+    next_id = roots + 1
+    for i in range(2, n_relations + 1):
+        desired = len(parents) * fanout
+        if max_tuples_per_relation is not None:
+            desired = min(desired, max_tuples_per_relation)
+        rows = []
+        ids = []
+        for j in range(desired):
+            ref = parents[j % len(parents)]
+            rows.append(
+                {
+                    "ID": next_id,
+                    "REF": ref,
+                    "VAL": f"level{i} item{next_id}",
+                }
+            )
+            ids.append(next_id)
+            next_id += 1
+        data[f"R{i}"] = rows
+        parents = ids
+    return Database.from_rows(schema, data)
+
+
+def random_schema_graph(
+    n_relations: int = 30,
+    attrs_per_relation: int = 8,
+    extra_joins: int = 15,
+    seed: int = 0,
+) -> SchemaGraph:
+    """A random connected schema graph, IMDB-dump-scale.
+
+    The paper's Figure 7 sweeps the degree constraint up to large
+    attribute counts over the IMDB schema; the 7-relation movies schema
+    saturates too early, so this builds a synthetic graph of
+    ``n_relations × attrs_per_relation`` attribute nodes: a random
+    spanning tree (guaranteeing connectivity) plus ``extra_joins``
+    random chords, all edges in both directions. Weights default to 0.5
+    everywhere; the Figure 7 harness overlays random weight sets.
+    """
+    if n_relations < 1 or attrs_per_relation < 1:
+        raise ValueError("need at least one relation and one attribute")
+    rng = random.Random(seed)
+    graph = SchemaGraph()
+    names = [f"T{i}" for i in range(1, n_relations + 1)]
+    for name in names:
+        graph.add_relation(name)
+        for j in range(1, attrs_per_relation + 1):
+            graph.add_attribute(name, f"A{j}", 0.5)
+
+    def connect(a: str, b: str) -> None:
+        if not graph.has_join(a, b):
+            graph.add_join(a, b, "A1", "A1", 0.5)
+        if not graph.has_join(b, a):
+            graph.add_join(b, a, "A1", "A1", 0.5)
+
+    for i in range(1, n_relations):
+        connect(names[i], names[rng.randrange(i)])  # spanning tree
+    for __ in range(extra_joins):
+        a, b = rng.sample(names, 2)
+        connect(a, b)
+    return graph
+
+
+def chain_graph(
+    n_relations: int,
+    join_weight: float = 1.0,
+    projection_weight: float = 1.0,
+) -> SchemaGraph:
+    """Schema graph for the chain, forward join edges only, flat weights
+
+    (so a weight-threshold degree constraint keeps the whole chain)."""
+    graph = SchemaGraph()
+    for i in range(1, n_relations + 1):
+        name = f"R{i}"
+        graph.add_relation(name)
+        graph.add_attribute(name, "ID", projection_weight)
+        graph.add_attribute(name, "VAL", projection_weight)
+        if i > 1:
+            graph.add_attribute(name, "REF", projection_weight)
+            graph.add_join(
+                f"R{i - 1}", name, "ID", "REF", join_weight
+            )
+    return graph

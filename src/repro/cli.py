@@ -1,0 +1,288 @@
+"""Command-line interface: précis queries over CSV-backed databases.
+
+Usage (after ``python setup.py develop``)::
+
+    python -m repro init-demo ./demo          # the paper's movies DB
+    python -m repro schema ./demo             # DDL + statistics
+    python -m repro query ./demo '"Woody Allen"' --degree-weight 0.9 \
+        --per-relation 3 --narrative
+    python -m repro explain ./demo '"Woody Allen"' --degree-weight 0.9
+
+A database directory is what ``repro.relational.csvio`` writes: one CSV
+per relation plus ``_schema.json``, and optionally ``_graph.json`` (a
+weighted schema graph with heading attributes, written by
+``init-demo`` or :func:`repro.graph.serialization.save_graph`). Without
+``_graph.json`` the graph is derived from the foreign keys at uniform
+weights.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .core import (
+    CompositeCardinality,
+    CompositeDegree,
+    MaxPathLength,
+    MaxTotalTuples,
+    MaxTuplesPerRelation,
+    PrecisEngine,
+    TopRProjections,
+    WeightThreshold,
+    answer_ddl,
+    emitted_queries,
+    render_plan,
+)
+from .graph import graph_from_schema, result_schema_to_dot
+from .graph.serialization import load_graph, save_graph
+from .nlg import Translator, generic_spec
+from .relational import create_schema_sql, database_summary
+from .relational.csvio import load_database, save_database
+
+__all__ = ["main", "build_parser"]
+
+_GRAPH_FILE = "_graph.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Précis queries over relational databases (ICDE 2006).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser(
+        "init-demo", help="write the paper's movies database to a directory"
+    )
+    demo.add_argument("directory")
+    demo.add_argument(
+        "--movies",
+        type=int,
+        default=0,
+        help="generate a synthetic instance of N movies instead of the "
+        "paper's micro-instance",
+    )
+    demo.add_argument("--seed", type=int, default=0)
+
+    schema = sub.add_parser(
+        "schema", help="print DDL and statistics of a database directory"
+    )
+    schema.add_argument("directory")
+
+    for name, help_text in (
+        ("query", "answer a précis query"),
+        ("explain", "show the plan and SQL for a précis query"),
+        ("estimate", "predict the answer size before generating it"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("directory")
+        cmd.add_argument("query", help='free-form tokens, e.g. \'"Woody Allen"\'')
+        cmd.add_argument(
+            "--degree-weight",
+            type=float,
+            help="keep projections with path weight >= W",
+        )
+        cmd.add_argument(
+            "--degree-top", type=int, help="keep at most R projected attributes"
+        )
+        cmd.add_argument(
+            "--degree-length", type=int, help="keep paths of length <= L"
+        )
+        cmd.add_argument(
+            "--per-relation", type=int, help="at most N tuples per relation"
+        )
+        cmd.add_argument("--total", type=int, help="at most N tuples overall")
+        cmd.add_argument(
+            "--strategy",
+            choices=["auto", "naive", "round_robin"],
+            default="auto",
+        )
+        if name == "estimate":
+            cmd.add_argument(
+                "--target-total",
+                type=int,
+                help="also suggest a per-relation cap for this total",
+            )
+        if name == "query":
+            cmd.add_argument(
+                "--narrative",
+                action="store_true",
+                help="print the natural-language synthesis",
+            )
+            cmd.add_argument(
+                "--dot",
+                action="store_true",
+                help="print the result schema as Graphviz DOT",
+            )
+            cmd.add_argument(
+                "--save", metavar="DIR", help="export the answer database"
+            )
+    return parser
+
+
+def _degree(args):
+    parts = []
+    if args.degree_weight is not None:
+        parts.append(WeightThreshold(args.degree_weight))
+    if args.degree_top is not None:
+        parts.append(TopRProjections(args.degree_top))
+    if args.degree_length is not None:
+        parts.append(MaxPathLength(args.degree_length))
+    if not parts:
+        return WeightThreshold(0.9)
+    return parts[0] if len(parts) == 1 else CompositeDegree(*parts)
+
+
+def _cardinality(args):
+    parts = []
+    if args.per_relation is not None:
+        parts.append(MaxTuplesPerRelation(args.per_relation))
+    if args.total is not None:
+        parts.append(MaxTotalTuples(args.total))
+    if not parts:
+        return None
+    return parts[0] if len(parts) == 1 else CompositeCardinality(*parts)
+
+
+def _load_engine(directory: str) -> PrecisEngine:
+    path = Path(directory)
+    db = load_database(path, enforce_foreign_keys=False)
+    graph_path = path / _GRAPH_FILE
+    translator = None
+    if graph_path.exists():
+        graph, headings = load_graph(graph_path)
+        if headings:
+            translator = Translator(generic_spec(graph, headings))
+    else:
+        graph = graph_from_schema(db.schema)
+    return PrecisEngine(db, graph=graph, translator=translator)
+
+
+def _cmd_init_demo(args, out) -> int:
+    from .datasets import (
+        generate_movies_database,
+        movies_graph,
+        paper_instance,
+    )
+
+    if args.movies > 0:
+        db = generate_movies_database(n_movies=args.movies, seed=args.seed)
+    else:
+        db = paper_instance()
+    path = save_database(db, args.directory)
+    headings = {
+        "THEATRE": "NAME",
+        "MOVIE": "TITLE",
+        "GENRE": "GENRE",
+        "ACTOR": "ANAME",
+        "DIRECTOR": "DNAME",
+    }
+    save_graph(movies_graph(), path / _GRAPH_FILE, headings)
+    print(f"wrote {db.total_tuples()} tuples to {path}", file=out)
+    return 0
+
+
+def _cmd_schema(args, out) -> int:
+    db = load_database(args.directory, enforce_foreign_keys=False)
+    print(create_schema_sql(db.schema), file=out)
+    print("", file=out)
+    print(database_summary(db), file=out)
+    return 0
+
+
+def _cmd_query(args, out) -> int:
+    engine = _load_engine(args.directory)
+    answer = engine.ask(
+        args.query,
+        degree=_degree(args),
+        cardinality=_cardinality(args),
+        strategy=args.strategy,
+    )
+    if not answer.found:
+        print(f"no match for {args.query!r}", file=out)
+        return 1
+    if args.dot:
+        print(result_schema_to_dot(answer.result_schema), file=out)
+        return 0
+    print(answer.describe(), file=out)
+    if args.narrative and answer.narrative:
+        print("", file=out)
+        print(answer.narrative, file=out)
+    if args.save:
+        save_database(answer.database, args.save)
+        print(f"\nanswer database exported to {args.save}", file=out)
+    return 0
+
+
+def _cmd_explain(args, out) -> int:
+    engine = _load_engine(args.directory)
+    answer = engine.ask(
+        args.query,
+        degree=_degree(args),
+        cardinality=_cardinality(args),
+        strategy=args.strategy,
+        translate=False,
+    )
+    print(render_plan(answer), file=out)
+    print("", file=out)
+    print("-- result database DDL", file=out)
+    print(answer_ddl(answer), file=out)
+    print("", file=out)
+    print("-- retrieval queries", file=out)
+    for query in emitted_queries(answer):
+        print(query + ";", file=out)
+    return 0
+
+
+def _cmd_estimate(args, out) -> int:
+    from .core import estimate_cardinalities, suggest_cardinality
+
+    engine = _load_engine(args.directory)
+    schema, matches, __ = engine.plan(args.query, _degree(args))
+    if schema.is_empty():
+        print(f"no match for {args.query!r}", file=out)
+        return 1
+    seed_counts: dict[str, int] = {}
+    for match in matches:
+        for occ in match.occurrences:
+            seed_counts[occ.relation] = seed_counts.get(occ.relation, 0) + len(
+                occ.tids
+            )
+    estimated = estimate_cardinalities(engine.db, schema, seed_counts)
+    print("estimated answer size (unconstrained):", file=out)
+    for relation, expected in estimated.items():
+        print(f"  {relation}: ~{expected:.1f} tuple(s)", file=out)
+    print(f"  total: ~{sum(estimated.values()):.1f}", file=out)
+    if args.target_total is not None:
+        constraint = suggest_cardinality(
+            engine.db, schema, seed_counts, args.target_total
+        )
+        print(
+            f"suggested constraint for <= {args.target_total} tuples: "
+            f"--per-relation {constraint.c0}",
+            file=out,
+        )
+    return 0
+
+
+_COMMANDS = {
+    "init-demo": _cmd_init_demo,
+    "schema": _cmd_schema,
+    "query": _cmd_query,
+    "explain": _cmd_explain,
+    "estimate": _cmd_estimate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Diffing two précis answers.
+
+The exploration story (§3.1) is about the *same* query under different
+weights, constraints or profiles; the natural follow-up question is
+"what exactly changed?". :func:`diff_answers` computes a structured
+delta: relations and attributes that appeared/disappeared, and the
+per-relation tuple delta (matched by visible-value tuples, since answer
+tids are not comparable across runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .answer import PrecisAnswer
+
+__all__ = ["AnswerDiff", "diff_answers"]
+
+
+@dataclass
+class AnswerDiff:
+    """Structured delta from answer *a* to answer *b*."""
+
+    relations_added: tuple[str, ...] = ()
+    relations_removed: tuple[str, ...] = ()
+    attributes_added: tuple[tuple[str, str], ...] = ()
+    attributes_removed: tuple[tuple[str, str], ...] = ()
+    #: relation -> (tuples only in b, tuples only in a), as value dicts
+    tuples_added: dict[str, list[dict]] = field(default_factory=dict)
+    tuples_removed: dict[str, list[dict]] = field(default_factory=dict)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.relations_added
+            or self.relations_removed
+            or self.attributes_added
+            or self.attributes_removed
+            or any(self.tuples_added.values())
+            or any(self.tuples_removed.values())
+        )
+
+    def summary(self) -> str:
+        """One-paragraph human-readable description."""
+        if self.is_empty:
+            return "answers are identical"
+        parts = []
+        if self.relations_added:
+            parts.append(f"+relations: {', '.join(self.relations_added)}")
+        if self.relations_removed:
+            parts.append(f"-relations: {', '.join(self.relations_removed)}")
+        if self.attributes_added:
+            names = ", ".join(f"{r}.{a}" for r, a in self.attributes_added)
+            parts.append(f"+attributes: {names}")
+        if self.attributes_removed:
+            names = ", ".join(f"{r}.{a}" for r, a in self.attributes_removed)
+            parts.append(f"-attributes: {names}")
+        added = sum(len(v) for v in self.tuples_added.values())
+        removed = sum(len(v) for v in self.tuples_removed.values())
+        if added:
+            parts.append(f"+{added} tuple(s)")
+        if removed:
+            parts.append(f"-{removed} tuple(s)")
+        return "; ".join(parts)
+
+
+def _visible_tuples(answer: PrecisAnswer, relation: str) -> list[dict]:
+    return answer.rows_of(relation)
+
+
+def _freeze(record: dict) -> tuple:
+    return tuple(sorted(record.items(), key=lambda kv: kv[0]))
+
+
+def diff_answers(a: PrecisAnswer, b: PrecisAnswer) -> AnswerDiff:
+    """Delta from *a* to *b* over visible content.
+
+    Tuples are compared on the attributes visible in *both* answers so
+    that an attribute-set change doesn't spuriously mark every tuple as
+    new.
+    """
+    rel_a = set(a.result_schema.relations)
+    rel_b = set(b.result_schema.relations)
+    attrs_a = a.result_schema.projected_attributes
+    attrs_b = b.result_schema.projected_attributes
+
+    diff = AnswerDiff(
+        relations_added=tuple(sorted(rel_b - rel_a)),
+        relations_removed=tuple(sorted(rel_a - rel_b)),
+        attributes_added=tuple(sorted(attrs_b - attrs_a)),
+        attributes_removed=tuple(sorted(attrs_a - attrs_b)),
+    )
+
+    for relation in sorted(rel_a & rel_b):
+        shared = [
+            attr
+            for attr in a.result_schema.attributes_of(relation)
+            if (relation, attr) in attrs_b
+        ]
+        if not shared:
+            continue
+
+        def project(rows):
+            return {
+                _freeze({k: row[k] for k in shared}) for row in rows
+            }
+
+        set_a = project(_visible_tuples(a, relation))
+        set_b = project(_visible_tuples(b, relation))
+        only_b = sorted(set_b - set_a)
+        only_a = sorted(set_a - set_b)
+        if only_b:
+            diff.tuples_added[relation] = [dict(t) for t in only_b]
+        if only_a:
+            diff.tuples_removed[relation] = [dict(t) for t in only_a]
+    for relation in diff.relations_added:
+        rows = _visible_tuples(b, relation)
+        if rows:
+            diff.tuples_added[relation] = rows
+    for relation in diff.relations_removed:
+        rows = _visible_tuples(a, relation)
+        if rows:
+            diff.tuples_removed[relation] = rows
+    return diff

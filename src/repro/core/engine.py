@@ -1,0 +1,340 @@
+"""The précis engine — the system architecture of paper §4, Figure 2.
+
+Wires the four components together::
+
+    Q ──> Inverted Index ──> Result Schema Generator
+              │                      │ (degree constraint d)
+              │ k_i -> {(R,A,Tids)}  v
+              └────────────> Result Database Generator ──> Translator
+                                     (cardinality constraint c)
+
+:class:`PrecisEngine` owns the source database, the weighted schema
+graph, the inverted index and (optionally) a translator and a profile
+registry; :meth:`PrecisEngine.ask` runs one query end to end and returns
+a :class:`~repro.core.answer.PrecisAnswer`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..graph.schema_graph import SchemaGraph, graph_from_schema
+from ..personalization.profile import Profile, ProfileRegistry
+from ..relational.database import Database
+from ..text.inverted_index import InvertedIndex, build_index
+from ..text.matching import SynonymMap, TokenMatch, match_tokens
+from .answer import PrecisAnswer
+from .constraints import (
+    CardinalityConstraint,
+    DegreeConstraint,
+    Unlimited,
+    WeightThreshold,
+)
+from .database_generator import STRATEGY_AUTO, generate_result_database
+from .query import PrecisQuery
+from .result_schema import ResultSchema
+from .schema_generator import generate_result_schema
+
+__all__ = ["PrecisEngine"]
+
+
+class PrecisEngine:
+    """End-to-end précis query answering over one source database."""
+
+    def __init__(
+        self,
+        db: Database,
+        graph: Optional[SchemaGraph] = None,
+        index: Optional[InvertedIndex] = None,
+        synonyms: Optional[SynonymMap] = None,
+        translator=None,
+        default_degree: Optional[DegreeConstraint] = None,
+        default_cardinality: Optional[CardinalityConstraint] = None,
+        cache_plans: bool = False,
+        drop_stopwords: bool = False,
+    ):
+        """Build an engine.
+
+        Parameters
+        ----------
+        db:
+            The source database ``D``.
+        graph:
+            The weighted schema graph ``G``; derived from the database's
+            foreign keys (at uniform default weights) when omitted.
+        index:
+            A pre-built inverted index; built over all TEXT columns when
+            omitted.
+        synonyms:
+            Optional query-token canonicalization map.
+        translator:
+            An object with ``translate(answer) -> str`` (see
+            :class:`repro.nlg.translator.Translator`); when present,
+            answers carry a natural-language narrative.
+        default_degree / default_cardinality:
+            Constraints used when a query supplies none. The engine
+            default is the paper's running-example degree (projection
+            weight ≥ 0.9) and no cardinality bound.
+        cache_plans:
+            Memoize result schemas keyed by (token relations, degree
+            constraint) for queries over the engine's *base* graph
+            (profile- or weight-overridden runs bypass the cache).
+            Schema generation is cheap (Figure 7) but repeated queries
+            over big graphs still benefit; the cache is never coherent
+            with graph mutation, so mutate via ``with_weights`` copies.
+        drop_stopwords:
+            Ignore bare single-word stopword tokens ("the", "of") in
+            free-form queries. Quoted phrase tokens keep their
+            stopwords — ``"Gone with the Wind"`` still phrase-matches.
+        """
+        self.db = db
+        self.graph = graph if graph is not None else graph_from_schema(db.schema)
+        self.index = index if index is not None else build_index(db)
+        self.synonyms = synonyms
+        self.translator = translator
+        self.default_degree = (
+            default_degree if default_degree is not None else WeightThreshold(0.9)
+        )
+        self.default_cardinality = (
+            default_cardinality if default_cardinality is not None else Unlimited()
+        )
+        self.drop_stopwords = drop_stopwords
+        self.profiles = ProfileRegistry()
+        self._plan_cache: Optional[dict[tuple, ResultSchema]] = (
+            {} if cache_plans else None
+        )
+
+    # --------------------------------------------------------------- profiles
+
+    def register_profile(self, profile: Profile) -> None:
+        self.profiles.register(profile)
+
+    def _resolve_profile(
+        self, profile: Optional[Profile | str]
+    ) -> Optional[Profile]:
+        if profile is None:
+            return None
+        if isinstance(profile, str):
+            return self.profiles.get(profile)
+        return profile
+
+    # --------------------------------------------------------------- asking
+
+    def match(self, query: PrecisQuery) -> list[TokenMatch]:
+        """Step 1: resolve query tokens through the inverted index."""
+        tokens = query.tokens
+        if self.drop_stopwords:
+            from ..text.stopwords import is_stopword
+
+            tokens = tuple(
+                token
+                for token in tokens
+                if len(token) > 1 or not is_stopword(token[0])
+            )
+        return match_tokens(self.index, tokens, self.synonyms)
+
+    def plan(
+        self,
+        query: PrecisQuery | str,
+        degree: Optional[DegreeConstraint] = None,
+        profile: Optional[Profile | str] = None,
+        weights: Optional[dict[tuple, float]] = None,
+    ) -> tuple[ResultSchema, list[TokenMatch], SchemaGraph]:
+        """Steps 1–2: match tokens and generate the result schema only.
+
+        *weights* are query-time edge-weight overrides (§3.1: "weights
+        may be set by the user at query time using an appropriate user
+        interface"), applied on top of any profile. Keys are schema-graph
+        edge keys: ``("proj", rel, attr)`` / ``("join", src, dst)``.
+        """
+        if isinstance(query, str):
+            query = PrecisQuery.parse(query)
+        resolved = self._resolve_profile(profile)
+        graph = resolved.personalize(self.graph) if resolved else self.graph
+        if weights:
+            graph = graph.with_weights(weights)
+        degree = degree or (resolved.degree if resolved else None) or self.default_degree
+
+        matches = self.match(query)
+        token_relations = []
+        for match in matches:
+            for occurrence in match.occurrences:
+                if occurrence.relation not in token_relations:
+                    token_relations.append(occurrence.relation)
+
+        cacheable = (
+            self._plan_cache is not None
+            and graph is self.graph  # base graph only
+        )
+        if cacheable:
+            try:
+                key = (tuple(token_relations), degree)
+                hash(key)
+            except TypeError:
+                cacheable = False
+        if cacheable and key in self._plan_cache:  # type: ignore[index]
+            return self._plan_cache[key], matches, graph  # type: ignore[index]
+        schema = generate_result_schema(graph, token_relations, degree)
+        if cacheable:
+            self._plan_cache[key] = schema  # type: ignore[index]
+        return schema, matches, graph
+
+    def ask(
+        self,
+        query: PrecisQuery | str,
+        degree: Optional[DegreeConstraint] = None,
+        cardinality: Optional[CardinalityConstraint] = None,
+        strategy: str = STRATEGY_AUTO,
+        profile: Optional[Profile | str] = None,
+        translate: bool = True,
+        weights: Optional[dict[tuple, float]] = None,
+        tuple_weigher=None,
+        path_scoped: bool = False,
+    ) -> PrecisAnswer:
+        """Answer a précis query end to end.
+
+        *weights* are query-time edge-weight overrides (see
+        :meth:`plan`); *tuple_weigher* is an optional
+        :class:`~repro.core.value_weights.TupleWeigher` steering which
+        tuples survive the cardinality budget (the §7 value-weight
+        extension).
+        """
+        if isinstance(query, str):
+            query = PrecisQuery.parse(query)
+        resolved = self._resolve_profile(profile)
+        cardinality = (
+            cardinality
+            or (resolved.cardinality if resolved else None)
+            or self.default_cardinality
+        )
+
+        schema, matches, __ = self.plan(query, degree, resolved, weights)
+
+        seed_tids: dict[str, set[int]] = {}
+        for match in matches:
+            for occurrence in match.occurrences:
+                seed_tids.setdefault(occurrence.relation, set()).update(
+                    occurrence.tids
+                )
+
+        with self.db.meter.measure() as measured:
+            database, report = generate_result_database(
+                self.db,
+                schema,
+                seed_tids,
+                cardinality,
+                strategy,
+                tuple_weigher=tuple_weigher,
+                path_scoped=path_scoped,
+            )
+
+        answer = PrecisAnswer(
+            query=query,
+            result_schema=schema,
+            database=database,
+            report=report,
+            matches=matches,
+            cost=measured.delta,
+        )
+        if translate and self.translator is not None and answer.found:
+            answer.narrative = self.translator.translate(answer)
+        return answer
+
+    def ask_per_occurrence(
+        self,
+        query: PrecisQuery | str,
+        degree: Optional[DegreeConstraint] = None,
+        cardinality: Optional[CardinalityConstraint] = None,
+        strategy: str = STRATEGY_AUTO,
+        profile: Optional[Profile | str] = None,
+        translate: bool = True,
+        rank: bool = False,
+    ) -> list[PrecisAnswer]:
+        """One answer per distinct token occurrence — the §5.1 homonym
+
+        policy: "in the absence of any additional knowledge stored in
+        the system, we may return multiple answers, one for each
+        homonym". Each occurrence (a (relation, attribute) pair where a
+        token was found) gets its own result schema rooted at that
+        relation only, its own result database seeded by that
+        occurrence's tuples only, and its own narrative.
+
+        For a query whose tokens each match one place, this returns a
+        single answer equivalent to :meth:`ask`. With ``rank=True`` the
+        answers come sorted by decreasing
+        :meth:`~repro.core.answer.PrecisAnswer.relevance`.
+        """
+        if isinstance(query, str):
+            query = PrecisQuery.parse(query)
+        resolved = self._resolve_profile(profile)
+        graph = resolved.personalize(self.graph) if resolved else self.graph
+        degree = (
+            degree
+            or (resolved.degree if resolved else None)
+            or self.default_degree
+        )
+        cardinality = (
+            cardinality
+            or (resolved.cardinality if resolved else None)
+            or self.default_cardinality
+        )
+
+        answers: list[PrecisAnswer] = []
+        for match in self.match(query):
+            for occurrence in match.occurrences:
+                schema = generate_result_schema(
+                    graph, [occurrence.relation], degree
+                )
+                seeds = {occurrence.relation: set(occurrence.tids)}
+                with self.db.meter.measure() as measured:
+                    database, report = generate_result_database(
+                        self.db, schema, seeds, cardinality, strategy
+                    )
+                answer = PrecisAnswer(
+                    query=query,
+                    result_schema=schema,
+                    database=database,
+                    report=report,
+                    matches=[TokenMatch(match.token, (occurrence,))],
+                    cost=measured.delta,
+                )
+                if translate and self.translator is not None:
+                    answer.narrative = self.translator.translate(answer)
+                answers.append(answer)
+        if rank:
+            answers.sort(key=lambda a: -a.relevance())
+        return answers
+
+    def disambiguate(
+        self, query: PrecisQuery | str, samples: int = 3
+    ) -> list[dict]:
+        """Describe each token occurrence so a UI can ask the user which
+
+        entity they meant — §5.1's alternative to returning one answer
+        per homonym ("obtain additional information through interaction
+        with the user"). Each option carries the token, its location,
+        the number of matching tuples and up to *samples* sample values
+        of the matched attribute; feed the chosen option's relation back
+        through :meth:`ask_per_occurrence` (or filter its output).
+        """
+        if isinstance(query, str):
+            query = PrecisQuery.parse(query)
+        options: list[dict] = []
+        for match in self.match(query):
+            for occurrence in match.occurrences:
+                relation = self.db.relation(occurrence.relation)
+                values = []
+                for tid in sorted(occurrence.tids)[:samples]:
+                    value = relation.fetch(tid, [occurrence.attribute])[0]
+                    if value is not None:
+                        values.append(str(value))
+                options.append(
+                    {
+                        "token": match.token,
+                        "relation": occurrence.relation,
+                        "attribute": occurrence.attribute,
+                        "matches": len(occurrence.tids),
+                        "samples": values,
+                    }
+                )
+        return options

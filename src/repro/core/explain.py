@@ -1,0 +1,120 @@
+"""Explain facilities: the SQL the generators conceptually submit.
+
+The paper describes every step of the Result Database Generator as an
+SQL query sent to the DBMS ("the creation of the result database is
+performed by submitting to the database a series of selection queries
+without joins", §5.2/§6). This module reconstructs that query script
+from a :class:`~repro.core.answer.PrecisAnswer` — useful for debugging,
+for teaching, and for porting the answer onto a real SQL engine — plus
+a human-readable execution plan.
+"""
+
+from __future__ import annotations
+
+from ..core.answer import PrecisAnswer
+from ..core.database_generator import (
+    STRATEGY_ROUND_ROBIN,
+    GeneratorReport,
+)
+from ..core.result_schema import ResultSchema
+from ..relational.ddl import create_schema_sql
+
+__all__ = ["emitted_queries", "render_plan", "answer_ddl"]
+
+
+def _projection_list(schema: ResultSchema, relation: str) -> str:
+    attrs = schema.retrieval_attributes(relation)
+    return ", ".join(attrs) if attrs else "*"
+
+
+def emitted_queries(answer: PrecisAnswer) -> list[str]:
+    """The SQL script equivalent to the generator run, in execution
+
+    order: one tid-list selection per seeded relation (the paper's
+    ``σ_Tids(R)[π(R)]``; rendered with a ROWID placeholder), then one
+    IN-list selection per executed join edge (``σ_Ids(Rj)[π(Rj)]``) —
+    RoundRobin edges render as one parameterized query *per driving
+    tuple*, which is exactly why Figure 9 finds them slower."""
+    schema = answer.result_schema
+    report = answer.report
+    queries: list[str] = []
+    for relation, count in report.seed_counts.items():
+        queries.append(
+            f"SELECT {_projection_list(schema, relation)} "
+            f"FROM {relation} WHERE ROWID IN (/* {count} matching "
+            f"tuple ids from the inverted index */)"
+        )
+    for execution in report.executions:
+        edge = execution.edge
+        projection = _projection_list(schema, edge.target)
+        if execution.strategy == STRATEGY_ROUND_ROBIN:
+            queries.append(
+                f"-- round-robin: one scan per driving tuple "
+                f"({execution.driving_values} scans)\n"
+                f"SELECT {projection} FROM {edge.target} "
+                f"WHERE {edge.target_attribute} = ?"
+            )
+        else:
+            queries.append(
+                f"SELECT {projection} FROM {edge.target} "
+                f"WHERE {edge.target_attribute} IN "
+                f"(/* {execution.driving_values} values of "
+                f"{edge.source}.{edge.source_attribute} */)"
+            )
+    return queries
+
+
+def render_plan(answer: PrecisAnswer) -> str:
+    """A multi-line, human-readable account of what the generators did."""
+    schema = answer.result_schema
+    report: GeneratorReport = answer.report
+    lines = [f"précis plan for {answer.query.text!r}"]
+    lines.append("tokens:")
+    for match in answer.matches:
+        if match.found:
+            places = ", ".join(
+                f"{occ.relation}.{occ.attribute} ({len(occ.tids)} tuples)"
+                for occ in match.occurrences
+            )
+            lines.append(f"  {match.token!r} -> {places}")
+        else:
+            lines.append(f"  {match.token!r} -> NOT FOUND")
+    lines.append("result schema:")
+    for relation in schema.relations:
+        visible = ", ".join(schema.attributes_of(relation)) or "(join-only)"
+        lines.append(
+            f"  {relation}[{visible}] in-degree={schema.in_degree(relation)}"
+        )
+    lines.append("execution:")
+    for relation, count in report.seed_counts.items():
+        lines.append(f"  seed {relation}: {count} tuple(s)")
+    for execution in report.executions:
+        edge = execution.edge
+        lines.append(
+            f"  join {edge.source}.{edge.source_attribute} → "
+            f"{edge.target}.{edge.target_attribute} "
+            f"(w={edge.weight:g}, {execution.strategy}): "
+            f"{execution.driving_values} driving value(s), "
+            f"{execution.tuples_new} new tuple(s)"
+        )
+    for edge in report.skipped_edges:
+        lines.append(
+            f"  skip {edge.source} → {edge.target} "
+            f"(empty driving set or no budget)"
+        )
+    if report.stopped_by_cardinality:
+        lines.append("  stopped: cardinality constraint exhausted")
+    lines.append(
+        f"answer: {answer.total_tuples()} tuples in "
+        f"{len(schema.relations)} relations; retrieval cost "
+        f"{answer.cost.tuple_reads} tuple reads + "
+        f"{answer.cost.index_lookups} index probes"
+    )
+    return "\n".join(lines)
+
+
+def answer_ddl(answer: PrecisAnswer) -> str:
+    """``CREATE TABLE`` script for the answer's own schema — the "whole
+
+    new database with its own schema and constraints" made explicit."""
+    return create_schema_sql(answer.database.schema)

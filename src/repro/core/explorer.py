@@ -1,0 +1,128 @@
+"""Interactive database exploration (paper §3.1).
+
+    "Changing weights associated with the underlying database results in
+    a different set of queries executed … and essentially affects the
+    part of the database explored. The user may explore different
+    regions of the database starting, for example, from those containing
+    objects closely related to the topic of a query and progressively
+    expanding to parts of the database containing objects more loosely
+    related to it."
+
+:class:`Explorer` packages that interaction: it holds a query and a
+movable weight threshold; :meth:`expand` lowers the threshold to the
+next value at which the result schema actually grows (no dead steps),
+:meth:`narrow` raises it back, and :meth:`frontier` previews which
+relations the next expansion would add.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .answer import PrecisAnswer
+from .constraints import CardinalityConstraint, WeightThreshold
+from .engine import PrecisEngine
+from .query import PrecisQuery
+
+__all__ = ["Explorer"]
+
+
+class Explorer:
+    """Stateful, stepwise exploration around one précis query."""
+
+    def __init__(
+        self,
+        engine: PrecisEngine,
+        query: PrecisQuery | str,
+        start_threshold: float = 1.0,
+        cardinality: Optional[CardinalityConstraint] = None,
+    ):
+        self.engine = engine
+        self.query = (
+            PrecisQuery.parse(query) if isinstance(query, str) else query
+        )
+        self.cardinality = cardinality
+        self._threshold = start_threshold
+        self._history: list[float] = []
+
+    # ----------------------------------------------------------------- state
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold
+
+    def current(self) -> PrecisAnswer:
+        """The answer at the current threshold."""
+        return self.engine.ask(
+            self.query,
+            degree=WeightThreshold(self._threshold),
+            cardinality=self.cardinality,
+        )
+
+    def _path_weights(self) -> list[float]:
+        """Distinct admissible projection-path weights, descending —
+
+        the thresholds at which the result schema changes."""
+        schema, __, ___ = self.engine.plan(
+            self.query, degree=WeightThreshold(0.0)
+        )
+        # exact float weights: rounding here would produce thresholds
+        # that sit marginally above the very paths that define them
+        weights = sorted(
+            {path.weight for path in schema.projection_paths}, reverse=True
+        )
+        return weights
+
+    # ----------------------------------------------------------------- moves
+
+    def expand(self) -> PrecisAnswer:
+        """Lower the threshold to the next weight level that admits at
+
+        least one new projection path; returns the new answer. At the
+        bottom of the ladder the threshold (and answer) stop changing.
+        """
+        for weight in self._path_weights():
+            if weight < self._threshold:
+                self._history.append(self._threshold)
+                self._threshold = weight
+                break
+        return self.current()
+
+    def narrow(self) -> PrecisAnswer:
+        """Undo the last :meth:`expand`; at the top, stays put."""
+        if self._history:
+            self._threshold = self._history.pop()
+        return self.current()
+
+    def frontier(self) -> tuple[float, tuple[str, ...]]:
+        """(next threshold, relations the next expansion would add).
+
+        Returns ``(threshold, ())`` when the next step adds attributes
+        but no new relation, and ``(current, ())`` when fully expanded.
+        """
+        next_weight = next(
+            (
+                weight
+                for weight in self._path_weights()
+                if weight < self._threshold
+            ),
+            None,
+        )
+        if next_weight is None:
+            return self._threshold, ()
+        now, __, ___ = self.engine.plan(
+            self.query, degree=WeightThreshold(self._threshold)
+        )
+        then, __, ___ = self.engine.plan(
+            self.query, degree=WeightThreshold(next_weight)
+        )
+        added = tuple(
+            relation
+            for relation in then.relations
+            if relation not in now.relations
+        )
+        return next_weight, added
+
+    def reachable_levels(self) -> list[float]:
+        """All thresholds at which the answer changes (descending)."""
+        return self._path_weights()

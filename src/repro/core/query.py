@@ -1,0 +1,58 @@
+"""Précis query objects (paper §3.3).
+
+A précis query is "a set of tokens Q = {k1, k2, …, km}" — free-form text
+with no schema knowledge required. Multi-word tokens are written in
+double quotes, matching how the paper treats ``Woody Allen`` as a single
+token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..text.tokenizer import query_tokens
+
+__all__ = ["PrecisQuery"]
+
+
+@dataclass(frozen=True)
+class PrecisQuery:
+    """An immutable, parsed précis query."""
+
+    text: str
+    #: each token is a tuple of normalized words; length > 1 = phrase
+    tokens: tuple[tuple[str, ...], ...]
+
+    @classmethod
+    def parse(cls, text: str) -> "PrecisQuery":
+        """Parse free-form query text.
+
+        >>> PrecisQuery.parse('"Woody Allen" comedy').tokens
+        (('woody', 'allen'), ('comedy',))
+        """
+        return cls(text=text, tokens=tuple(query_tokens(text)))
+
+    @classmethod
+    def from_tokens(cls, tokens: Sequence[str]) -> "PrecisQuery":
+        """Build a query from explicit token strings (each string is one
+
+        token; multi-word strings become phrase tokens)."""
+        # quote each token so multi-word tokens stay single phrases
+        parsed = tuple(
+            next(iter(query_tokens(f'"{token}"')), ()) for token in tokens
+        )
+        parsed = tuple(p for p in parsed if p)
+        text = " ".join(f'"{token}"' for token in tokens)
+        return cls(text=text, tokens=parsed)
+
+    @property
+    def token_strings(self) -> tuple[str, ...]:
+        """Tokens as plain strings (phrase words joined by spaces)."""
+        return tuple(" ".join(words) for words in self.tokens)
+
+    def is_empty(self) -> bool:
+        return not self.tokens
+
+    def __str__(self):
+        return self.text

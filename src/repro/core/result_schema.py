@@ -1,0 +1,141 @@
+"""The result schema ``D'`` — output of the Result Schema Generator (§5.1).
+
+A :class:`ResultSchema` is the sub-graph ``G'`` of the database schema
+graph: the relations holding query tokens, the relations transitively
+joining to them along admitted projection paths, the projected attributes,
+and the join edges connecting them. It also records, per relation, the
+**in-degree** used by the Result Database Generator to postpone joins
+departing from relations still awaiting arrivals (paper §5.1–5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..graph.paths import Path
+from ..graph.schema_graph import JoinEdge
+
+__all__ = ["ResultSchema"]
+
+
+@dataclass
+class ResultSchema:
+    """Sub-schema selected for a précis answer."""
+
+    #: relations in which query tokens were found (the traversal roots)
+    origin_relations: tuple[str, ...]
+    #: admitted projection paths, in admission (decreasing-weight) order
+    projection_paths: list[Path] = field(default_factory=list)
+
+    # ------------------------------------------------------------- building
+
+    def admit(self, path: Path) -> None:
+        if not path.is_projection_path:
+            raise ValueError("only projection paths enter the result schema")
+        self.projection_paths.append(path)
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def relations(self) -> tuple[str, ...]:
+        """Relations present in ``G'``, in first-appearance order."""
+        out: dict[str, None] = {}
+        for path in self.projection_paths:
+            for relation in path.relations():
+                out[relation] = None
+        return tuple(out)
+
+    def is_empty(self) -> bool:
+        return not self.projection_paths
+
+    def attributes_of(self, relation: str) -> tuple[str, ...]:
+        """Attributes of *relation* projected in the answer (visible to
+
+        the user), in admission order."""
+        out: dict[str, None] = {}
+        for path in self.projection_paths:
+            terminal = path.terminal_attribute
+            if terminal is not None and terminal[0] == relation:
+                out[terminal[1]] = None
+        return tuple(out)
+
+    @property
+    def projected_attributes(self) -> frozenset[tuple[str, str]]:
+        return frozenset(
+            path.terminal_attribute
+            for path in self.projection_paths
+            if path.terminal_attribute is not None
+        )
+
+    def join_edges(self) -> tuple[JoinEdge, ...]:
+        """Distinct join edges of ``G'``, in first-appearance order."""
+        out: dict[tuple, JoinEdge] = {}
+        for path in self.projection_paths:
+            for edge in path.joins:
+                out.setdefault(edge.key, edge)
+        return tuple(out.values())
+
+    def join_edges_into(self, relation: str) -> tuple[JoinEdge, ...]:
+        return tuple(e for e in self.join_edges() if e.target == relation)
+
+    def join_edges_from(self, relation: str) -> tuple[JoinEdge, ...]:
+        return tuple(e for e in self.join_edges() if e.source == relation)
+
+    def in_degree(self, relation: str) -> int:
+        """Number of ``G'`` join edges arriving at *relation*.
+
+        The paper marks each relation reached by paths from several input
+        relations and counts arrivals; the database generator decrements
+        this count as each arriving join executes and only lets joins
+        *depart* once it reaches zero.
+        """
+        return len(self.join_edges_into(relation))
+
+    def in_degrees(self) -> dict[str, int]:
+        return {relation: self.in_degree(relation) for relation in self.relations}
+
+    def retrieval_attributes(self, relation: str) -> tuple[str, ...]:
+        """Attributes that must be *retrieved* for a relation: the
+
+        projected (visible) ones plus any join attributes used by ``G'``
+        edges touching the relation. The paper notes these extra
+        attributes "will not show in the final answer, since they are not
+        included in the result schema" — they exist so subsequent joins
+        can be driven.
+        """
+        out: dict[str, None] = dict.fromkeys(self.attributes_of(relation))
+        for edge in self.join_edges():
+            if edge.source == relation:
+                out.setdefault(edge.source_attribute, None)
+            if edge.target == relation:
+                out.setdefault(edge.target_attribute, None)
+        return tuple(out)
+
+    def paths_from(self, origin: str) -> list[Path]:
+        return [p for p in self.projection_paths if p.origin == origin]
+
+    # ------------------------------------------------------------- display
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary (used by the examples)."""
+        lines = []
+        for relation in self.relations:
+            visible = ", ".join(self.attributes_of(relation)) or "—"
+            marker = "*" if relation in self.origin_relations else " "
+            lines.append(
+                f"{marker} {relation}({visible})  in-degree={self.in_degree(relation)}"
+            )
+        for edge in self.join_edges():
+            lines.append(
+                f"    {edge.source}.{edge.source_attribute} → "
+                f"{edge.target}.{edge.target_attribute}  w={edge.weight:g}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (
+            f"ResultSchema({len(self.relations)} relations, "
+            f"{len(self.projected_attributes)} attributes, "
+            f"{len(self.projection_paths)} paths)"
+        )

@@ -1,0 +1,144 @@
+"""The Result Schema Generator — Figure 3 of the paper.
+
+Best-first traversal of the weighted database schema graph:
+
+1. seed a priority queue ``QP`` with every edge attached to a relation
+   containing query tokens;
+2. repeatedly pop the highest-weight candidate path ``p`` (ties: shorter
+   first);
+3. check the degree constraint ``d(P_d ∪ {p})`` — on a *terminal*
+   failure stop; on a non-terminal failure (see
+   :mod:`repro.core.constraints`) skip;
+4. projection paths are admitted into ``G'``;
+5. join paths are expanded by every adjacent edge, in decreasing edge
+   weight so that the first failing extension prunes the rest.
+
+The output is a :class:`~repro.core.result_schema.ResultSchema`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Optional, Sequence
+
+from ..graph.paths import Path
+from ..graph.schema_graph import SchemaGraph
+from .constraints import CompositeDegree, DegreeConstraint, SchemaState
+from .result_schema import ResultSchema
+
+__all__ = ["generate_result_schema", "SchemaGeneratorStats"]
+
+
+class SchemaGeneratorStats:
+    """Counters describing one generator run (exposed for the benches)."""
+
+    def __init__(self):
+        self.paths_popped = 0
+        self.paths_pushed = 0
+        self.paths_admitted = 0
+        self.paths_pruned = 0
+
+    def __repr__(self):
+        return (
+            f"SchemaGeneratorStats(popped={self.paths_popped}, "
+            f"pushed={self.paths_pushed}, admitted={self.paths_admitted}, "
+            f"pruned={self.paths_pruned})"
+        )
+
+
+def _is_terminal_failure(
+    constraint: DegreeConstraint, state: SchemaState, candidate: Path
+) -> bool:
+    """Whether a rejection of *candidate* should stop the whole run."""
+    if constraint.terminal_on_failure:
+        return True
+    if isinstance(constraint, CompositeDegree):
+        return constraint.failing_terminal(state, candidate)
+    return False
+
+
+def generate_result_schema(
+    graph: SchemaGraph,
+    token_relations: Sequence[str],
+    degree: DegreeConstraint,
+    stats: Optional[SchemaGeneratorStats] = None,
+) -> ResultSchema:
+    """Run the Figure 3 algorithm.
+
+    Parameters
+    ----------
+    graph:
+        The weighted database schema graph ``G``.
+    token_relations:
+        Relations in which the query tokens were found (the inverted
+        index output). Order is irrelevant; duplicates are ignored.
+    degree:
+        The degree constraint ``d``.
+    stats:
+        Optional counter object to fill in.
+
+    Returns
+    -------
+    ResultSchema
+        The sub-schema ``G'`` with its admitted projection paths.
+    """
+    stats = stats if stats is not None else SchemaGeneratorStats()
+    origins = tuple(dict.fromkeys(token_relations))
+    for origin in origins:
+        if not graph.has_relation(origin):
+            raise ValueError(f"token relation {origin} not in schema graph")
+
+    result = ResultSchema(origin_relations=origins)
+    state = SchemaState()
+
+    # Step 1: QP <- every edge attached to a token relation.
+    heap: list[tuple[tuple, Path]] = []
+    counter = 0  # FIFO tiebreak for fully identical sort keys
+
+    def push(path: Path) -> None:
+        nonlocal counter
+        heapq.heappush(heap, ((*path.sort_key, counter), path))
+        counter += 1
+        stats.paths_pushed += 1
+
+    for origin in origins:
+        for edge in graph.edges_attached_to(origin):
+            push(Path.seed(edge))
+
+    # Step 2: best-first expansion.
+    while heap:
+        __, path = heapq.heappop(heap)
+        stats.paths_popped += 1
+
+        if not degree.admits(state, path):
+            if _is_terminal_failure(degree, state, path):
+                break
+            continue
+
+        if path.is_projection_path:
+            result.admit(path)
+            state.admit(path)
+            stats.paths_admitted += 1
+            continue
+
+        # Join path: expand by every adjacent edge, heaviest first, so
+        # the first inadmissible extension prunes the remainder (their
+        # weights are no larger). Extensions that merely cannot attach
+        # (cycle, wrong endpoint) are skipped without pruning.
+        terminal = path.terminal_relation
+        adjacent = sorted(
+            graph.edges_attached_to(terminal),
+            key=lambda e: -e.weight,
+        )
+        for edge in adjacent:
+            if not path.can_extend(edge):
+                continue
+            extended = path.extend(edge)
+            if not degree.admits(state, extended):
+                if _is_terminal_failure(degree, state, extended):
+                    stats.paths_pruned += 1
+                    break
+                continue
+            push(extended)
+
+    return result

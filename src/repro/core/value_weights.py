@@ -1,0 +1,139 @@
+"""Weights on data values — the paper's §7 future work, implemented.
+
+    "In ongoing work, we are investigating the possibility of having
+    weights on data values as well."
+
+Schema-graph weights decide *which relations and attributes* enter an
+answer; value weights decide *which tuples* survive a cardinality
+budget. A :class:`TupleWeigher` scores rows; when the Result Database
+Generator must truncate (seed selection, NaïveQ prefixes, RoundRobin
+scan order) it keeps the heaviest tuples instead of an arbitrary
+prefix. Scoring is over the *retrieved* projection of each row (the
+attributes in the result schema plus join plumbing).
+
+Built-in weighers:
+
+* :class:`AttributeValueWeights` — explicit per-value weights, e.g.
+  ``{"GENRE": {"Drama": 1.0, "Western": 0.1}}`` on ``GENRE.GENRE``;
+* :class:`NumericAttributeWeights` — monotone preference over a numeric
+  attribute (e.g. prefer recent ``MOVIE.YEAR``);
+* :class:`CallableWeigher` — escape hatch wrapping any function.
+
+Weighers compose with :class:`CombinedWeights` (sum of parts).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Optional
+
+from ..relational.row import Row
+
+__all__ = [
+    "TupleWeigher",
+    "AttributeValueWeights",
+    "NumericAttributeWeights",
+    "CallableWeigher",
+    "CombinedWeights",
+]
+
+
+class TupleWeigher:
+    """Base class: score one (projected) row of one relation.
+
+    Higher scores are kept first. The default implementation is
+    uniform (all rows weigh the same), which reproduces the paper's
+    arbitrary-prefix behaviour.
+    """
+
+    def weight(self, relation: str, row: Row) -> float:
+        return 0.0
+
+    def sort_key(self, relation: str):
+        """A deterministic descending-weight sort key (ties: tid order)."""
+
+        def key(row: Row):
+            return (-self.weight(relation, row), row.tid)
+
+        return key
+
+
+class AttributeValueWeights(TupleWeigher):
+    """Explicit weights for individual attribute values.
+
+    ``weights`` maps relation → attribute → value → weight; a row's
+    score is the sum over all configured attributes it carries.
+    Unlisted values score ``default``.
+    """
+
+    def __init__(
+        self,
+        weights: Mapping[str, Mapping[str, Mapping[Any, float]]],
+        default: float = 0.0,
+    ):
+        self._weights = {
+            relation: {attr: dict(values) for attr, values in attrs.items()}
+            for relation, attrs in weights.items()
+        }
+        self._default = default
+
+    def weight(self, relation: str, row: Row) -> float:
+        per_attr = self._weights.get(relation)
+        if not per_attr:
+            return self._default
+        total = 0.0
+        hit = False
+        for attribute, values in per_attr.items():
+            if attribute in row:
+                hit = True
+                total += values.get(row[attribute], self._default)
+        return total if hit else self._default
+
+
+class NumericAttributeWeights(TupleWeigher):
+    """Monotone preference over a numeric attribute.
+
+    ``NumericAttributeWeights("MOVIE", "YEAR")`` prefers larger years
+    (recency); pass ``descending=False`` to prefer smaller values.
+    NULLs and non-numeric values score ``-inf`` (kept last).
+    """
+
+    def __init__(self, relation: str, attribute: str, descending: bool = True):
+        self.relation = relation
+        self.attribute = attribute
+        self.descending = descending
+
+    def weight(self, relation: str, row: Row) -> float:
+        if relation != self.relation or self.attribute not in row:
+            return 0.0
+        value = row[self.attribute]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return float("-inf")
+        return float(value) if self.descending else -float(value)
+
+
+class CallableWeigher(TupleWeigher):
+    """Wrap any ``(relation, row) -> float`` function."""
+
+    def __init__(self, fn: Callable[[str, Row], float]):
+        self._fn = fn
+
+    def weight(self, relation: str, row: Row) -> float:
+        return self._fn(relation, row)
+
+
+class CombinedWeights(TupleWeigher):
+    """Sum of component weighers (optionally scaled)."""
+
+    def __init__(self, *parts: TupleWeigher, scales: Optional[list[float]] = None):
+        if not parts:
+            raise ValueError("CombinedWeights needs at least one part")
+        self._parts = parts
+        self._scales = scales or [1.0] * len(parts)
+        if len(self._scales) != len(parts):
+            raise ValueError("one scale per part required")
+
+    def weight(self, relation: str, row: Row) -> float:
+        return sum(
+            scale * part.weight(relation, row)
+            for part, scale in zip(self._parts, self._scales)
+        )

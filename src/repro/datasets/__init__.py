@@ -1,0 +1,37 @@
+"""Datasets: the paper's movies database, a university schema, and a
+
+digital-library schema (the paper's DELOS application context)."""
+
+from .library import (
+    generate_library_database,
+    library_graph,
+    library_schema,
+    library_translation_spec,
+)
+from .movies import (
+    generate_movies_database,
+    movies_graph,
+    movies_schema,
+    movies_translation_spec,
+    paper_instance,
+)
+from .university import (
+    generate_university_database,
+    university_graph,
+    university_schema,
+)
+
+__all__ = [
+    "movies_schema",
+    "movies_graph",
+    "paper_instance",
+    "movies_translation_spec",
+    "generate_movies_database",
+    "university_schema",
+    "university_graph",
+    "generate_university_database",
+    "library_schema",
+    "library_graph",
+    "library_translation_spec",
+    "generate_library_database",
+]

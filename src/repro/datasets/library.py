@@ -1,0 +1,311 @@
+"""A digital-library schema — the paper's own application context.
+
+The work was "partially supported … as part of the DELOS Network of
+Excellence on Digital Libraries", and §1 motivates précis queries with
+"libraries, museums, and other organizations publish[ing] their
+electronic contents on the Web". This dataset models that setting:
+
+    COLLECTION(cid, cname, curator)
+    ITEM(iid, title, year, medium, cid)
+    CREATOR(crid, name, nationality, born)
+    MADE_BY(iid, crid, role)
+    SUBJECT(iid, topic)
+    EXHIBITION(eid, ename, venue, opened)
+    SHOWN_AT(iid, eid)
+
+Structurally interesting vs the movies schema: two many-to-many bridges
+(MADE_BY, SHOWN_AT) and a one-to-many classification (SUBJECT), so the
+result-schema traversal exercises longer heading-less chains.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..graph.schema_graph import SchemaGraph
+from ..nlg.labels import TranslationSpec
+from ..relational.database import Database
+from ..relational.datatypes import DataType
+from ..relational.schema import (
+    Column,
+    DatabaseSchema,
+    ForeignKey,
+    RelationSchema,
+)
+
+__all__ = [
+    "library_schema",
+    "library_graph",
+    "library_translation_spec",
+    "generate_library_database",
+]
+
+
+def library_schema() -> DatabaseSchema:
+    text = DataType.TEXT
+    integer = DataType.INT
+    relations = [
+        RelationSchema(
+            "COLLECTION",
+            [
+                Column("CID", integer, nullable=False),
+                Column("CNAME", text),
+                Column("CURATOR", text),
+            ],
+            primary_key="CID",
+        ),
+        RelationSchema(
+            "ITEM",
+            [
+                Column("IID", integer, nullable=False),
+                Column("TITLE", text),
+                Column("YEAR", integer),
+                Column("MEDIUM", text),
+                Column("CID", integer),
+            ],
+            primary_key="IID",
+        ),
+        RelationSchema(
+            "CREATOR",
+            [
+                Column("CRID", integer, nullable=False),
+                Column("NAME", text),
+                Column("NATIONALITY", text),
+                Column("BORN", integer),
+            ],
+            primary_key="CRID",
+        ),
+        RelationSchema(
+            "MADE_BY",
+            [
+                Column("IID", integer, nullable=False),
+                Column("CRID", integer, nullable=False),
+                Column("ROLE", text),
+            ],
+            primary_key=("IID", "CRID"),
+        ),
+        RelationSchema(
+            "SUBJECT",
+            [
+                Column("IID", integer, nullable=False),
+                Column("TOPIC", text, nullable=False),
+            ],
+            primary_key=("IID", "TOPIC"),
+        ),
+        RelationSchema(
+            "EXHIBITION",
+            [
+                Column("EID", integer, nullable=False),
+                Column("ENAME", text),
+                Column("VENUE", text),
+                Column("OPENED", integer),
+            ],
+            primary_key="EID",
+        ),
+        RelationSchema(
+            "SHOWN_AT",
+            [
+                Column("IID", integer, nullable=False),
+                Column("EID", integer, nullable=False),
+            ],
+            primary_key=("IID", "EID"),
+        ),
+    ]
+    fks = [
+        ForeignKey("ITEM", "CID", "COLLECTION", "CID"),
+        ForeignKey("MADE_BY", "IID", "ITEM", "IID"),
+        ForeignKey("MADE_BY", "CRID", "CREATOR", "CRID"),
+        ForeignKey("SUBJECT", "IID", "ITEM", "IID"),
+        ForeignKey("SHOWN_AT", "IID", "ITEM", "IID"),
+        ForeignKey("SHOWN_AT", "EID", "EXHIBITION", "EID"),
+    ]
+    return DatabaseSchema(relations, fks)
+
+
+def library_graph() -> SchemaGraph:
+    """Designer weighting: items are central; creators bind strongly."""
+    graph = SchemaGraph()
+    projections = {
+        ("COLLECTION", "CID"): 0.1,
+        ("COLLECTION", "CNAME"): 1.0,
+        ("COLLECTION", "CURATOR"): 0.6,
+        ("ITEM", "IID"): 0.1,
+        ("ITEM", "TITLE"): 1.0,
+        ("ITEM", "YEAR"): 0.9,
+        ("ITEM", "MEDIUM"): 0.8,
+        ("ITEM", "CID"): 0.1,
+        ("CREATOR", "CRID"): 0.1,
+        ("CREATOR", "NAME"): 1.0,
+        ("CREATOR", "NATIONALITY"): 0.8,
+        ("CREATOR", "BORN"): 0.7,
+        ("MADE_BY", "IID"): 0.1,
+        ("MADE_BY", "CRID"): 0.1,
+        ("MADE_BY", "ROLE"): 0.4,
+        ("SUBJECT", "IID"): 0.1,
+        ("SUBJECT", "TOPIC"): 1.0,
+        ("EXHIBITION", "EID"): 0.1,
+        ("EXHIBITION", "ENAME"): 1.0,
+        ("EXHIBITION", "VENUE"): 0.8,
+        ("EXHIBITION", "OPENED"): 0.6,
+        ("SHOWN_AT", "IID"): 0.1,
+        ("SHOWN_AT", "EID"): 0.1,
+    }
+    joins = [
+        ("ITEM", "COLLECTION", "CID", "CID", 0.8),
+        ("COLLECTION", "ITEM", "CID", "CID", 0.9),
+        ("MADE_BY", "ITEM", "IID", "IID", 1.0),
+        ("ITEM", "MADE_BY", "IID", "IID", 1.0),
+        ("MADE_BY", "CREATOR", "CRID", "CRID", 1.0),
+        ("CREATOR", "MADE_BY", "CRID", "CRID", 1.0),
+        ("SUBJECT", "ITEM", "IID", "IID", 1.0),
+        ("ITEM", "SUBJECT", "IID", "IID", 0.9),
+        ("SHOWN_AT", "ITEM", "IID", "IID", 1.0),
+        ("ITEM", "SHOWN_AT", "IID", "IID", 0.7),
+        ("SHOWN_AT", "EXHIBITION", "EID", "EID", 1.0),
+        ("EXHIBITION", "SHOWN_AT", "EID", "EID", 0.9),
+    ]
+    schema = library_schema()
+    for rs in schema:
+        graph.add_relation(rs.name)
+        for col in rs.columns:
+            graph.add_attribute(
+                rs.name, col.name, projections[(rs.name, col.name)]
+            )
+    for source, target, src_attr, dst_attr, weight in joins:
+        graph.add_join(source, target, src_attr, dst_attr, weight)
+    return graph
+
+
+def library_translation_spec() -> TranslationSpec:
+    spec = TranslationSpec()
+    spec.set_heading("COLLECTION", "CNAME")
+    spec.set_heading("ITEM", "TITLE")
+    spec.set_heading("CREATOR", "NAME")
+    spec.set_heading("SUBJECT", "TOPIC")
+    spec.set_heading("EXHIBITION", "ENAME")
+
+    spec.label_projection("CREATOR", "NAME", "@NAME")
+    spec.label_projection("CREATOR", "NATIONALITY", '", "+@NATIONALITY')
+    spec.label_projection("CREATOR", "BORN", '", born "+@BORN+"."')
+    spec.label_projection("ITEM", "TITLE", "@TITLE")
+    spec.label_projection("ITEM", "YEAR", '" ("+@YEAR+")"')
+    spec.label_projection("ITEM", "MEDIUM", '", "+@MEDIUM+"."')
+
+    spec.define_macro(
+        "WORK_LIST",
+        '[i<ARITYOF(@TITLE)] {@TITLE[$i$]+" ("+@YEAR[$i$]+"), "}'
+        '[i=ARITYOF(@TITLE)] {@TITLE[$i$]+" ("+@YEAR[$i$]+")."}',
+    )
+    # CREATOR → MADE_BY carries no label (bridge without heading); the
+    # clause surfaces one hop out at MADE_BY → ITEM
+    spec.label_join(
+        "MADE_BY", "ITEM", '"Works by "+@NAME+" include "+@WORK_LIST'
+    )
+    spec.label_join(
+        "ITEM", "SUBJECT",
+        '@TITLE+" is catalogued under "'
+        '+[i<ARITYOF(@TOPIC)] {@TOPIC[$i$]+", "}'
+        '[i=ARITYOF(@TOPIC)] {@TOPIC[$i$]+"."}',
+    )
+    spec.label_join(
+        "SHOWN_AT", "EXHIBITION",
+        '@TITLE+" was shown at "+@ENAME+" ("+@VENUE+")."',
+    )
+    spec.label_join(
+        "ITEM", "COLLECTION",
+        '@TITLE+" belongs to the "+@CNAME+" collection."',
+    )
+    spec.label_join(
+        "COLLECTION", "ITEM",
+        '"The "+@CNAME+" collection holds "+@WORK_LIST',
+    )
+    return spec
+
+
+_MEDIA = ["oil on canvas", "bronze", "manuscript", "photograph", "etching"]
+_TOPICS = (
+    "mythology landscape portrait maritime astronomy botany warfare "
+    "architecture music daily-life"
+).split()
+_NATIONALITIES = ["Italian", "Dutch", "Greek", "French", "Japanese"]
+_VENUES = ["Main Gallery", "East Wing", "City Museum", "Harbour Hall"]
+_NAME_PARTS = (
+    "Adriana Benedetto Chiara Dimitri Elena Frans Giulia Hiroshi Irene "
+    "Jacopo Katerina Lorenzo".split(),
+    "Albani Bruegel Castellanos Doukas Esposito Fontana Grigoriou "
+    "Hokusai Iwasaki Jansen Kallergis Lombardi".split(),
+)
+
+
+def generate_library_database(
+    n_items: int = 150, seed: int = 0
+) -> Database:
+    """Deterministic synthetic library instance."""
+    rng = random.Random(seed)
+    n_collections = max(1, n_items // 25)
+    n_creators = max(2, n_items // 3)
+    n_exhibitions = max(1, n_items // 30)
+    collections = [
+        {
+            "CID": cid,
+            "CNAME": f"Collection {cid}",
+            "CURATOR": f"{rng.choice(_NAME_PARTS[0])} {rng.choice(_NAME_PARTS[1])}",
+        }
+        for cid in range(1, n_collections + 1)
+    ]
+    creators = [
+        {
+            "CRID": crid,
+            "NAME": f"{rng.choice(_NAME_PARTS[0])} {rng.choice(_NAME_PARTS[1])}",
+            "NATIONALITY": rng.choice(_NATIONALITIES),
+            "BORN": rng.randint(1500, 1950),
+        }
+        for crid in range(1, n_creators + 1)
+    ]
+    exhibitions = [
+        {
+            "EID": eid,
+            "ENAME": f"Exhibition {eid}",
+            "VENUE": rng.choice(_VENUES),
+            "OPENED": rng.randint(1990, 2005),
+        }
+        for eid in range(1, n_exhibitions + 1)
+    ]
+    items, made_by, subjects, shown_at = [], [], [], []
+    for iid in range(1, n_items + 1):
+        items.append(
+            {
+                "IID": iid,
+                "TITLE": f"{rng.choice(_TOPICS).title()} Study {iid}",
+                "YEAR": rng.randint(1500, 2005),
+                "MEDIUM": rng.choice(_MEDIA),
+                "CID": rng.randint(1, n_collections),
+            }
+        )
+        for crid in rng.sample(
+            range(1, n_creators + 1), rng.randint(1, 2)
+        ):
+            made_by.append(
+                {"IID": iid, "CRID": crid, "ROLE": rng.choice(
+                    ["artist", "workshop", "attributed"]
+                )}
+            )
+        for topic in rng.sample(_TOPICS, rng.randint(1, 3)):
+            subjects.append({"IID": iid, "TOPIC": topic})
+        for eid in rng.sample(
+            range(1, n_exhibitions + 1),
+            min(n_exhibitions, rng.randint(0, 2)),
+        ):
+            shown_at.append({"IID": iid, "EID": eid})
+    return Database.from_rows(
+        library_schema(),
+        {
+            "COLLECTION": collections,
+            "CREATOR": creators,
+            "EXHIBITION": exhibitions,
+            "ITEM": items,
+            "MADE_BY": made_by,
+            "SUBJECT": subjects,
+            "SHOWN_AT": shown_at,
+        },
+    )

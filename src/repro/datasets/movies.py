@@ -1,0 +1,493 @@
+"""The paper's movies database (Figure 1) and its running example.
+
+Provides four things:
+
+* :func:`movies_schema` — the seven-relation schema of Example 1::
+
+      THEATRE(tid, name, phone, region)     PLAY(tid, mid, date)
+      MOVIE(mid, title, year, did)          GENRE(mid, genre)
+      CAST(mid, aid, role)                  ACTOR(aid, aname, blocation, bdate)
+      DIRECTOR(did, dname, blocation, bdate)
+
+* :func:`movies_graph` — the weighted schema graph of Figure 1. The
+  published figure is only partially legible, so weights are
+  *reconstructed* to satisfy every constraint the text states: heading
+  attributes weigh 1; GENRE→MOVIE = 1 vs MOVIE→GENRE = 0.9; the
+  projection of PHONE over THEATRE weighs 0.8 and over MOVIE
+  0.7·1·0.8 = 0.56; and — decisive — the query Q = {"Woody Allen"} with
+  degree constraint *weight ≥ 0.9* must yield exactly the Figure 4
+  result schema (DIRECTOR{dname, bdate, blocation}, ACTOR{aname},
+  CAST{}, MOVIE{title, year}, GENRE{genre}, with MOVIE at in-degree 2).
+
+* :func:`paper_instance` — the micro-database of Figure 6 / §5.3
+  (Woody Allen as director and actor, five movies, genres), enough to
+  regenerate the paper's narrative verbatim.
+
+* :func:`movies_translation_spec` — heading attributes and template
+  labels reproducing the §5.3 translation, including the MOVIE_LIST
+  macro.
+
+* :func:`generate_movies_database` — a deterministic synthetic IMDB-like
+  generator used by the §6 experiments (the paper used an IMDB dump;
+  the substitution is documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..graph.schema_graph import SchemaGraph
+from ..nlg.labels import TranslationSpec
+from ..relational.database import Database
+from ..relational.datatypes import DataType
+from ..relational.schema import (
+    Column,
+    DatabaseSchema,
+    ForeignKey,
+    RelationSchema,
+)
+
+__all__ = [
+    "movies_schema",
+    "movies_graph",
+    "paper_instance",
+    "movies_translation_spec",
+    "generate_movies_database",
+]
+
+
+def movies_schema() -> DatabaseSchema:
+    """The Example 1 schema; primary keys per the paper (underlined)."""
+    text = DataType.TEXT
+    integer = DataType.INT
+    relations = [
+        RelationSchema(
+            "THEATRE",
+            [
+                Column("TID", integer, nullable=False),
+                Column("NAME", text),
+                Column("PHONE", text),
+                Column("REGION", text),
+            ],
+            primary_key="TID",
+        ),
+        RelationSchema(
+            "PLAY",
+            [
+                Column("TID", integer, nullable=False),
+                Column("MID", integer, nullable=False),
+                Column("DATE", text),
+            ],
+            primary_key=("TID", "MID", "DATE"),
+        ),
+        RelationSchema(
+            "MOVIE",
+            [
+                Column("MID", integer, nullable=False),
+                Column("TITLE", text),
+                Column("YEAR", integer),
+                Column("DID", integer),
+            ],
+            primary_key="MID",
+        ),
+        RelationSchema(
+            "GENRE",
+            [
+                Column("MID", integer, nullable=False),
+                Column("GENRE", text, nullable=False),
+            ],
+            primary_key=("MID", "GENRE"),
+        ),
+        RelationSchema(
+            "CAST",
+            [
+                Column("MID", integer, nullable=False),
+                Column("AID", integer, nullable=False),
+                Column("ROLE", text),
+            ],
+            primary_key=("MID", "AID"),
+        ),
+        RelationSchema(
+            "ACTOR",
+            [
+                Column("AID", integer, nullable=False),
+                Column("ANAME", text),
+                Column("BLOCATION", text),
+                Column("BDATE", text),
+            ],
+            primary_key="AID",
+        ),
+        RelationSchema(
+            "DIRECTOR",
+            [
+                Column("DID", integer, nullable=False),
+                Column("DNAME", text),
+                Column("BLOCATION", text),
+                Column("BDATE", text),
+            ],
+            primary_key="DID",
+        ),
+    ]
+    fks = [
+        ForeignKey("PLAY", "TID", "THEATRE", "TID"),
+        ForeignKey("PLAY", "MID", "MOVIE", "MID"),
+        ForeignKey("GENRE", "MID", "MOVIE", "MID"),
+        ForeignKey("CAST", "MID", "MOVIE", "MID"),
+        ForeignKey("CAST", "AID", "ACTOR", "AID"),
+        ForeignKey("MOVIE", "DID", "DIRECTOR", "DID"),
+    ]
+    return DatabaseSchema(relations, fks)
+
+
+#: (relation, attribute) -> projection weight; heading attributes are 1.
+_PROJECTION_WEIGHTS = {
+    ("THEATRE", "TID"): 0.2,
+    ("THEATRE", "NAME"): 1.0,
+    ("THEATRE", "PHONE"): 0.8,
+    ("THEATRE", "REGION"): 0.7,
+    ("PLAY", "TID"): 0.2,
+    ("PLAY", "MID"): 0.2,
+    ("PLAY", "DATE"): 0.6,
+    ("MOVIE", "MID"): 0.2,
+    ("MOVIE", "TITLE"): 1.0,
+    ("MOVIE", "YEAR"): 0.9,
+    ("MOVIE", "DID"): 0.2,
+    ("GENRE", "MID"): 0.2,
+    ("GENRE", "GENRE"): 1.0,
+    ("CAST", "MID"): 0.2,
+    ("CAST", "AID"): 0.2,
+    ("CAST", "ROLE"): 0.3,
+    ("ACTOR", "AID"): 0.2,
+    ("ACTOR", "ANAME"): 1.0,
+    ("ACTOR", "BLOCATION"): 0.7,
+    ("ACTOR", "BDATE"): 0.6,
+    ("DIRECTOR", "DID"): 0.2,
+    ("DIRECTOR", "DNAME"): 1.0,
+    ("DIRECTOR", "BLOCATION"): 0.9,
+    ("DIRECTOR", "BDATE"): 0.9,
+}
+
+#: (source, target, source_attr, target_attr, weight)
+_JOIN_WEIGHTS = [
+    ("MOVIE", "GENRE", "MID", "MID", 0.9),
+    ("GENRE", "MOVIE", "MID", "MID", 1.0),
+    ("MOVIE", "PLAY", "MID", "MID", 0.7),
+    ("PLAY", "MOVIE", "MID", "MID", 1.0),
+    ("PLAY", "THEATRE", "TID", "TID", 1.0),
+    ("THEATRE", "PLAY", "TID", "TID", 0.7),
+    ("MOVIE", "DIRECTOR", "DID", "DID", 0.8),
+    ("DIRECTOR", "MOVIE", "DID", "DID", 1.0),
+    ("MOVIE", "CAST", "MID", "MID", 0.7),
+    ("CAST", "MOVIE", "MID", "MID", 1.0),
+    ("CAST", "ACTOR", "AID", "AID", 1.0),
+    ("ACTOR", "CAST", "AID", "AID", 1.0),
+]
+
+
+def movies_graph() -> SchemaGraph:
+    """The weighted schema graph of Figure 1 (reconstructed weights)."""
+    graph = SchemaGraph()
+    schema = movies_schema()
+    for rs in schema:
+        graph.add_relation(rs.name)
+        for col in rs.columns:
+            weight = _PROJECTION_WEIGHTS[(rs.name, col.name)]
+            graph.add_attribute(rs.name, col.name, weight)
+    for source, target, src_attr, dst_attr, weight in _JOIN_WEIGHTS:
+        graph.add_join(source, target, src_attr, dst_attr, weight)
+    return graph
+
+
+def paper_instance() -> Database:
+    """The Woody Allen micro-database of Figure 6 / §5.3."""
+    data = {
+        "DIRECTOR": [
+            {
+                "DID": 1,
+                "DNAME": "Woody Allen",
+                "BLOCATION": "Brooklyn, New York, USA",
+                "BDATE": "December 1, 1935",
+            },
+            {
+                "DID": 2,
+                "DNAME": "Sofia Coppola",
+                "BLOCATION": "New York City, USA",
+                "BDATE": "May 14, 1971",
+            },
+        ],
+        "ACTOR": [
+            {
+                "AID": 1,
+                "ANAME": "Woody Allen",
+                "BLOCATION": "Brooklyn, New York, USA",
+                "BDATE": "December 1, 1935",
+            },
+            {
+                "AID": 2,
+                "ANAME": "Scarlett Johansson",
+                "BLOCATION": "New York City, USA",
+                "BDATE": "November 22, 1984",
+            },
+        ],
+        "MOVIE": [
+            {"MID": 1, "TITLE": "Match Point", "YEAR": 2005, "DID": 1},
+            {"MID": 2, "TITLE": "Melinda and Melinda", "YEAR": 2004, "DID": 1},
+            {"MID": 3, "TITLE": "Anything Else", "YEAR": 2003, "DID": 1},
+            {"MID": 4, "TITLE": "Hollywood Ending", "YEAR": 2002, "DID": 1},
+            {
+                "MID": 5,
+                "TITLE": "The Curse of the Jade Scorpion",
+                "YEAR": 2001,
+                "DID": 1,
+            },
+            {"MID": 6, "TITLE": "Lost in Translation", "YEAR": 2003, "DID": 2},
+        ],
+        "GENRE": [
+            {"MID": 1, "GENRE": "Drama"},
+            {"MID": 1, "GENRE": "Thriller"},
+            {"MID": 2, "GENRE": "Comedy"},
+            {"MID": 2, "GENRE": "Drama"},
+            {"MID": 3, "GENRE": "Comedy"},
+            {"MID": 3, "GENRE": "Romance"},
+            {"MID": 4, "GENRE": "Comedy"},
+            {"MID": 5, "GENRE": "Comedy"},
+            {"MID": 6, "GENRE": "Drama"},
+        ],
+        "CAST": [
+            {"MID": 4, "AID": 1, "ROLE": "Val Waxman"},
+            {"MID": 5, "AID": 1, "ROLE": "C.W. Briggs"},
+            {"MID": 1, "AID": 2, "ROLE": "Nola Rice"},
+            {"MID": 6, "AID": 2, "ROLE": "Charlotte"},
+        ],
+        "THEATRE": [
+            {
+                "TID": 1,
+                "NAME": "Odeon",
+                "PHONE": "210-555-0101",
+                "REGION": "Kifissia",
+            },
+            {
+                "TID": 2,
+                "NAME": "Attikon",
+                "PHONE": "210-555-0102",
+                "REGION": "Syntagma",
+            },
+        ],
+        "PLAY": [
+            {"TID": 1, "MID": 1, "DATE": "2005-11-12"},
+            {"TID": 1, "MID": 2, "DATE": "2005-11-13"},
+            {"TID": 2, "MID": 1, "DATE": "2005-11-12"},
+        ],
+    }
+    return Database.from_rows(movies_schema(), data)
+
+
+def movies_translation_spec() -> TranslationSpec:
+    """Heading attributes, labels and macros reproducing §5.3."""
+    spec = TranslationSpec()
+    spec.set_heading("THEATRE", "NAME")
+    spec.set_heading("MOVIE", "TITLE")
+    spec.set_heading("GENRE", "GENRE")
+    spec.set_heading("ACTOR", "ANAME")
+    spec.set_heading("DIRECTOR", "DNAME")
+
+    # projection labels: heading first, remaining attributes chain into
+    # one sentence ("Woody Allen was born on … in … .")
+    spec.label_projection("DIRECTOR", "DNAME", "@DNAME")
+    spec.label_projection("DIRECTOR", "BDATE", '" was born on "+@BDATE')
+    spec.label_projection("DIRECTOR", "BLOCATION", '" in "+@BLOCATION+"."')
+    spec.label_projection("ACTOR", "ANAME", "@ANAME")
+    spec.label_projection("ACTOR", "BDATE", '" was born on "+@BDATE')
+    spec.label_projection("ACTOR", "BLOCATION", '" in "+@BLOCATION+"."')
+    spec.label_projection("MOVIE", "TITLE", "@TITLE")
+    spec.label_projection("MOVIE", "YEAR", '" ("+@YEAR+")"')
+    spec.label_projection("THEATRE", "NAME", "@NAME")
+    spec.label_projection("THEATRE", "PHONE", '", phone "+@PHONE')
+    spec.label_projection("THEATRE", "REGION", '", in "+@REGION')
+
+    # the MOVIE_LIST macro, verbatim from the paper's §5.3
+    spec.define_macro(
+        "MOVIE_LIST",
+        '[i<ARITYOF(@TITLE)] {@TITLE[$i$]+" ("+@YEAR[$i$]+"), "}'
+        '[i=ARITYOF(@TITLE)] {@TITLE[$i$]+" ("+@YEAR[$i$]+")."}',
+    )
+    spec.define_macro(
+        "GENRE_LIST",
+        '[i<ARITYOF(@GENRE)] {@GENRE[$i$]+", "}'
+        '[i=ARITYOF(@GENRE)] {@GENRE[$i$]+"."}',
+    )
+
+    # join labels: label(DIRECTOR, MOVIE) = expr_1 + expr_2 + MOVIE_LIST
+    spec.label_join(
+        "DIRECTOR",
+        "MOVIE",
+        '"As a director, "+@DNAME+"\'s work includes "+@MOVIE_LIST',
+    )
+    # CAST has no heading attribute: the CAST→MOVIE label "signifies the
+    # relationship between the previous and subsequent relations" — the
+    # actor reached through CAST and the movies beyond it.
+    spec.label_join(
+        "CAST",
+        "MOVIE",
+        '"As an actor, "+@ANAME+"\'s work includes "+@MOVIE_LIST',
+    )
+    spec.label_join("MOVIE", "GENRE", '@TITLE+" is "+@GENRE_LIST')
+    spec.label_join(
+        "MOVIE",
+        "DIRECTOR",
+        '@TITLE+" was directed by "+@DNAME+"."',
+    )
+    spec.label_join(
+        "GENRE",
+        "MOVIE",
+        '"Movies in this genre include "+@MOVIE_LIST',
+    )
+    # PLAY has no heading attribute, so MOVIE→PLAY carries no label; the
+    # PLAY→THEATRE label speaks about the movie inherited from two hops
+    # back ("the previous relation", §5.3).
+    spec.label_join(
+        "PLAY",
+        "THEATRE",
+        '@TITLE+" plays at "+@NAME+"."',
+    )
+    return spec
+
+
+# --------------------------------------------------------------- synthetic
+
+_FIRST_NAMES = (
+    "Ava Ben Carla Dan Elena Felix Greta Hugo Iris Jonas Kara Liam Mona "
+    "Nina Oscar Petra Quentin Rosa Stefan Thea Uma Victor Wanda Xander "
+    "Yara Zeno"
+).split()
+
+_LAST_NAMES = (
+    "Adler Brandt Castellano Dimitriou Eriksen Fontaine Garcia Hoffmann "
+    "Ivanov Jensen Kowalski Lindqvist Moreau Novak Okafor Papadopoulos "
+    "Quinn Rossi Schneider Takahashi Umarov Vasquez Weber Xu Yamamoto "
+    "Zimmermann"
+).split()
+
+_TITLE_HEADS = (
+    "Midnight Crimson Silent Golden Broken Hidden Electric Distant "
+    "Forgotten Burning Frozen Scarlet Hollow Savage Gentle Restless"
+).split()
+
+_TITLE_TAILS = (
+    "Harbor River Letters Shadows Empire Garden Station Horizon Mirror "
+    "Voyage Orchard Reckoning Symphony Causeway Lantern Meridian"
+).split()
+
+_GENRES = (
+    "Drama Comedy Thriller Romance Action Documentary Horror Mystery "
+    "Western Animation"
+).split()
+
+_REGIONS = (
+    "Kifissia Syntagma Plaka Marousi Glyfada Pagrati Kolonaki Chalandri"
+).split()
+
+
+def _person_name(rng: random.Random) -> str:
+    return f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}"
+
+
+def _movie_title(rng: random.Random, mid: int) -> str:
+    return f"{rng.choice(_TITLE_HEADS)} {rng.choice(_TITLE_TAILS)} {mid}"
+
+
+def generate_movies_database(
+    n_movies: int = 200,
+    seed: int = 0,
+    genres_per_movie: tuple[int, int] = (1, 3),
+    cast_per_movie: tuple[int, int] = (2, 5),
+    plays_per_movie: tuple[int, int] = (0, 3),
+    enforce_foreign_keys: bool = True,
+) -> Database:
+    """A deterministic synthetic IMDB-like instance of the movies schema.
+
+    Cardinalities scale with *n_movies*: roughly one director per four
+    movies, one actor per movie (shared across casts), one theatre per
+    ten movies. All randomness flows from *seed*, so equal arguments
+    produce identical databases — the benchmarks rely on this.
+    """
+    if n_movies < 1:
+        raise ValueError("n_movies must be positive")
+    rng = random.Random(seed)
+    n_directors = max(1, n_movies // 4)
+    n_actors = max(2, n_movies)
+    n_theatres = max(1, n_movies // 10)
+
+    directors = [
+        {
+            "DID": did,
+            "DNAME": _person_name(rng),
+            "BLOCATION": f"{rng.choice(_REGIONS)}, Greece",
+            "BDATE": f"{rng.randint(1, 28)} {rng.choice(('Jan', 'Apr', 'Jul', 'Oct'))} {rng.randint(1930, 1985)}",
+        }
+        for did in range(1, n_directors + 1)
+    ]
+    actors = [
+        {
+            "AID": aid,
+            "ANAME": _person_name(rng),
+            "BLOCATION": f"{rng.choice(_REGIONS)}, Greece",
+            "BDATE": f"{rng.randint(1, 28)} {rng.choice(('Feb', 'May', 'Aug', 'Nov'))} {rng.randint(1940, 1995)}",
+        }
+        for aid in range(1, n_actors + 1)
+    ]
+    theatres = [
+        {
+            "TID": tid,
+            "NAME": f"Cinema {tid}",
+            "PHONE": f"210-555-{tid:04d}",
+            "REGION": rng.choice(_REGIONS),
+        }
+        for tid in range(1, n_theatres + 1)
+    ]
+
+    movies, genres, casts, plays = [], [], [], []
+    for mid in range(1, n_movies + 1):
+        movies.append(
+            {
+                "MID": mid,
+                "TITLE": _movie_title(rng, mid),
+                "YEAR": rng.randint(1960, 2005),
+                "DID": rng.randint(1, n_directors),
+            }
+        )
+        for genre in rng.sample(_GENRES, rng.randint(*genres_per_movie)):
+            genres.append({"MID": mid, "GENRE": genre})
+        for aid in rng.sample(
+            range(1, n_actors + 1), min(n_actors, rng.randint(*cast_per_movie))
+        ):
+            casts.append(
+                {"MID": mid, "AID": aid, "ROLE": _person_name(rng)}
+            )
+        n_plays = rng.randint(*plays_per_movie)
+        tids = rng.sample(
+            range(1, n_theatres + 1), min(n_theatres, n_plays)
+        )
+        for tid in tids:
+            plays.append(
+                {
+                    "TID": tid,
+                    "MID": mid,
+                    "DATE": f"2005-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}",
+                }
+            )
+
+    return Database.from_rows(
+        movies_schema(),
+        {
+            "DIRECTOR": directors,
+            "ACTOR": actors,
+            "THEATRE": theatres,
+            "MOVIE": movies,
+            "GENRE": genres,
+            "CAST": casts,
+            "PLAY": plays,
+        },
+        enforce_foreign_keys=enforce_foreign_keys,
+    )

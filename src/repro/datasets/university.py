@@ -1,0 +1,237 @@
+"""A second, independent schema (university) for tests and examples.
+
+Exercises précis machinery on a topology different from the movies
+schema: a chain DEPARTMENT ← INSTRUCTOR ← TEACHES → COURSE plus a
+many-to-many STUDENT/ENROLLED/COURSE diamond. Useful for checking that
+nothing is accidentally movies-specific, and as the substrate of the
+test-database-extraction example (the §1 enterprise use case).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..graph.schema_graph import SchemaGraph, graph_from_schema
+from ..relational.database import Database
+from ..relational.datatypes import DataType
+from ..relational.schema import (
+    Column,
+    DatabaseSchema,
+    ForeignKey,
+    RelationSchema,
+)
+
+__all__ = ["university_schema", "university_graph", "generate_university_database"]
+
+
+def university_schema() -> DatabaseSchema:
+    text = DataType.TEXT
+    integer = DataType.INT
+    relations = [
+        RelationSchema(
+            "DEPARTMENT",
+            [
+                Column("DEPTID", integer, nullable=False),
+                Column("DNAME", text),
+                Column("BUILDING", text),
+            ],
+            primary_key="DEPTID",
+        ),
+        RelationSchema(
+            "INSTRUCTOR",
+            [
+                Column("IID", integer, nullable=False),
+                Column("INAME", text),
+                Column("DEPTID", integer),
+                Column("TITLE", text),
+            ],
+            primary_key="IID",
+        ),
+        RelationSchema(
+            "COURSE",
+            [
+                Column("CID", integer, nullable=False),
+                Column("CNAME", text),
+                Column("CREDITS", integer),
+                Column("DEPTID", integer),
+            ],
+            primary_key="CID",
+        ),
+        RelationSchema(
+            "TEACHES",
+            [
+                Column("IID", integer, nullable=False),
+                Column("CID", integer, nullable=False),
+                Column("SEMESTER", text),
+            ],
+            primary_key=("IID", "CID"),
+        ),
+        RelationSchema(
+            "STUDENT",
+            [
+                Column("SID", integer, nullable=False),
+                Column("SNAME", text),
+                Column("YEAR", integer),
+            ],
+            primary_key="SID",
+        ),
+        RelationSchema(
+            "ENROLLED",
+            [
+                Column("SID", integer, nullable=False),
+                Column("CID", integer, nullable=False),
+                Column("GRADE", text),
+            ],
+            primary_key=("SID", "CID"),
+        ),
+    ]
+    fks = [
+        ForeignKey("INSTRUCTOR", "DEPTID", "DEPARTMENT", "DEPTID"),
+        ForeignKey("COURSE", "DEPTID", "DEPARTMENT", "DEPTID"),
+        ForeignKey("TEACHES", "IID", "INSTRUCTOR", "IID"),
+        ForeignKey("TEACHES", "CID", "COURSE", "CID"),
+        ForeignKey("ENROLLED", "SID", "STUDENT", "SID"),
+        ForeignKey("ENROLLED", "CID", "COURSE", "CID"),
+    ]
+    return DatabaseSchema(relations, fks)
+
+
+def university_graph() -> SchemaGraph:
+    """A designer-flavoured weighting of the university schema."""
+    graph = graph_from_schema(
+        university_schema(),
+        default_projection_weight=0.4,
+        default_join_weight=0.7,
+    )
+    headings = {
+        "DEPARTMENT": "DNAME",
+        "INSTRUCTOR": "INAME",
+        "COURSE": "CNAME",
+        "STUDENT": "SNAME",
+    }
+    for relation, attribute in headings.items():
+        graph.set_projection_weight(relation, attribute, 1.0)
+    graph.set_projection_weight("COURSE", "CREDITS", 0.8)
+    graph.set_projection_weight("INSTRUCTOR", "TITLE", 0.8)
+    graph.set_projection_weight("STUDENT", "YEAR", 0.7)
+    graph.set_join_weight("COURSE", "TEACHES", 0.9)
+    graph.set_join_weight("TEACHES", "INSTRUCTOR", 1.0)
+    graph.set_join_weight("INSTRUCTOR", "TEACHES", 0.9)
+    graph.set_join_weight("TEACHES", "COURSE", 1.0)
+    graph.set_join_weight("COURSE", "DEPARTMENT", 0.8)
+    graph.set_join_weight("DEPARTMENT", "COURSE", 0.9)
+    graph.set_join_weight("ENROLLED", "COURSE", 1.0)
+    graph.set_join_weight("COURSE", "ENROLLED", 0.4)
+    graph.set_join_weight("ENROLLED", "STUDENT", 1.0)
+    graph.set_join_weight("STUDENT", "ENROLLED", 0.9)
+    return graph
+
+
+_DEPTS = ["Informatics", "Mathematics", "Physics", "History", "Biology"]
+_BUILDINGS = ["North Hall", "South Hall", "Main Building", "Annex"]
+_COURSE_WORDS = (
+    "Databases Algorithms Calculus Mechanics Genetics Logic Networks "
+    "Statistics Compilers Topology Thermodynamics Archaeology"
+).split()
+_NAMES = (
+    "Alice Bob Carol David Eva Frank Georgia Hans Ioanna Jan Katerina "
+    "Lukas Maria Nikos Olga Pavlos Rita Stavros Tina Ulrich Vera"
+).split()
+_SURNAMES = (
+    "Andreou Bauer Christou Dunkel Economou Fischer Galanis Huber "
+    "Katsaros Lang Markou Neumann Oikonomou Petrou Richter Stavrou"
+).split()
+
+
+def generate_university_database(
+    n_students: int = 100, n_courses: int = 20, seed: int = 0
+) -> Database:
+    """Deterministic synthetic university instance."""
+    rng = random.Random(seed)
+    n_instructors = max(2, n_courses // 2)
+    departments = [
+        {
+            "DEPTID": i + 1,
+            "DNAME": name,
+            "BUILDING": rng.choice(_BUILDINGS),
+        }
+        for i, name in enumerate(_DEPTS)
+    ]
+    instructors = [
+        {
+            "IID": iid,
+            "INAME": f"{rng.choice(_NAMES)} {rng.choice(_SURNAMES)}",
+            "DEPTID": rng.randint(1, len(_DEPTS)),
+            "TITLE": rng.choice(
+                ["Professor", "Associate Professor", "Lecturer"]
+            ),
+        }
+        for iid in range(1, n_instructors + 1)
+    ]
+    courses = [
+        {
+            "CID": cid,
+            "CNAME": f"{rng.choice(_COURSE_WORDS)} {_roman(cid)}",
+            "CREDITS": rng.choice([3, 4, 6]),
+            "DEPTID": rng.randint(1, len(_DEPTS)),
+        }
+        for cid in range(1, n_courses + 1)
+    ]
+    teaches = []
+    for cid in range(1, n_courses + 1):
+        for iid in rng.sample(
+            range(1, n_instructors + 1), rng.randint(1, min(2, n_instructors))
+        ):
+            teaches.append(
+                {
+                    "IID": iid,
+                    "CID": cid,
+                    "SEMESTER": rng.choice(["Fall", "Spring"]),
+                }
+            )
+    students = [
+        {
+            "SID": sid,
+            "SNAME": f"{rng.choice(_NAMES)} {rng.choice(_SURNAMES)}",
+            "YEAR": rng.randint(1, 5),
+        }
+        for sid in range(1, n_students + 1)
+    ]
+    enrolled = []
+    for sid in range(1, n_students + 1):
+        for cid in rng.sample(
+            range(1, n_courses + 1), rng.randint(1, min(5, n_courses))
+        ):
+            enrolled.append(
+                {
+                    "SID": sid,
+                    "CID": cid,
+                    "GRADE": rng.choice(["A", "B", "C", "D"]),
+                }
+            )
+    return Database.from_rows(
+        university_schema(),
+        {
+            "DEPARTMENT": departments,
+            "INSTRUCTOR": instructors,
+            "COURSE": courses,
+            "TEACHES": teaches,
+            "STUDENT": students,
+            "ENROLLED": enrolled,
+        },
+    )
+
+
+def _roman(number: int) -> str:
+    """Small roman numerals for course names (1..3999)."""
+    numerals = [
+        (1000, "M"), (900, "CM"), (500, "D"), (400, "CD"),
+        (100, "C"), (90, "XC"), (50, "L"), (40, "XL"),
+        (10, "X"), (9, "IX"), (5, "V"), (4, "IV"), (1, "I"),
+    ]
+    out = []
+    for value, glyph in numerals:
+        while number >= value:
+            out.append(glyph)
+            number -= value
+    return "".join(out)

@@ -1,0 +1,37 @@
+"""Weighted database schema graph (paper §3.1–3.2)."""
+
+from .dot import graph_to_dot, result_schema_to_dot
+from .validation import GraphSchemaMismatch, check_graph, validate_graph
+from .paths import Path, multiply_weights
+from .schema_graph import (
+    GraphError,
+    JoinEdge,
+    ProjectionEdge,
+    SchemaGraph,
+    graph_from_schema,
+)
+from .weights import (
+    assign_uniform_weights,
+    edge_weight_map,
+    random_weight_assignment,
+    random_weight_assignments,
+)
+
+__all__ = [
+    "SchemaGraph",
+    "GraphError",
+    "JoinEdge",
+    "ProjectionEdge",
+    "graph_from_schema",
+    "Path",
+    "multiply_weights",
+    "edge_weight_map",
+    "random_weight_assignment",
+    "random_weight_assignments",
+    "assign_uniform_weights",
+    "graph_to_dot",
+    "result_schema_to_dot",
+    "validate_graph",
+    "check_graph",
+    "GraphSchemaMismatch",
+]

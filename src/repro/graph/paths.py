@@ -1,0 +1,176 @@
+"""Transitive join and projection paths over the schema graph (§3.2).
+
+    "A directed path p between two relation nodes, comprising adjacent
+    join edges, represents the implicit join between these relations. A
+    directed path between a relation node and an attribute node,
+    comprising a set of adjacent join edges and a projection edge,
+    represents the implicit projection of the attribute on this relation.
+    The weight of a path is a function of the weight of constituent
+    edges, and should decrease as the length of the path increases. In
+    our implementation, we have chosen multiplication as this function."
+
+A :class:`Path` is immutable; extension returns a new path. Paths are
+ordered by *decreasing weight*, ties broken by *increasing length* — the
+priority used by the Result Schema Generator's queue ("shorter paths are
+favoured among paths of equal weight based on the intuition that these
+may connect more closely related entities").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Optional
+
+from .schema_graph import GraphError, JoinEdge, ProjectionEdge
+
+__all__ = ["Path", "multiply_weights"]
+
+
+def multiply_weights(weights) -> float:
+    """The paper's weight-transfer function: plain multiplication."""
+    out = 1.0
+    for weight in weights:
+        out *= weight
+    return out
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Path:
+    """A (transitive) join or projection path rooted at *origin*.
+
+    ``joins`` is the sequence of adjacent join edges; ``projection`` (if
+    set) is the terminal projection edge, making this a projection path.
+    """
+
+    origin: str
+    joins: tuple[JoinEdge, ...] = ()
+    projection: Optional[ProjectionEdge] = None
+
+    # ------------------------------------------------------------- factory
+
+    @classmethod
+    def seed(cls, edge: ProjectionEdge | JoinEdge) -> "Path":
+        """A length-1 path out of a single edge attached to its relation."""
+        if isinstance(edge, ProjectionEdge):
+            return cls(edge.relation, (), edge)
+        return cls(edge.source, (edge,), None)
+
+    # ------------------------------------------------------------- shape
+
+    @property
+    def is_projection_path(self) -> bool:
+        return self.projection is not None
+
+    @property
+    def is_join_path(self) -> bool:
+        return self.projection is None
+
+    @property
+    def length(self) -> int:
+        """Number of constituent edges."""
+        return len(self.joins) + (1 if self.projection is not None else 0)
+
+    @property
+    def terminal_relation(self) -> str:
+        """The relation node the path currently ends at (for projection
+
+        paths: the relation *containing* the projected attribute)."""
+        if self.joins:
+            return self.joins[-1].target
+        return self.origin
+
+    @property
+    def terminal_attribute(self) -> Optional[tuple[str, str]]:
+        """(relation, attribute) of the projection, if any."""
+        if self.projection is None:
+            return None
+        return (self.projection.relation, self.projection.attribute)
+
+    def relations(self) -> tuple[str, ...]:
+        """Relation nodes visited, in order (origin first)."""
+        out = [self.origin]
+        for edge in self.joins:
+            out.append(edge.target)
+        return tuple(out)
+
+    def visits(self, relation: str) -> bool:
+        return relation in self.relations()
+
+    # ------------------------------------------------------------- weight
+
+    @property
+    def weight(self) -> float:
+        return multiply_weights(
+            [edge.weight for edge in self.joins]
+            + ([self.projection.weight] if self.projection else [])
+        )
+
+    # ------------------------------------------------------------- extension
+
+    def extend(self, edge: ProjectionEdge | JoinEdge) -> "Path":
+        """Concatenate *edge* to this (join) path.
+
+        Raises :class:`GraphError` if this path already ends in a
+        projection, the edge is not adjacent, or (for join edges) the
+        extension would revisit a relation node — the paper considers
+        acyclic paths only.
+        """
+        if self.projection is not None:
+            raise GraphError("cannot extend a projection path")
+        if isinstance(edge, ProjectionEdge):
+            if edge.relation != self.terminal_relation:
+                raise GraphError(
+                    f"projection edge on {edge.relation} not adjacent to "
+                    f"path ending at {self.terminal_relation}"
+                )
+            return Path(self.origin, self.joins, edge)
+        if edge.source != self.terminal_relation:
+            raise GraphError(
+                f"join edge from {edge.source} not adjacent to path "
+                f"ending at {self.terminal_relation}"
+            )
+        if self.visits(edge.target):
+            raise GraphError(
+                f"extension to {edge.target} would create a cycle"
+            )
+        return Path(self.origin, self.joins + (edge,), None)
+
+    def can_extend(self, edge: ProjectionEdge | JoinEdge) -> bool:
+        """True iff :meth:`extend` would succeed."""
+        if self.projection is not None:
+            return False
+        if isinstance(edge, ProjectionEdge):
+            return edge.relation == self.terminal_relation
+        return edge.source == self.terminal_relation and not self.visits(
+            edge.target
+        )
+
+    # ------------------------------------------------------------- ordering
+
+    @property
+    def sort_key(self) -> tuple:
+        """Queue priority: higher weight first, then shorter, then a
+
+        deterministic lexicographic tiebreak so runs are reproducible."""
+        return (-self.weight, self.length, self._lex_key())
+
+    def _lex_key(self) -> tuple:
+        return tuple(
+            (e.source, e.target) for e in self.joins
+        ) + ((self.terminal_attribute,) if self.projection else ())
+
+    def __lt__(self, other: "Path"):
+        if not isinstance(other, Path):
+            return NotImplemented
+        return self.sort_key < other.sort_key
+
+    def __repr__(self):
+        hops = [self.origin]
+        for edge in self.joins:
+            hops.append(edge.target)
+        text = " → ".join(hops)
+        if self.projection is not None:
+            text += f" . {self.projection.attribute}"
+        return f"Path({text}, w={self.weight:.4g})"

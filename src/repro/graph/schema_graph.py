@@ -1,0 +1,308 @@
+"""The weighted database schema graph of paper §3.1.
+
+    "We consider the database schema graph G(V,E) as a directed graph
+    corresponding to a database schema D. There are two types of nodes:
+    relation nodes and attribute nodes. Edges are projection edges (an
+    attribute node to its container relation node) and join edges (a
+    relation node to another relation node). A weight w ∈ [0,1] is
+    assigned to each edge showing the significance of the bond."
+
+Join edges are *directed*: the edge ``R_i -> R_j`` expresses how strongly
+an answer that already contains ``R_i`` should pull in ``R_j``; the two
+directions may carry different weights (the paper's MOVIE/GENRE example:
+GENRE→MOVIE has weight 1, MOVIE→GENRE has weight 0.9). At most one join
+edge exists per (source, destination) pair — the paper's simplifying
+assumption, enforced here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from ..relational.schema import DatabaseSchema
+
+__all__ = ["ProjectionEdge", "JoinEdge", "SchemaGraph", "GraphError"]
+
+
+class GraphError(ValueError):
+    """The schema graph was built or queried inconsistently."""
+
+
+def _check_weight(weight: float) -> float:
+    if not 0.0 <= weight <= 1.0:
+        raise GraphError(f"weight must be in [0,1], got {weight!r}")
+    return float(weight)
+
+
+@dataclass(frozen=True)
+class ProjectionEdge:
+    """Attribute node ↔ its container relation node.
+
+    The paper draws the edge from the attribute to the relation; for the
+    traversal it only matters that the edge is *attached to* the relation,
+    so we store (relation, attribute, weight).
+    """
+
+    relation: str
+    attribute: str
+    weight: float
+
+    @property
+    def key(self) -> tuple:
+        return ("proj", self.relation, self.attribute)
+
+    def __repr__(self):
+        return f"π({self.relation}.{self.attribute}, w={self.weight:g})"
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """Directed join edge between two relation nodes.
+
+    ``source_attribute`` / ``target_attribute`` name the joining columns
+    (the paper tags the common attribute name on the edge; we allow the
+    two sides to differ, which subsumes the paper's convention).
+    """
+
+    source: str
+    target: str
+    source_attribute: str
+    target_attribute: str
+    weight: float
+
+    @property
+    def key(self) -> tuple:
+        return ("join", self.source, self.target)
+
+    def __repr__(self):
+        return (
+            f"⋈({self.source}.{self.source_attribute} → "
+            f"{self.target}.{self.target_attribute}, w={self.weight:g})"
+        )
+
+
+class SchemaGraph:
+    """Mutable weighted schema graph over a set of relations."""
+
+    def __init__(self):
+        self._relations: dict[str, list[str]] = {}
+        self._projections: dict[tuple[str, str], ProjectionEdge] = {}
+        self._joins: dict[tuple[str, str], JoinEdge] = {}
+
+    # --------------------------------------------------------------- building
+
+    def add_relation(self, name: str, attributes: Iterable[str] = ()) -> None:
+        if name in self._relations:
+            raise GraphError(f"relation {name} already in graph")
+        self._relations[name] = []
+        for attribute in attributes:
+            self.add_attribute(name, attribute)
+
+    def add_attribute(
+        self, relation: str, attribute: str, weight: float = 0.0
+    ) -> None:
+        """Add an attribute node and its projection edge."""
+        self._require_relation(relation)
+        if attribute in self._relations[relation]:
+            raise GraphError(f"attribute {relation}.{attribute} already in graph")
+        self._relations[relation].append(attribute)
+        self._projections[(relation, attribute)] = ProjectionEdge(
+            relation, attribute, _check_weight(weight)
+        )
+
+    def set_projection_weight(
+        self, relation: str, attribute: str, weight: float
+    ) -> None:
+        edge = self.projection_edge(relation, attribute)
+        self._projections[(relation, attribute)] = ProjectionEdge(
+            edge.relation, edge.attribute, _check_weight(weight)
+        )
+
+    def add_join(
+        self,
+        source: str,
+        target: str,
+        source_attribute: str,
+        target_attribute: Optional[str] = None,
+        weight: float = 0.0,
+    ) -> None:
+        """Add a directed join edge; the reverse direction is a separate
+
+        edge with its own weight (add it explicitly or via
+        :meth:`add_join_pair`)."""
+        self._require_relation(source)
+        self._require_relation(target)
+        if target_attribute is None:
+            target_attribute = source_attribute
+        if source_attribute not in self._relations[source]:
+            raise GraphError(f"no attribute {source}.{source_attribute}")
+        if target_attribute not in self._relations[target]:
+            raise GraphError(f"no attribute {target}.{target_attribute}")
+        key = (source, target)
+        if key in self._joins:
+            raise GraphError(f"join edge {source} → {target} already exists")
+        self._joins[key] = JoinEdge(
+            source, target, source_attribute, target_attribute, _check_weight(weight)
+        )
+
+    def add_join_pair(
+        self,
+        left: str,
+        right: str,
+        left_attribute: str,
+        right_attribute: Optional[str] = None,
+        weight_left_to_right: float = 0.0,
+        weight_right_to_left: float = 0.0,
+    ) -> None:
+        """Add both directions of a join in one call."""
+        self.add_join(
+            left, right, left_attribute, right_attribute, weight_left_to_right
+        )
+        self.add_join(
+            right,
+            left,
+            right_attribute if right_attribute is not None else left_attribute,
+            left_attribute,
+            weight_right_to_left,
+        )
+
+    def set_join_weight(self, source: str, target: str, weight: float) -> None:
+        edge = self.join_edge(source, target)
+        self._joins[(source, target)] = JoinEdge(
+            edge.source,
+            edge.target,
+            edge.source_attribute,
+            edge.target_attribute,
+            _check_weight(weight),
+        )
+
+    # --------------------------------------------------------------- lookups
+
+    def _require_relation(self, name: str) -> None:
+        if name not in self._relations:
+            raise GraphError(f"no relation {name} in graph")
+
+    @property
+    def relations(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    def attributes_of(self, relation: str) -> tuple[str, ...]:
+        self._require_relation(relation)
+        return tuple(self._relations[relation])
+
+    def projection_edge(self, relation: str, attribute: str) -> ProjectionEdge:
+        try:
+            return self._projections[(relation, attribute)]
+        except KeyError:
+            raise GraphError(
+                f"no projection edge {relation}.{attribute}"
+            ) from None
+
+    def join_edge(self, source: str, target: str) -> JoinEdge:
+        try:
+            return self._joins[(source, target)]
+        except KeyError:
+            raise GraphError(f"no join edge {source} → {target}") from None
+
+    def has_join(self, source: str, target: str) -> bool:
+        return (source, target) in self._joins
+
+    def projection_edges_of(self, relation: str) -> list[ProjectionEdge]:
+        self._require_relation(relation)
+        return [
+            self._projections[(relation, attribute)]
+            for attribute in self._relations[relation]
+        ]
+
+    def join_edges_from(self, relation: str) -> list[JoinEdge]:
+        self._require_relation(relation)
+        return [e for (s, __), e in self._joins.items() if s == relation]
+
+    def join_edges_into(self, relation: str) -> list[JoinEdge]:
+        self._require_relation(relation)
+        return [e for (__, t), e in self._joins.items() if t == relation]
+
+    def edges_attached_to(
+        self, relation: str
+    ) -> list[ProjectionEdge | JoinEdge]:
+        """All edges "attached to" a relation node in the sense of the
+
+        Result Schema Algorithm's initialization (Figure 3, step 1):
+        the relation's projection edges plus its outgoing join edges."""
+        return [*self.projection_edges_of(relation), *self.join_edges_from(relation)]
+
+    def all_projection_edges(self) -> Iterator[ProjectionEdge]:
+        return iter(self._projections.values())
+
+    def all_join_edges(self) -> Iterator[JoinEdge]:
+        return iter(self._joins.values())
+
+    def edge_count(self) -> int:
+        return len(self._projections) + len(self._joins)
+
+    # --------------------------------------------------------------- copies
+
+    def copy(self) -> "SchemaGraph":
+        clone = SchemaGraph()
+        clone._relations = {r: list(a) for r, a in self._relations.items()}
+        clone._projections = dict(self._projections)
+        clone._joins = dict(self._joins)
+        return clone
+
+    def with_weights(self, weights: dict[tuple, float]) -> "SchemaGraph":
+        """A copy with selected edge weights overridden.
+
+        *weights* maps edge keys (``("proj", rel, attr)`` or
+        ``("join", src, dst)``) to new weights — the mechanism behind
+        user profiles and the §6 random-weight experiments.
+        """
+        clone = self.copy()
+        for key, weight in weights.items():
+            if key[0] == "proj":
+                clone.set_projection_weight(key[1], key[2], weight)
+            elif key[0] == "join":
+                clone.set_join_weight(key[1], key[2], weight)
+            else:
+                raise GraphError(f"bad edge key {key!r}")
+        return clone
+
+    def __repr__(self):
+        return (
+            f"SchemaGraph({len(self._relations)} relations, "
+            f"{len(self._projections)} projection edges, "
+            f"{len(self._joins)} join edges)"
+        )
+
+
+def graph_from_schema(
+    schema: DatabaseSchema,
+    default_projection_weight: float = 0.5,
+    default_join_weight: float = 0.5,
+) -> SchemaGraph:
+    """Bootstrap a schema graph from relational metadata.
+
+    Every attribute gets a projection edge and every foreign key yields a
+    join edge in *both* directions, all at the given default weights — a
+    starting point for a designer (or a random assigner) to refine.
+    """
+    graph = SchemaGraph()
+    for rs in schema:
+        graph.add_relation(rs.name)
+        for col in rs.columns:
+            graph.add_attribute(rs.name, col.name, default_projection_weight)
+    for fk in schema.foreign_keys:
+        if not graph.has_join(fk.source, fk.target):
+            graph.add_join(
+                fk.source, fk.target, fk.column, fk.target_column,
+                default_join_weight,
+            )
+        if not graph.has_join(fk.target, fk.source):
+            graph.add_join(
+                fk.target, fk.source, fk.target_column, fk.column,
+                default_join_weight,
+            )
+    return graph

@@ -1,0 +1,94 @@
+"""JSON (de)serialization of weighted schema graphs.
+
+Lets a designer keep the weighted graph — the paper's personalization
+surface — as a versioned artifact next to the data. The optional
+``headings`` block stores the heading attributes of §5.3 so a generic
+translator can be bootstrapped from the same file (used by the CLI).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from .schema_graph import GraphError, SchemaGraph
+
+__all__ = ["graph_to_dict", "graph_from_dict", "save_graph", "load_graph"]
+
+_FORMAT_VERSION = 1
+
+
+def graph_to_dict(
+    graph: SchemaGraph, headings: Optional[dict[str, str]] = None
+) -> dict:
+    """Serialize graph structure + weights (+ optional headings)."""
+    return {
+        "version": _FORMAT_VERSION,
+        "relations": [
+            {
+                "name": relation,
+                "attributes": [
+                    {
+                        "name": edge.attribute,
+                        "weight": edge.weight,
+                    }
+                    for edge in graph.projection_edges_of(relation)
+                ],
+            }
+            for relation in graph.relations
+        ],
+        "joins": [
+            {
+                "source": edge.source,
+                "target": edge.target,
+                "source_attribute": edge.source_attribute,
+                "target_attribute": edge.target_attribute,
+                "weight": edge.weight,
+            }
+            for edge in graph.all_join_edges()
+        ],
+        "headings": dict(headings or {}),
+    }
+
+
+def graph_from_dict(data: dict) -> tuple[SchemaGraph, dict[str, str]]:
+    """Inverse of :func:`graph_to_dict`; returns (graph, headings)."""
+    if data.get("version") != _FORMAT_VERSION:
+        raise GraphError(
+            f"unsupported graph format version {data.get('version')!r}"
+        )
+    graph = SchemaGraph()
+    try:
+        for relation in data["relations"]:
+            graph.add_relation(relation["name"])
+            for attribute in relation["attributes"]:
+                graph.add_attribute(
+                    relation["name"], attribute["name"], attribute["weight"]
+                )
+        for join in data.get("joins", []):
+            graph.add_join(
+                join["source"],
+                join["target"],
+                join["source_attribute"],
+                join["target_attribute"],
+                join["weight"],
+            )
+    except KeyError as exc:
+        raise GraphError(f"malformed graph document: missing {exc}") from exc
+    return graph, dict(data.get("headings", {}))
+
+
+def save_graph(
+    graph: SchemaGraph,
+    path: Union[str, Path],
+    headings: Optional[dict[str, str]] = None,
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(graph_to_dict(graph, headings), indent=2))
+    return path
+
+
+def load_graph(path: Union[str, Path]) -> tuple[SchemaGraph, dict[str, str]]:
+    return graph_from_dict(json.loads(Path(path).read_text()))

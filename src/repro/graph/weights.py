@@ -1,0 +1,83 @@
+"""Weight assignment utilities.
+
+Supports the two weight-provisioning modes the paper describes (§3.1):
+designer/user-specified weight sets (see
+:mod:`repro.personalization.profile`) and the *randomly generated weight
+sets* used throughout the §6 experiments ("we used 20 randomly generated
+sets of weights for the edges of the database schema graph").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional
+
+from .schema_graph import SchemaGraph
+
+__all__ = [
+    "random_weight_assignment",
+    "random_weight_assignments",
+    "assign_uniform_weights",
+    "edge_weight_map",
+]
+
+
+def edge_weight_map(graph: SchemaGraph) -> dict[tuple, float]:
+    """Snapshot of all edge weights keyed by edge key."""
+    out: dict[tuple, float] = {}
+    for edge in graph.all_projection_edges():
+        out[edge.key] = edge.weight
+    for edge in graph.all_join_edges():
+        out[edge.key] = edge.weight
+    return out
+
+
+def random_weight_assignment(
+    graph: SchemaGraph,
+    rng: random.Random,
+    low: float = 0.1,
+    high: float = 1.0,
+) -> dict[tuple, float]:
+    """One random weight per edge, uniform in [low, high].
+
+    The lower bound defaults above zero so that random graphs stay
+    connected for traversal purposes (a zero-weight edge is never taken:
+    every path through it has weight 0).
+    """
+    weights: dict[tuple, float] = {}
+    for key in edge_weight_map(graph):
+        weights[key] = rng.uniform(low, high)
+    return weights
+
+
+def random_weight_assignments(
+    graph: SchemaGraph,
+    count: int,
+    seed: int = 0,
+    low: float = 0.1,
+    high: float = 1.0,
+) -> list[dict[tuple, float]]:
+    """The §6 harness: *count* independent random weight sets.
+
+    Deterministic given *seed*; set ``count=20`` for the paper's setup.
+    """
+    rng = random.Random(seed)
+    return [
+        random_weight_assignment(graph, rng, low, high) for __ in range(count)
+    ]
+
+
+def assign_uniform_weights(
+    graph: SchemaGraph,
+    projection_weight: Optional[float] = None,
+    join_weight: Optional[float] = None,
+) -> SchemaGraph:
+    """A copy of *graph* with all projection and/or join weights set flat."""
+    weights: dict[tuple, float] = {}
+    if projection_weight is not None:
+        for edge in graph.all_projection_edges():
+            weights[edge.key] = projection_weight
+    if join_weight is not None:
+        for edge in graph.all_join_edges():
+            weights[edge.key] = join_weight
+    return graph.with_weights(weights)

@@ -1,0 +1,24 @@
+"""Natural-language synthesis of précis answers (paper §5.3)."""
+
+from .html import answer_to_html
+from .labels import TranslationSpec, generic_spec
+from .template_lang import (
+    MacroLibrary,
+    Template,
+    TemplateError,
+    parse_definitions,
+    parse_template,
+)
+from .translator import Translator
+
+__all__ = [
+    "Translator",
+    "TranslationSpec",
+    "generic_spec",
+    "Template",
+    "TemplateError",
+    "MacroLibrary",
+    "parse_template",
+    "parse_definitions",
+    "answer_to_html",
+]

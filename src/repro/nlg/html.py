@@ -1,0 +1,103 @@
+"""HTML rendering of précis answers.
+
+The paper's motivating setting is "web accessible databases" whose
+answers carry "underlined topics (hyperlinks) to pages containing more
+relevant information" (§1). This renderer produces a self-contained
+HTML fragment for one answer: the narrative first (token occurrences
+linkified so a UI can turn them into follow-up précis queries), then
+one table per answer relation showing the visible attributes.
+
+No external templating dependency: the output is built with explicit
+escaping, and is deliberately framework-neutral (a ``<div
+class="precis">`` any page can style).
+"""
+
+from __future__ import annotations
+
+import html as _html
+import re
+
+from ..relational.datatypes import render
+
+__all__ = ["answer_to_html"]
+
+
+def _escape(value) -> str:
+    return _html.escape(render(value))
+
+
+def _linkify(narrative: str, link_values: list[str]) -> str:
+    """Escape the narrative and wrap known values in follow-up links.
+
+    A linked value becomes ``<a href="?q=%22value%22">value</a>`` — the
+    paper's "identify new keywords for further searching" affordance.
+
+    All values are matched in a *single pass* (one alternation, longest
+    value first): sequential substitution would re-match shorter values
+    inside the anchors already inserted for longer ones ("Match" inside
+    the link generated for "Match Point") and corrupt the markup.
+    """
+    values = sorted(
+        {v for v in link_values if v}, key=len, reverse=True
+    )
+    if not values:
+        return _html.escape(narrative)
+    escaped = _html.escape(narrative)
+    pattern = re.compile(
+        "|".join(re.escape(_html.escape(value)) for value in values)
+    )
+    unescape = {_html.escape(v): v for v in values}
+
+    def wrap(match: re.Match) -> str:
+        target = match.group(0)
+        original = unescape[target]
+        href = _html.escape(f'?q="{original}"', quote=True)
+        return f'<a href="{href}">{target}</a>'
+
+    return pattern.sub(wrap, escaped)
+
+
+def answer_to_html(answer, title: str | None = None, linkify: bool = True) -> str:
+    """Render a :class:`~repro.core.answer.PrecisAnswer` as HTML."""
+    parts = ['<div class="precis">']
+    heading = title if title is not None else f"Précis: {answer.query.text}"
+    parts.append(f"  <h2>{_html.escape(heading)}</h2>")
+
+    if not answer.found:
+        parts.append('  <p class="precis-empty">No matches found.</p>')
+        parts.append("</div>")
+        return "\n".join(parts)
+
+    if answer.narrative:
+        link_values: list[str] = []
+        if linkify:
+            for relation in answer.result_schema.relations:
+                for row in answer.rows_of(relation):
+                    for value in row.values():
+                        if isinstance(value, str) and len(value) > 2:
+                            link_values.append(value)
+        body = (
+            _linkify(answer.narrative, link_values)
+            if linkify
+            else _html.escape(answer.narrative)
+        )
+        for paragraph in body.split("\n\n"):
+            parts.append(f'  <p class="precis-narrative">{paragraph}</p>')
+
+    for relation in answer.result_schema.relations:
+        attributes = answer.result_schema.attributes_of(relation)
+        rows = answer.rows_of(relation)
+        if not attributes or not rows:
+            continue
+        parts.append(f'  <h3>{_html.escape(relation)}</h3>')
+        parts.append('  <table class="precis-relation">')
+        header = "".join(f"<th>{_html.escape(a)}</th>" for a in attributes)
+        parts.append(f"    <tr>{header}</tr>")
+        for row in rows:
+            cells = "".join(
+                f"<td>{_escape(row[a])}</td>" for a in attributes
+            )
+            parts.append(f"    <tr>{cells}</tr>")
+        parts.append("  </table>")
+    parts.append("</div>")
+    return "\n".join(parts)

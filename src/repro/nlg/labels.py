@@ -1,0 +1,126 @@
+"""Template labels and heading attributes (paper §5.3).
+
+    "In order to describe the semantics of a relation R along with its
+    attributes in natural language, we consider that relation R has a
+    conceptual meaning captured by its name, and a physical meaning
+    represented by the value of at least one of its attributes … We name
+    this attribute the *heading attribute*. … A template label
+    label(u,z) is assigned to each edge e(u,z) of the database schema
+    graph; this label is used for the interpretation of the relationship
+    between the values of nodes u and z in natural language."
+
+A :class:`TranslationSpec` collects everything a domain expert provides:
+heading attributes, per-projection-edge labels, per-join-edge labels, and
+a macro library. A convenience builder :func:`generic_spec` manufactures
+serviceable default labels for schemas without hand-written templates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..graph.schema_graph import SchemaGraph
+from .template_lang import MacroLibrary, Template, parse_template
+
+__all__ = ["TranslationSpec", "generic_spec"]
+
+
+@dataclass
+class TranslationSpec:
+    """Designer-provided translation assets for one database."""
+
+    #: relation -> its heading attribute; "by definition, the edge that
+    #: connects a heading attribute with the respective relation has a
+    #: weight 1 and is always present in the result of a précis query"
+    headings: dict[str, str] = field(default_factory=dict)
+    #: (relation, attribute) -> template for the projection edge
+    projection_labels: dict[tuple[str, str], Template] = field(
+        default_factory=dict
+    )
+    #: (source, target) -> template for the join edge
+    join_labels: dict[tuple[str, str], Template] = field(default_factory=dict)
+    macros: MacroLibrary = field(default_factory=MacroLibrary)
+
+    # -------------------------------------------------------------- builders
+
+    def set_heading(self, relation: str, attribute: str) -> "TranslationSpec":
+        self.headings[relation] = attribute
+        return self
+
+    def label_projection(
+        self, relation: str, attribute: str, template: Union[str, Template]
+    ) -> "TranslationSpec":
+        if isinstance(template, str):
+            template = parse_template(template)
+        self.projection_labels[(relation, attribute)] = template
+        return self
+
+    def label_join(
+        self, source: str, target: str, template: Union[str, Template]
+    ) -> "TranslationSpec":
+        if isinstance(template, str):
+            template = parse_template(template)
+        self.join_labels[(source, target)] = template
+        return self
+
+    def define_macro(
+        self, name: str, template: Union[str, Template]
+    ) -> "TranslationSpec":
+        self.macros.define(name, template)
+        return self
+
+    # -------------------------------------------------------------- lookups
+
+    def heading_of(self, relation: str) -> Optional[str]:
+        return self.headings.get(relation)
+
+    def projection_label(
+        self, relation: str, attribute: str
+    ) -> Optional[Template]:
+        return self.projection_labels.get((relation, attribute))
+
+    def join_label(self, source: str, target: str) -> Optional[Template]:
+        return self.join_labels.get((source, target))
+
+
+def generic_spec(
+    graph: SchemaGraph, headings: dict[str, str]
+) -> TranslationSpec:
+    """Manufacture plain-English default labels for a whole graph.
+
+    For every relation with a heading attribute ``H``:
+
+    * the heading projection renders as the bare value (sentence
+      subject);
+    * every other projection ``A`` renders as ``, whose <a> is @A``;
+    * every join edge ``R → S`` renders as
+      ``The <s-heading plural-ish> related to @H: @LIST.`` — crude but
+      serviceable when no domain expert wrote templates.
+    """
+    spec = TranslationSpec(headings=dict(headings))
+    for relation in graph.relations:
+        heading = headings.get(relation)
+        for attribute in graph.attributes_of(relation):
+            if attribute == heading:
+                spec.label_projection(relation, attribute, f"@{attribute}")
+            else:
+                label = attribute.lower().replace("_", " ")
+                spec.label_projection(
+                    relation,
+                    attribute,
+                    f'" ({label}: "+@{attribute}+")"',
+                )
+    for edge in graph.all_join_edges():
+        target_heading = headings.get(edge.target)
+        if target_heading is None:
+            continue
+        source_heading = headings.get(edge.source)
+        subject = f"@{source_heading}" if source_heading else f'"{edge.source}"'
+        spec.label_join(
+            edge.source,
+            edge.target,
+            f'" "+{subject}+" is related to {edge.target.lower()}: "'
+            f"+@{target_heading}+\".\"",
+        )
+    return spec

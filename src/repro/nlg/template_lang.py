@@ -1,0 +1,417 @@
+"""The template language of paper §5.3.
+
+    "In order to use template labels or to register new ones, we use a
+    simple language for templates that supports variables, loops,
+    functions, and macros."
+
+The concrete syntax follows the paper's example::
+
+    DEFINE MOVIE_LIST as
+    [i<ARITYOF(@TITLE)] {@TITLE[$i$]+" ("+@YEAR[$i$]+"), "}
+    [i=ARITYOF(@TITLE)] {@TITLE[$i$]+" ("+@YEAR[$i$]+"). "}
+
+* ``@NAME`` — a variable bound to an attribute value (a scalar, or the
+  list of values joined in); ``@NAME[$i$]`` indexes a list (1-based);
+* ``"literal"`` — string literal, concatenated with ``+``;
+* ``ARITYOF(@X)`` — the number of values bound to ``@X``; ``UPPER``,
+  ``LOWER`` and ``FIRST`` are also provided;
+* ``[i<expr] {body}`` — a guarded loop block: ``i`` ranges over
+  ``1..arity`` and *body* is emitted for every ``i`` satisfying the
+  guard (``<``, ``<=`` or ``=``), giving the classic
+  "a, b, and c." separator idiom;
+* ``@MACRO`` — a macro (a named template registered with ``DEFINE``)
+  expands in the current context; variables take priority on collision.
+
+Evaluation never fails on missing data: an unbound variable renders as
+the empty string (answers are partial by design — a précis "may be
+incomplete in many ways").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence, Union
+
+from ..relational.datatypes import render
+
+__all__ = [
+    "TemplateError",
+    "Template",
+    "MacroLibrary",
+    "parse_template",
+    "parse_definitions",
+]
+
+
+class TemplateError(ValueError):
+    """Malformed template source or evaluation misuse."""
+
+
+# ------------------------------------------------------------------ lexer
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<string>"(?:[^"\\]|\\.)*"|'(?:[^'\\]|\\.)*')
+    | (?P<var>@[A-Za-z_][A-Za-z_0-9]*)
+    | (?P<loopvar>\$[A-Za-z_][A-Za-z_0-9]*\$)
+    | (?P<number>\d+)
+    | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+    | (?P<punct>[\[\]{}()<>=+,])
+    | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Tok:
+    kind: str
+    value: str
+    pos: int
+
+
+def _lex(source: str) -> list[_Tok]:
+    tokens: list[_Tok] = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise TemplateError(
+                f"unexpected character {source[pos]!r} at offset {pos}"
+            )
+        kind = match.lastgroup
+        assert kind is not None
+        if kind != "ws":
+            tokens.append(_Tok(kind, match.group(), match.start()))
+        pos = match.end()
+    return tokens
+
+
+# ------------------------------------------------------------------ AST
+
+
+@dataclass(frozen=True)
+class _Literal:
+    text: str
+
+
+@dataclass(frozen=True)
+class _Number:
+    value: int
+
+
+@dataclass(frozen=True)
+class _VarRef:
+    name: str
+    index: Optional[Union[str, int]] = None  # loop-variable name or int
+
+
+@dataclass(frozen=True)
+class _FuncCall:
+    name: str
+    args: tuple
+
+
+@dataclass(frozen=True)
+class _Loop:
+    var: str
+    op: str  # '<', '<=', '='
+    bound: Any  # expression node
+    body: tuple  # expression nodes, concatenated
+
+
+_Node = Union[_Literal, _Number, _VarRef, _FuncCall, _Loop]
+
+
+# ------------------------------------------------------------------ parser
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Tok]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> Optional[_Tok]:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> _Tok:
+        token = self._peek()
+        if token is None:
+            raise TemplateError("unexpected end of template")
+        self._pos += 1
+        return token
+
+    def _accept(self, kind: str, value: Optional[str] = None) -> Optional[_Tok]:
+        token = self._peek()
+        if token and token.kind == kind and (value is None or token.value == value):
+            self._pos += 1
+            return token
+        return None
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> _Tok:
+        token = self._next()
+        if token.kind != kind or (value is not None and token.value != value):
+            raise TemplateError(
+                f"expected {value or kind}, got {token.value!r} "
+                f"at offset {token.pos}"
+            )
+        return token
+
+    # template := (loop | expr)*  — implicit concatenation
+    def parse_template(self) -> tuple:
+        items: list[_Node] = []
+        while self._peek() is not None:
+            token = self._peek()
+            assert token is not None
+            if token.kind == "punct" and token.value == "[":
+                items.append(self._parse_loop())
+            else:
+                items.append(self._parse_expr())
+                # optional '+' between adjacent expressions
+                self._accept("punct", "+")
+        return tuple(items)
+
+    def _parse_loop(self) -> _Loop:
+        self._expect("punct", "[")
+        var = self._expect("ident").value
+        op_tok = self._next()
+        if op_tok.kind != "punct" or op_tok.value not in ("<", "="):
+            raise TemplateError(
+                f"expected loop comparator at offset {op_tok.pos}"
+            )
+        op = op_tok.value
+        if op == "<" and self._accept("punct", "="):
+            op = "<="
+        bound = self._parse_expr()
+        self._expect("punct", "]")
+        self._expect("punct", "{")
+        body: list[_Node] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                raise TemplateError("unterminated loop body")
+            if token.kind == "punct" and token.value == "}":
+                self._next()
+                break
+            if token.kind == "punct" and token.value == "[":
+                body.append(self._parse_loop())
+            else:
+                body.append(self._parse_expr())
+                self._accept("punct", "+")
+        return _Loop(var, op, bound, tuple(body))
+
+    def _parse_expr(self) -> _Node:
+        token = self._next()
+        if token.kind == "string":
+            raw = token.value[1:-1]
+            text = re.sub(r"\\(.)", r"\1", raw)
+            return _Literal(text)
+        if token.kind == "number":
+            return _Number(int(token.value))
+        if token.kind == "var":
+            name = token.value[1:]
+            index: Optional[Union[str, int]] = None
+            if self._accept("punct", "["):
+                idx_tok = self._next()
+                if idx_tok.kind == "loopvar":
+                    index = idx_tok.value.strip("$")
+                elif idx_tok.kind == "number":
+                    index = int(idx_tok.value)
+                else:
+                    raise TemplateError(
+                        f"bad index at offset {idx_tok.pos}"
+                    )
+                self._expect("punct", "]")
+            return _VarRef(name, index)
+        if token.kind == "ident":
+            # function call
+            self._expect("punct", "(")
+            args: list[_Node] = []
+            if not self._accept("punct", ")"):
+                args.append(self._parse_expr())
+                while self._accept("punct", ","):
+                    args.append(self._parse_expr())
+                self._expect("punct", ")")
+            return _FuncCall(token.value.upper(), tuple(args))
+        if token.kind == "loopvar":
+            return _VarRef(token.value.strip("$"), None)
+        raise TemplateError(
+            f"unexpected token {token.value!r} at offset {token.pos}"
+        )
+
+
+# ------------------------------------------------------------------ evaluator
+
+
+def _as_list(value: Any) -> list:
+    if value is None:
+        return []
+    if isinstance(value, (list, tuple)):
+        return list(value)
+    return [value]
+
+
+def _arity(value: Any) -> int:
+    return len(_as_list(value))
+
+
+_FUNCTIONS: dict[str, Callable] = {
+    "ARITYOF": _arity,
+    "UPPER": lambda v: render(v).upper(),
+    "LOWER": lambda v: render(v).lower(),
+    "FIRST": lambda v: (_as_list(v) or [""])[0],
+}
+
+
+class Template:
+    """A parsed, evaluatable template."""
+
+    def __init__(self, nodes: tuple, source: str = ""):
+        self._nodes = nodes
+        self.source = source
+
+    def render(
+        self,
+        context: dict[str, Any],
+        macros: Optional["MacroLibrary"] = None,
+    ) -> str:
+        """Evaluate against *context* (variable name → scalar or list)."""
+        scope = {k.upper(): v for k, v in context.items()}
+        return "".join(
+            self._render_node(node, scope, macros or _EMPTY_MACROS)
+            for node in self._nodes
+        )
+
+    # -- node dispatch ------------------------------------------------------
+
+    def _render_node(self, node: _Node, scope: dict, macros: "MacroLibrary") -> str:
+        value = self._eval(node, scope, macros)
+        if isinstance(value, (list, tuple)):
+            return ", ".join(render(v) for v in value)
+        return render(value)
+
+    def _eval(self, node: _Node, scope: dict, macros: "MacroLibrary") -> Any:
+        if isinstance(node, _Literal):
+            return node.text
+        if isinstance(node, _Number):
+            return node.value
+        if isinstance(node, _VarRef):
+            name = node.name.upper()
+            if name not in scope and name in macros:
+                return macros.expand(name, scope)
+            value = scope.get(name)
+            if node.index is None:
+                return value
+            if isinstance(node.index, str):
+                position = scope.get(node.index.upper())
+                if not isinstance(position, int):
+                    raise TemplateError(
+                        f"loop variable ${node.index}$ unbound"
+                    )
+            else:
+                position = node.index
+            items = _as_list(value)
+            if 1 <= position <= len(items):
+                return items[position - 1]
+            return ""
+        if isinstance(node, _FuncCall):
+            func = _FUNCTIONS.get(node.name)
+            if func is None:
+                raise TemplateError(f"unknown function {node.name}")
+            args = [self._eval(arg, scope, macros) for arg in node.args]
+            return func(*args)
+        if isinstance(node, _Loop):
+            return self._eval_loop(node, scope, macros)
+        raise TemplateError(f"unknown node {node!r}")  # pragma: no cover
+
+    def _eval_loop(self, node: _Loop, scope: dict, macros: "MacroLibrary") -> str:
+        bound = self._eval(node.bound, scope, macros)
+        if not isinstance(bound, int):
+            raise TemplateError("loop bound must evaluate to an integer")
+        if node.op == "<":
+            indices = range(1, bound)
+        elif node.op == "<=":
+            indices = range(1, bound + 1)
+        else:  # '='
+            indices = range(bound, bound + 1) if bound >= 1 else range(0)
+        out = []
+        for i in indices:
+            inner = dict(scope)
+            inner[node.var.upper()] = i
+            out.append(
+                "".join(
+                    self._render_node(child, inner, macros)
+                    for child in node.body
+                )
+            )
+        return "".join(out)
+
+    def __repr__(self):
+        return f"Template({self.source!r})"
+
+
+class MacroLibrary:
+    """Named templates registered with ``DEFINE name as template``."""
+
+    def __init__(self):
+        self._macros: dict[str, Template] = {}
+
+    def define(self, name: str, template: Union[str, Template]) -> None:
+        if isinstance(template, str):
+            template = parse_template(template)
+        self._macros[name.upper()] = template
+
+    def __contains__(self, name: str) -> bool:
+        return name.upper() in self._macros
+
+    def expand(self, name: str, scope: dict[str, Any]) -> str:
+        template = self._macros.get(name.upper())
+        if template is None:
+            raise TemplateError(f"unknown macro {name}")
+        return template.render(scope, self)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._macros)
+
+    def __len__(self):
+        return len(self._macros)
+
+
+_EMPTY_MACROS = MacroLibrary()
+
+
+def parse_template(source: str) -> Template:
+    """Parse template source into a :class:`Template`."""
+    parser = _Parser(_lex(source))
+    return Template(parser.parse_template(), source)
+
+
+_DEFINE_RE = re.compile(
+    r"^\s*DEFINE\s+([A-Za-z_][A-Za-z_0-9]*)\s+as\s+(.*)$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+
+def parse_definitions(source: str) -> MacroLibrary:
+    """Parse a block of ``DEFINE name as …`` declarations.
+
+    Definitions are separated by lines starting with ``DEFINE``; the body
+    of each runs until the next ``DEFINE`` (or end of input) and may span
+    multiple lines.
+    """
+    library = MacroLibrary()
+    chunks: list[str] = []
+    for line in source.splitlines():
+        if re.match(r"^\s*DEFINE\s", line, re.IGNORECASE):
+            chunks.append(line)
+        elif chunks:
+            chunks[-1] += "\n" + line
+        elif line.strip():
+            raise TemplateError(f"expected DEFINE, got {line.strip()!r}")
+    for chunk in chunks:
+        match = _DEFINE_RE.match(chunk)
+        if match is None:
+            raise TemplateError(f"malformed definition: {chunk.strip()[:60]!r}")
+        library.define(match.group(1), parse_template(match.group(2)))
+    return library

@@ -1,0 +1,177 @@
+"""The Result Database Translator (paper §5.3).
+
+Renders the relational précis answer to a natural-language synthesis:
+
+    "The translation is realized separately for every occurrence of a
+    token. For each occurrence, the analysis of the query result graph
+    starts from the relation that contains the input token. The labels
+    of the projection edges that participate in the result graph are
+    evaluated first; the label of the heading attribute comprises the
+    first part of the sentence. After having constructed the clause for
+    the relation that contains the input token, we compose additional
+    clauses that combine information from more than one relation by
+    using foreign key relationships. Each of these clauses has as
+    subject the heading attribute of the relation that has the primary
+    key. The procedure ends when the traversal of the database graph is
+    complete."
+
+Concretely, for each seed tuple of each token occurrence we emit:
+
+1. an *entity clause*: the concatenated projection-edge labels of the
+   token relation (heading attribute first), evaluated on the tuple;
+2. one *join clause* per (result-schema join edge, reached tuple) pair,
+   evaluated in a scope holding the source tuple's attributes as scalars
+   (plus scalars inherited along the traversal — this serves relations
+   without a heading attribute, whose join labels speak about "the
+   previous relation") and the joined target tuples' attributes as
+   lists;
+
+then recurse into the target tuples along the remaining edges.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..relational.database import Database
+from ..relational.row import Row
+from .labels import TranslationSpec
+from .template_lang import Template
+
+__all__ = ["Translator"]
+
+
+class Translator:
+    """Turns :class:`~repro.core.answer.PrecisAnswer` objects into prose."""
+
+    def __init__(self, spec: TranslationSpec):
+        self.spec = spec
+
+    # ------------------------------------------------------------- top level
+
+    def translate(self, answer) -> str:
+        """One paragraph per token occurrence per seed tuple, in order."""
+        paragraphs: list[str] = []
+        for match in answer.matches:
+            for occurrence in match.occurrences:
+                relation = occurrence.relation
+                if relation not in answer.database:
+                    continue
+                tid_map = answer.report.tid_maps.get(relation, {})
+                for source_tid in sorted(occurrence.tids):
+                    answer_tid = tid_map.get(source_tid)
+                    if answer_tid is None:
+                        continue  # excluded by the cardinality constraint
+                    text = self._translate_seed(
+                        answer, relation, answer_tid
+                    )
+                    if text:
+                        paragraphs.append(text)
+        return "\n\n".join(paragraphs)
+
+    # ------------------------------------------------------------- traversal
+
+    def _translate_seed(self, answer, relation: str, tid: int) -> str:
+        row = answer.database.relation(relation).fetch(tid)
+        clauses: list[str] = []
+        entity = self._entity_clause(answer, relation, row, scope={})
+        if entity:
+            clauses.append(entity)
+        self._join_clauses(
+            answer,
+            relation,
+            [row],
+            inherited={},
+            visited=frozenset({relation}),
+            clauses=clauses,
+        )
+        return " ".join(clause.strip() for clause in clauses if clause.strip())
+
+    def _entity_clause(
+        self, answer, relation: str, row: Row, scope: dict[str, Any]
+    ) -> str:
+        """Projection labels of *relation*, heading attribute first."""
+        attributes = list(answer.result_schema.attributes_of(relation))
+        heading = self.spec.heading_of(relation)
+        if heading in attributes:
+            attributes.remove(heading)
+            attributes.insert(0, heading)
+        local = dict(scope)
+        local.update(self._row_scope(row))
+        parts = []
+        for attribute in attributes:
+            template = self.spec.projection_label(relation, attribute)
+            if template is None:
+                continue
+            if row.get(attribute) is None:
+                continue  # a précis may be incomplete; skip silently
+            parts.append(template.render(local, self.spec.macros))
+        return "".join(parts)
+
+    def _join_clauses(
+        self,
+        answer,
+        relation: str,
+        rows: list[Row],
+        inherited: dict[str, Any],
+        visited: frozenset[str],
+        clauses: list[str],
+    ) -> None:
+        for edge in answer.result_schema.join_edges_from(relation):
+            if edge.target in visited:
+                continue
+            template = self.spec.join_label(edge.source, edge.target)
+            target_rel = answer.database.relation(edge.target)
+            next_visited = visited | {edge.target}
+            for row in rows:
+                driving = row.get(edge.source_attribute)
+                if driving is None:
+                    continue
+                targets = sorted(
+                    target_rel.fetch_many(
+                        sorted(
+                            target_rel.lookup(edge.target_attribute, driving)
+                        )
+                    ),
+                    key=lambda r: r.tid,
+                )
+                if not targets:
+                    continue
+                scope = dict(inherited)
+                scope.update(self._row_scope(row))
+                if template is not None:
+                    scope_with_lists = dict(scope)
+                    scope_with_lists.update(self._rows_scope(targets))
+                    clause = template.render(
+                        scope_with_lists, self.spec.macros
+                    ).strip()
+                    if clause:
+                        clauses.append(clause)
+                # recurse: clauses about relations further out are
+                # composed per reached tuple, subject = their heading
+                self._join_clauses(
+                    answer,
+                    edge.target,
+                    targets,
+                    inherited=scope,
+                    visited=next_visited,
+                    clauses=clauses,
+                )
+
+    # ------------------------------------------------------------- scopes
+
+    @staticmethod
+    def _row_scope(row: Row) -> dict[str, Any]:
+        return {
+            attr.upper(): value
+            for attr, value in zip(row.attributes, row.values)
+        }
+
+    @staticmethod
+    def _rows_scope(rows: list[Row]) -> dict[str, Any]:
+        if not rows:
+            return {}
+        attributes = rows[0].attributes
+        return {
+            attr.upper(): [row[attr] for row in rows] for attr in attributes
+        }

@@ -1,0 +1,5 @@
+"""Personalization: user-specific weight sets and default constraints."""
+
+from .profile import Profile, ProfileRegistry
+
+__all__ = ["Profile", "ProfileRegistry"]

@@ -1,0 +1,103 @@
+"""User profiles: stored weight sets and default constraints (paper §3.1).
+
+    "Multiple sets of weights corresponding to different user profiles
+    may be stored in the system. Using user-specific weights allows
+    generating personalized answers. [...] Similarly to weights,
+    constraints may be specified at query time by the user, or be
+    pre-specified by a designer, or may be stored as part of a user's
+    profile."
+
+A :class:`Profile` bundles edge-weight overrides (keyed by schema-graph
+edge keys) with optional default degree/cardinality constraints. The
+précis engine overlays the profile's weights on its base graph per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..core.constraints import CardinalityConstraint, DegreeConstraint
+from ..graph.schema_graph import SchemaGraph
+
+__all__ = ["Profile", "ProfileRegistry"]
+
+
+@dataclass
+class Profile:
+    """A named personalization profile."""
+
+    name: str
+    #: edge key -> weight override; keys are ("proj", rel, attr) or
+    #: ("join", src, dst) — see SchemaGraph.with_weights
+    weights: dict[tuple, float] = field(default_factory=dict)
+    degree: Optional[DegreeConstraint] = None
+    cardinality: Optional[CardinalityConstraint] = None
+    description: str = ""
+
+    # ------------------------------------------------------------ builders
+
+    def set_projection_weight(
+        self, relation: str, attribute: str, weight: float
+    ) -> "Profile":
+        self.weights[("proj", relation, attribute)] = weight
+        return self
+
+    def set_join_weight(self, source: str, target: str, weight: float) -> "Profile":
+        self.weights[("join", source, target)] = weight
+        return self
+
+    # ------------------------------------------------------------ applying
+
+    def personalize(self, graph: SchemaGraph) -> SchemaGraph:
+        """A copy of *graph* with this profile's weights applied."""
+        if not self.weights:
+            return graph
+        return graph.with_weights(self.weights)
+
+    def merged_with(self, other: "Profile", name: Optional[str] = None) -> "Profile":
+        """A new profile: *other*'s entries override this one's.
+
+        Useful for layering a user profile over a designer default.
+        """
+        return Profile(
+            name=name or f"{self.name}+{other.name}",
+            weights={**self.weights, **other.weights},
+            degree=other.degree or self.degree,
+            cardinality=other.cardinality or self.cardinality,
+            description=other.description or self.description,
+        )
+
+    def __repr__(self):
+        return (
+            f"Profile({self.name!r}, {len(self.weights)} weight overrides)"
+        )
+
+
+class ProfileRegistry:
+    """In-memory store of named profiles (the paper's "multiple sets of
+
+    weights … stored in the system")."""
+
+    def __init__(self):
+        self._profiles: dict[str, Profile] = {}
+
+    def register(self, profile: Profile) -> None:
+        if profile.name in self._profiles:
+            raise KeyError(f"profile {profile.name!r} already registered")
+        self._profiles[profile.name] = profile
+
+    def get(self, name: str) -> Profile:
+        try:
+            return self._profiles[name]
+        except KeyError:
+            raise KeyError(f"no profile {name!r} registered") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._profiles
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._profiles)
+
+    def __len__(self):
+        return len(self._profiles)

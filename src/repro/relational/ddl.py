@@ -1,0 +1,193 @@
+"""SQL DDL emission and parsing for database schemas.
+
+The paper's headline is that a précis query generates "a whole new
+database, with its own schema, constraints, and contents, derived from
+their counterparts in the original database". This module makes that
+schema tangible: :func:`create_schema_sql` renders any
+:class:`~repro.relational.schema.DatabaseSchema` — including the schema
+of a précis answer — as standard ``CREATE TABLE`` statements, and
+:func:`parse_ddl` goes the other way, so schemas can be authored as SQL
+text (used by the CLI and the examples).
+
+The dialect is deliberately small and portable::
+
+    CREATE TABLE MOVIE (
+        MID INT NOT NULL,
+        TITLE TEXT,
+        YEAR INT,
+        DID INT,
+        PRIMARY KEY (MID),
+        FOREIGN KEY (DID) REFERENCES DIRECTOR (DID)
+    );
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from .datatypes import DataType
+from .errors import SQLSyntaxError
+from .schema import Column, DatabaseSchema, ForeignKey, RelationSchema
+
+__all__ = ["create_table_sql", "create_schema_sql", "parse_ddl"]
+
+_TYPE_NAMES = {
+    DataType.INT: "INT",
+    DataType.FLOAT: "FLOAT",
+    DataType.TEXT: "TEXT",
+    DataType.DATE: "DATE",
+    DataType.BOOL: "BOOL",
+}
+
+_TYPE_ALIASES = {
+    "INT": DataType.INT,
+    "INTEGER": DataType.INT,
+    "BIGINT": DataType.INT,
+    "FLOAT": DataType.FLOAT,
+    "REAL": DataType.FLOAT,
+    "DOUBLE": DataType.FLOAT,
+    "TEXT": DataType.TEXT,
+    "VARCHAR": DataType.TEXT,
+    "CHAR": DataType.TEXT,
+    "STRING": DataType.TEXT,
+    "DATE": DataType.DATE,
+    "BOOL": DataType.BOOL,
+    "BOOLEAN": DataType.BOOL,
+}
+
+
+def create_table_sql(
+    schema: RelationSchema, foreign_keys: Iterable[ForeignKey] = ()
+) -> str:
+    """Render one relation schema (plus its outbound FKs) as DDL."""
+    lines = []
+    for col in schema.columns:
+        null = "" if col.nullable and col.name not in schema.primary_key else " NOT NULL"
+        lines.append(f"    {col.name} {_TYPE_NAMES[col.dtype]}{null}")
+    if schema.primary_key:
+        lines.append(f"    PRIMARY KEY ({', '.join(schema.primary_key)})")
+    for fk in foreign_keys:
+        if fk.source != schema.name:
+            continue
+        lines.append(
+            f"    FOREIGN KEY ({fk.column}) "
+            f"REFERENCES {fk.target} ({fk.target_column})"
+        )
+    body = ",\n".join(lines)
+    return f"CREATE TABLE {schema.name} (\n{body}\n);"
+
+
+def create_schema_sql(schema: DatabaseSchema) -> str:
+    """Render a whole database schema as a DDL script (parents first,
+
+    so the script replays cleanly on engines that check references at
+    definition time)."""
+    from .database import _topological_load_order
+
+    order = _topological_load_order(schema)
+    statements = [
+        create_table_sql(schema.relation(name), schema.foreign_keys)
+        for name in order
+    ]
+    return "\n\n".join(statements)
+
+
+# --------------------------------------------------------------------- parser
+
+_CREATE_RE = re.compile(
+    r"CREATE\s+TABLE\s+([A-Za-z_][A-Za-z_0-9]*)\s*\((.*?)\)\s*;",
+    re.IGNORECASE | re.DOTALL,
+)
+_PK_RE = re.compile(
+    r"^PRIMARY\s+KEY\s*\(([^)]*)\)$", re.IGNORECASE
+)
+_FK_RE = re.compile(
+    r"^FOREIGN\s+KEY\s*\(([^)]*)\)\s*REFERENCES\s+"
+    r"([A-Za-z_][A-Za-z_0-9]*)\s*\(([^)]*)\)$",
+    re.IGNORECASE,
+)
+_COLUMN_RE = re.compile(
+    r"^([A-Za-z_][A-Za-z_0-9]*)\s+([A-Za-z]+)(?:\s*\(\s*\d+\s*\))?"
+    r"(\s+NOT\s+NULL)?(\s+PRIMARY\s+KEY)?$",
+    re.IGNORECASE,
+)
+
+
+def _split_top_level(body: str) -> list[str]:
+    """Split a CREATE TABLE body on commas not nested in parentheses."""
+    parts, depth, current = [], 0, []
+    for char in body:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def parse_ddl(text: str) -> DatabaseSchema:
+    """Parse a script of ``CREATE TABLE`` statements into a schema.
+
+    Supports column types (with common aliases like VARCHAR(n)),
+    ``NOT NULL``, inline and table-level ``PRIMARY KEY``, and
+    table-level ``FOREIGN KEY … REFERENCES``. Comments (``-- …``) are
+    stripped.
+    """
+    text = re.sub(r"--[^\n]*", "", text)
+    relations: list[RelationSchema] = []
+    fks: list[ForeignKey] = []
+    consumed = 0
+    for match in _CREATE_RE.finditer(text):
+        consumed += 1
+        name, body = match.group(1), match.group(2)
+        columns: list[Column] = []
+        pk: list[str] = []
+        for item in _split_top_level(body):
+            pk_match = _PK_RE.match(item)
+            if pk_match:
+                pk.extend(c.strip() for c in pk_match.group(1).split(","))
+                continue
+            fk_match = _FK_RE.match(item)
+            if fk_match:
+                fks.append(
+                    ForeignKey(
+                        name,
+                        fk_match.group(1).strip(),
+                        fk_match.group(2),
+                        fk_match.group(3).strip(),
+                    )
+                )
+                continue
+            col_match = _COLUMN_RE.match(item)
+            if not col_match:
+                raise SQLSyntaxError(
+                    f"cannot parse column definition {item!r} in {name}"
+                )
+            col_name = col_match.group(1)
+            type_name = col_match.group(2).upper()
+            dtype = _TYPE_ALIASES.get(type_name)
+            if dtype is None:
+                raise SQLSyntaxError(
+                    f"unknown type {type_name} for {name}.{col_name}"
+                )
+            not_null = bool(col_match.group(3))
+            if col_match.group(4):
+                pk.append(col_name)
+            columns.append(Column(col_name, dtype, nullable=not not_null))
+        relations.append(RelationSchema(name, columns, pk or None))
+    if not consumed:
+        raise SQLSyntaxError("no CREATE TABLE statement found")
+    leftovers = _CREATE_RE.sub("", text).strip()
+    if leftovers:
+        raise SQLSyntaxError(
+            f"unparsed DDL remainder: {leftovers[:60]!r}"
+        )
+    return DatabaseSchema(relations, fks)

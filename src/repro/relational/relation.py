@@ -1,0 +1,274 @@
+"""Tuple storage for a single relation.
+
+A :class:`Relation` stores tuples addressed by an engine-assigned integer
+tuple id (*tid*) — the analogue of Oracle's ROWID that the paper's
+generators use to re-fetch tuples found through the inverted index. It
+enforces NOT NULL and primary-key uniqueness locally; referential
+integrity spans relations and lives in
+:class:`~repro.relational.database.Database`.
+
+Cost charging policy (see :mod:`repro.relational.cost`):
+
+* ``fetch`` / ``fetch_many`` charge one *tuple read* per tuple returned;
+* ``lookup`` / ``lookup_in`` charge one *index lookup* per probe value
+  when an index exists, or one *scan step* per tuple visited otherwise;
+* ``scan`` charges one scan step per tuple visited.
+
+This makes the modeled cost of one indexed retrieval exactly
+``IndexTime + TupleTime``, the unit of the paper's Formula (2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence
+
+from .cost import CostMeter
+from .datatypes import coerce
+from .errors import (
+    NotNullViolation,
+    PrimaryKeyViolation,
+    SchemaError,
+    TypeMismatchError,
+    UnknownTupleError,
+)
+from .index import HashIndex, SortedIndex
+from .row import Row
+from .schema import RelationSchema
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """A populated relation following a :class:`RelationSchema`."""
+
+    def __init__(self, schema: RelationSchema, meter: Optional[CostMeter] = None):
+        self.schema = schema
+        self.meter = meter or CostMeter()
+        self._tuples: dict[int, tuple] = {}
+        self._next_tid = 1
+        self._pk_index: dict[tuple, int] = {}
+        self._indexes: dict[str, HashIndex | SortedIndex] = {}
+
+    # ------------------------------------------------------------------ basics
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def tids(self) -> Iterator[int]:
+        return iter(self._tuples)
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._tuples
+
+    def __repr__(self):
+        return f"Relation({self.name}, {len(self)} tuples)"
+
+    # ------------------------------------------------------------------ writes
+
+    def _normalize(self, values: Mapping[str, Any] | Sequence[Any]) -> tuple:
+        """Coerce input into a full-width storage tuple in schema order."""
+        if isinstance(values, Mapping):
+            unknown = set(values) - set(self.schema.attribute_names)
+            if unknown:
+                raise SchemaError(
+                    f"unknown attributes for {self.name}: {sorted(unknown)}"
+                )
+            raw = [values.get(col.name) for col in self.schema.columns]
+        else:
+            raw = list(values)
+            if len(raw) != len(self.schema):
+                raise SchemaError(
+                    f"{self.name} expects {len(self.schema)} values, "
+                    f"got {len(raw)}"
+                )
+        out = []
+        for col, value in zip(self.schema.columns, raw):
+            try:
+                value = coerce(value, col.dtype)
+            except (ValueError, TypeError):
+                raise TypeMismatchError(
+                    self.name, col.name, col.dtype, value
+                ) from None
+            if value is None and (
+                not col.nullable or col.name in self.schema.primary_key
+            ):
+                raise NotNullViolation(self.name, col.name)
+            out.append(value)
+        return tuple(out)
+
+    def insert(self, values: Mapping[str, Any] | Sequence[Any]) -> int:
+        """Insert one tuple; returns its tid.
+
+        Raises on type mismatch, NULL in a required column, or duplicate
+        primary key.
+        """
+        stored = self._normalize(values)
+        pk_value = None
+        if self.schema.primary_key:
+            pk_pos = self.schema.positions(self.schema.primary_key)
+            pk_value = tuple(stored[p] for p in pk_pos)
+            if pk_value in self._pk_index:
+                raise PrimaryKeyViolation(self.name, pk_value)
+        tid = self._next_tid
+        self._next_tid += 1
+        self._tuples[tid] = stored
+        if pk_value is not None:
+            self._pk_index[pk_value] = tid
+        for attr, index in self._indexes.items():
+            index.insert(stored[self.schema.position(attr)], tid)
+        return tid
+
+    def insert_many(
+        self, rows: Iterable[Mapping[str, Any] | Sequence[Any]]
+    ) -> list[int]:
+        return [self.insert(row) for row in rows]
+
+    def delete(self, tid: int) -> None:
+        stored = self._tuples.pop(tid, None)
+        if stored is None:
+            raise UnknownTupleError(self.name, tid)
+        if self.schema.primary_key:
+            pk_pos = self.schema.positions(self.schema.primary_key)
+            self._pk_index.pop(tuple(stored[p] for p in pk_pos), None)
+        for attr, index in self._indexes.items():
+            index.remove(stored[self.schema.position(attr)], tid)
+
+    def clear(self) -> None:
+        self._tuples.clear()
+        self._pk_index.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    # ------------------------------------------------------------------ indexes
+
+    def create_index(self, attribute: str, kind: str = "hash") -> None:
+        """Build (or rebuild) a secondary index on *attribute*."""
+        self.schema.column(attribute)  # validates existence
+        if kind == "hash":
+            index: HashIndex | SortedIndex = HashIndex(self.name, attribute)
+        elif kind == "sorted":
+            index = SortedIndex(self.name, attribute)
+        else:
+            raise SchemaError(f"unknown index kind {kind!r}")
+        pos = self.schema.position(attribute)
+        for tid, stored in self._tuples.items():
+            index.insert(stored[pos], tid)
+        self._indexes[attribute] = index
+
+    def has_index(self, attribute: str) -> bool:
+        return attribute in self._indexes
+
+    def index_on(self, attribute: str) -> HashIndex | SortedIndex:
+        try:
+            return self._indexes[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"no index on {self.name}.{attribute}"
+            ) from None
+
+    @property
+    def indexed_attributes(self) -> tuple[str, ...]:
+        return tuple(self._indexes)
+
+    # ------------------------------------------------------------------ reads
+
+    def fetch(self, tid: int, attributes: Optional[Sequence[str]] = None) -> Row:
+        """Read one tuple by id, optionally projected."""
+        stored = self._tuples.get(tid)
+        if stored is None:
+            raise UnknownTupleError(self.name, tid)
+        self.meter.charge_tuple_read()
+        if attributes is None:
+            return Row(self.name, tid, self.schema.attribute_names, stored)
+        pos = self.schema.positions(attributes)
+        return Row(self.name, tid, attributes, tuple(stored[p] for p in pos))
+
+    def fetch_many(
+        self,
+        tids: Iterable[int],
+        attributes: Optional[Sequence[str]] = None,
+        limit: Optional[int] = None,
+    ) -> list[Row]:
+        """Read tuples by id; unknown tids are skipped (they may have been
+
+        deleted between index probe and fetch). ``limit`` truncates the
+        result to an arbitrary prefix — the engine's equivalent of the
+        ``RowNum`` trick the paper uses for NaïveQ.
+        """
+        out: list[Row] = []
+        for tid in tids:
+            if limit is not None and len(out) >= limit:
+                break
+            if tid not in self._tuples:
+                continue
+            out.append(self.fetch(tid, attributes))
+        return out
+
+    def scan(
+        self, attributes: Optional[Sequence[str]] = None
+    ) -> Iterator[Row]:
+        """Full scan in tid order."""
+        names = (
+            self.schema.attribute_names if attributes is None else tuple(attributes)
+        )
+        pos = self.schema.positions(names)
+        for tid, stored in self._tuples.items():
+            self.meter.charge_scan_step()
+            yield Row(self.name, tid, names, tuple(stored[p] for p in pos))
+
+    # ------------------------------------------------------------------ probes
+
+    def lookup(self, attribute: str, value: Any) -> set[int]:
+        """Tids whose *attribute* equals *value* (index probe or scan)."""
+        index = self._indexes.get(attribute)
+        if index is not None:
+            self.meter.charge_index_lookup()
+            return set(index.lookup(value))
+        pos = self.schema.position(attribute)
+        out = set()
+        for tid, stored in self._tuples.items():
+            self.meter.charge_scan_step()
+            if stored[pos] == value:
+                out.add(tid)
+        return out
+
+    def lookup_in(self, attribute: str, values: Iterable[Any]) -> set[int]:
+        """Tids whose *attribute* is in *values* (the IN-list probe)."""
+        values = list(values)
+        index = self._indexes.get(attribute)
+        if index is not None:
+            self.meter.charge_index_lookup(len(values))
+            return index.lookup_many(values)
+        pos = self.schema.position(attribute)
+        wanted = set(values)
+        out = set()
+        for tid, stored in self._tuples.items():
+            self.meter.charge_scan_step()
+            if stored[pos] in wanted:
+                out.add(tid)
+        return out
+
+    def lookup_pk(self, key: Any | tuple) -> Optional[int]:
+        """Tid of the tuple with the given primary-key value, if any."""
+        if not self.schema.primary_key:
+            raise SchemaError(f"{self.name} has no primary key")
+        if not isinstance(key, tuple):
+            key = (key,)
+        self.meter.charge_index_lookup()
+        return self._pk_index.get(key)
+
+    def distinct_values(self, attribute: str) -> set[Any]:
+        """All distinct values of *attribute* (NULL excluded)."""
+        index = self._indexes.get(attribute)
+        if index is not None:
+            return {v for v in index.distinct_values() if v is not None}
+        pos = self.schema.position(attribute)
+        return {
+            stored[pos]
+            for stored in self._tuples.values()
+            if stored[pos] is not None
+        }

@@ -1,0 +1,112 @@
+"""Database statistics: cardinalities, distinct counts, join fan-outs.
+
+Used by the benchmark harness to characterize workloads (is a join
+1-to-1 or 1-to-n? how skewed?), by the examples to describe the
+databases they carve up, and available to applications to pick
+cardinality constraints intelligently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .database import Database
+from .schema import ForeignKey
+
+__all__ = ["RelationStats", "FanoutStats", "relation_stats", "fanout_stats",
+           "database_summary"]
+
+
+@dataclass(frozen=True)
+class RelationStats:
+    """Basic statistics of one relation."""
+
+    relation: str
+    cardinality: int
+    distinct: dict[str, int]  # attribute -> number of distinct non-NULL
+    nulls: dict[str, int]  # attribute -> number of NULLs
+
+    def selectivity(self, attribute: str) -> float:
+        """Average tuples per distinct value (1.0 = unique)."""
+        d = self.distinct.get(attribute, 0)
+        non_null = self.cardinality - self.nulls.get(attribute, 0)
+        return non_null / d if d else 0.0
+
+
+@dataclass(frozen=True)
+class FanoutStats:
+    """Fan-out of a foreign-key join: children per referenced parent."""
+
+    fk: ForeignKey
+    min_fanout: int
+    max_fanout: int
+    mean_fanout: float
+    orphans: int  # parents with no children
+
+    @property
+    def is_skewed(self) -> bool:
+        """Max fan-out more than double the mean — NaïveQ's risk zone."""
+        return self.mean_fanout > 0 and self.max_fanout > 2 * self.mean_fanout
+
+
+def relation_stats(db: Database, relation: str) -> RelationStats:
+    rel = db.relation(relation)
+    names = rel.schema.attribute_names
+    seen: dict[str, set] = {name: set() for name in names}
+    nulls: dict[str, int] = {name: 0 for name in names}
+    for row in rel.scan():
+        for name, value in zip(names, row.values):
+            if value is None:
+                nulls[name] += 1
+            else:
+                seen[name].add(value)
+    return RelationStats(
+        relation=relation,
+        cardinality=len(rel),
+        distinct={name: len(values) for name, values in seen.items()},
+        nulls=nulls,
+    )
+
+
+def fanout_stats(db: Database, fk: ForeignKey) -> FanoutStats:
+    """Children-per-parent distribution of one foreign key."""
+    parent = db.relation(fk.target)
+    child = db.relation(fk.source)
+    counts: dict = {
+        value: 0 for value in parent.distinct_values(fk.target_column)
+    }
+    pos = child.schema.position(fk.column)
+    for tid in child.tids():
+        value = child.fetch(tid)[pos]
+        if value in counts:
+            counts[value] += 1
+    if not counts:
+        return FanoutStats(fk, 0, 0, 0.0, 0)
+    values = list(counts.values())
+    return FanoutStats(
+        fk=fk,
+        min_fanout=min(values),
+        max_fanout=max(values),
+        mean_fanout=sum(values) / len(values),
+        orphans=sum(1 for v in values if v == 0),
+    )
+
+
+def database_summary(db: Database) -> str:
+    """Multi-line text summary of a database (used by the examples)."""
+    lines = [f"{len(db.relation_names)} relations, {db.total_tuples()} tuples"]
+    for relation in db.relation_names:
+        stats = relation_stats(db, relation)
+        keys = ", ".join(
+            f"{a}:{stats.distinct[a]}" for a in stats.distinct
+        )
+        lines.append(f"  {relation}: {stats.cardinality} tuples ({keys})")
+    for fk in db.schema.foreign_keys:
+        fan = fanout_stats(db, fk)
+        skew = " SKEWED" if fan.is_skewed else ""
+        lines.append(
+            f"  {fk}: fan-out {fan.min_fanout}–{fan.max_fanout} "
+            f"(mean {fan.mean_fanout:.2f}){skew}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""Précis over semi-structured data: JSON-document shredding."""
+
+from .shredder import ShredError, ShredResult, shred
+from .xml_adapter import element_to_document, shred_xml
+
+__all__ = [
+    "shred",
+    "ShredResult",
+    "ShredError",
+    "shred_xml",
+    "element_to_document",
+]

@@ -1,0 +1,31 @@
+"""Full-text substrate: tokenization and the paper's inverted index (§4)."""
+
+from .inverted_index import InvertedIndex, Occurrence, build_index
+from .maintenance import SynchronizedWriter
+from .matching import SynonymMap, TokenMatch, group_homonyms, match_tokens
+from .scoring import TfIdfScorer
+from .persistence import index_from_dict, index_to_dict, load_index, save_index
+from .stopwords import ENGLISH_STOPWORDS, is_stopword
+from .tokenizer import Token, normalize, query_tokens, tokenize
+
+__all__ = [
+    "InvertedIndex",
+    "Occurrence",
+    "build_index",
+    "SynonymMap",
+    "TokenMatch",
+    "match_tokens",
+    "group_homonyms",
+    "Token",
+    "tokenize",
+    "normalize",
+    "query_tokens",
+    "ENGLISH_STOPWORDS",
+    "is_stopword",
+    "save_index",
+    "load_index",
+    "index_to_dict",
+    "index_from_dict",
+    "SynchronizedWriter",
+    "TfIdfScorer",
+]

@@ -1,0 +1,222 @@
+"""The inverted index of paper §4.
+
+    "An inverted index associates each token that appears in the database
+    with a list of occurrences of the token. Each occurrence is recorded
+    as an attribute-relation pair, (R_j, A_lj). For each such pair, the
+    list Tids_lj of ids of tuples from R_j in which A_lj includes the
+    token, is also returned."
+
+This implementation is positional, so multi-word query tokens (phrases
+like ``"Woody Allen"``) match only tuples whose attribute value contains
+the words *contiguously and in order* — matching the paper's treatment of
+a person's name as a single token.
+
+The index is maintainable (``add_value`` / ``remove_value``) and can be
+(re)built from any :class:`~repro.relational.database.Database`, indexing
+every TEXT column by default or an explicit attribute subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..relational.database import Database
+from ..relational.datatypes import DataType, render
+from .tokenizer import normalize, tokenize
+
+__all__ = ["Occurrence", "InvertedIndex", "build_index"]
+
+
+@dataclass(frozen=True)
+class Occurrence:
+    """All matches of one token within one (relation, attribute) pair."""
+
+    relation: str
+    attribute: str
+    tids: frozenset[int]
+
+    def __repr__(self):
+        return (
+            f"Occurrence({self.relation}.{self.attribute}, "
+            f"{len(self.tids)} tuples)"
+        )
+
+
+# posting structure: word -> (relation, attribute) -> tid -> positions
+_Postings = dict[str, dict[tuple[str, str], dict[int, list[int]]]]
+
+
+class InvertedIndex:
+    """Positional inverted index over the textual content of a database."""
+
+    def __init__(self):
+        self._postings: _Postings = {}
+        self._indexed_attributes: set[tuple[str, str]] = set()
+        self._documents = 0
+
+    # ------------------------------------------------------------- building
+
+    def index_database(
+        self,
+        db: Database,
+        attributes: Optional[Iterable[tuple[str, str]]] = None,
+    ) -> "InvertedIndex":
+        """Index *db* and return self.
+
+        *attributes* is an iterable of ``(relation, attribute)`` pairs; if
+        omitted, every TEXT column of every relation is indexed. Non-TEXT
+        columns may be listed explicitly — their values are indexed by
+        their text rendering (useful for, e.g., years).
+        """
+        if attributes is None:
+            pairs = [
+                (rs.name, col.name)
+                for rs in db.schema
+                for col in rs.columns
+                if col.dtype is DataType.TEXT
+            ]
+        else:
+            pairs = list(attributes)
+        for relation, attribute in pairs:
+            rel = db.relation(relation)
+            rel.schema.column(attribute)  # validate
+            self._indexed_attributes.add((relation, attribute))
+            pos = rel.schema.position(attribute)
+            for tid in rel.tids():
+                # direct storage access: indexing is not a metered query
+                value = rel.fetch(tid)[pos]
+                if value is not None:
+                    self.add_value(relation, attribute, tid, render(value))
+        return self
+
+    def add_value(
+        self, relation: str, attribute: str, tid: int, text: str
+    ) -> None:
+        """Index one attribute value."""
+        self._indexed_attributes.add((relation, attribute))
+        key = (relation, attribute)
+        tokens = tokenize(text)
+        if tokens:
+            self._documents += 1
+        for token in tokens:
+            by_attr = self._postings.setdefault(token.text, {})
+            by_tid = by_attr.setdefault(key, {})
+            by_tid.setdefault(tid, []).append(token.position)
+
+    def remove_value(
+        self, relation: str, attribute: str, tid: int, text: str
+    ) -> None:
+        """Remove a previously indexed value (must pass the same text)."""
+        key = (relation, attribute)
+        tokens = tokenize(text)
+        if tokens:
+            self._documents = max(0, self._documents - 1)
+        for token in tokens:
+            by_attr = self._postings.get(token.text)
+            if not by_attr:
+                continue
+            by_tid = by_attr.get(key)
+            if not by_tid:
+                continue
+            by_tid.pop(tid, None)
+            if not by_tid:
+                del by_attr[key]
+            if not by_attr:
+                del self._postings[token.text]
+
+    # ------------------------------------------------------------- lookups
+
+    def lookup_word(self, word: str) -> list[Occurrence]:
+        """Occurrences of a single word, grouped by (relation, attribute)."""
+        by_attr = self._postings.get(normalize(word), {})
+        return [
+            Occurrence(relation, attribute, frozenset(by_tid))
+            for (relation, attribute), by_tid in sorted(by_attr.items())
+        ]
+
+    def lookup_phrase(self, words: Sequence[str]) -> list[Occurrence]:
+        """Occurrences where *words* appear contiguously, in order."""
+        words = [normalize(w) for w in words]
+        if not words:
+            return []
+        if len(words) == 1:
+            return self.lookup_word(words[0])
+        first = self._postings.get(words[0])
+        if not first:
+            return []
+        out: list[Occurrence] = []
+        for key in sorted(first):
+            survivors: dict[int, set[int]] = {
+                tid: set(positions) for tid, positions in first[key].items()
+            }
+            for offset, word in enumerate(words[1:], start=1):
+                by_attr = self._postings.get(word)
+                if not by_attr or key not in by_attr:
+                    survivors = {}
+                    break
+                nxt = by_attr[key]
+                survivors = {
+                    tid: {
+                        p
+                        for p in starts
+                        if tid in nxt and p + offset in nxt[tid]
+                    }
+                    for tid, starts in survivors.items()
+                }
+                survivors = {t: s for t, s in survivors.items() if s}
+                if not survivors:
+                    break
+            if survivors:
+                out.append(
+                    Occurrence(key[0], key[1], frozenset(survivors))
+                )
+        return out
+
+    def lookup_token(self, token: str | Sequence[str]) -> list[Occurrence]:
+        """Occurrences of a précis query token (word or phrase).
+
+        Accepts either a raw string (tokenized here; multi-word strings
+        become phrases) or a pre-tokenized word sequence.
+        """
+        if isinstance(token, str):
+            words = [t.text for t in tokenize(token)]
+        else:
+            words = list(token)
+        return self.lookup_phrase(words)
+
+    def contains_word(self, word: str) -> bool:
+        return normalize(word) in self._postings
+
+    # ------------------------------------------------------------- stats
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    @property
+    def indexed_attributes(self) -> frozenset[tuple[str, str]]:
+        return frozenset(self._indexed_attributes)
+
+    def postings_count(self) -> int:
+        """Total number of (word, attribute, tid) postings."""
+        return sum(
+            len(by_tid)
+            for by_attr in self._postings.values()
+            for by_tid in by_attr.values()
+        )
+
+    def __repr__(self):
+        return (
+            f"InvertedIndex({self.vocabulary_size} words, "
+            f"{self.postings_count()} postings, "
+            f"{len(self._indexed_attributes)} attributes)"
+        )
+
+
+def build_index(
+    db: Database,
+    attributes: Optional[Iterable[tuple[str, str]]] = None,
+) -> InvertedIndex:
+    """Convenience: ``InvertedIndex().index_database(db, attributes)``."""
+    return InvertedIndex().index_database(db, attributes)

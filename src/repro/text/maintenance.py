@@ -1,0 +1,89 @@
+"""Keeping the inverted index synchronized with a live database.
+
+The paper's system builds its index once over a static IMDB dump; a
+library must also serve databases that change. :class:`SynchronizedWriter`
+wraps a database + index pair and routes inserts/deletes through both,
+so précis answers immediately reflect new data. Attributes indexed are
+whatever the index already covers (plus any TEXT column of relations
+never seen before, matching ``build_index``'s default).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ..relational.database import Database
+from ..relational.datatypes import DataType, render
+from .inverted_index import InvertedIndex
+
+__all__ = ["SynchronizedWriter"]
+
+
+class SynchronizedWriter:
+    """Insert/delete through the database and the inverted index at once."""
+
+    def __init__(self, db: Database, index: InvertedIndex):
+        self.db = db
+        self.index = index
+
+    # ----------------------------------------------------------------- info
+
+    def _indexed_attributes(self, relation: str) -> list[str]:
+        known = [
+            attribute
+            for (rel, attribute) in self.index.indexed_attributes
+            if rel == relation
+        ]
+        if known:
+            return known
+        # relation never indexed: adopt the build_index default (all
+        # TEXT columns)
+        schema = self.db.relation(relation).schema
+        return [
+            col.name for col in schema.columns if col.dtype is DataType.TEXT
+        ]
+
+    # ---------------------------------------------------------------- writes
+
+    def insert(
+        self, relation: str, values: Mapping[str, Any] | Sequence[Any]
+    ) -> int:
+        """Insert a tuple and index its text content; returns the tid."""
+        tid = self.db.insert(relation, values)
+        row = self.db.relation(relation).fetch(tid)
+        for attribute in self._indexed_attributes(relation):
+            value = row.get(attribute)
+            if value is not None:
+                self.index.add_value(relation, attribute, tid, render(value))
+        return tid
+
+    def delete(self, relation: str, tid: int) -> None:
+        """Remove a tuple from both the database and the index."""
+        row = self.db.relation(relation).fetch(tid)
+        for attribute in self._indexed_attributes(relation):
+            value = row.get(attribute)
+            if value is not None:
+                self.index.remove_value(
+                    relation, attribute, tid, render(value)
+                )
+        self.db.relation(relation).delete(tid)
+
+    def update(
+        self,
+        relation: str,
+        tid: int,
+        changes: Mapping[str, Any],
+    ) -> int:
+        """Replace attribute values of one tuple (delete + re-insert;
+
+        the tuple receives a fresh tid, which is returned)."""
+        row = self.db.relation(relation).fetch(tid)
+        values = row.as_dict()
+        unknown = set(changes) - set(values)
+        if unknown:
+            raise KeyError(
+                f"unknown attributes for {relation}: {sorted(unknown)}"
+            )
+        values.update(changes)
+        self.delete(relation, tid)
+        return self.insert(relation, values)

@@ -1,0 +1,24 @@
+"""A small English stopword list.
+
+Stopword filtering is **off by default** in the inverted index: database
+values are short and every word may be discriminating (a genre literally
+called "The" would be findable). The query front-end may opt in to drop
+stopwords from multi-word free-form queries.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ENGLISH_STOPWORDS", "is_stopword"]
+
+ENGLISH_STOPWORDS = frozenset(
+    """
+    a an and are as at be but by for from had has have he her his i in is
+    it its of on or she that the their them they this to was were will
+    with
+    """.split()
+)
+
+
+def is_stopword(word: str) -> bool:
+    """True iff the (already normalized) word is an English stopword."""
+    return word in ENGLISH_STOPWORDS

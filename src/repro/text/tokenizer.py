@@ -1,0 +1,79 @@
+"""Tokenization of attribute values and query strings.
+
+The inverted index and the query front-end must agree on what a token is;
+both use this module. Tokens are case-folded word sequences; punctuation
+splits, apostrophes inside words are kept (``o'brien`` is one token), and
+positions are preserved so the index can answer phrase queries such as
+the paper's running example token ``"Woody Allen"``.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Token", "tokenize", "normalize", "query_tokens"]
+
+_WORD_RE = re.compile(r"[0-9A-Za-z]+(?:'[0-9A-Za-z]+)*")
+
+
+def normalize(word: str) -> str:
+    """Case-fold and strip diacritics: ``Précis`` -> ``precis``."""
+    decomposed = unicodedata.normalize("NFKD", word)
+    stripped = "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+    return stripped.casefold()
+
+
+@dataclass(frozen=True)
+class Token:
+    """A normalized word with its ordinal position in the source text."""
+
+    text: str
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split *text* into normalized, positioned tokens.
+
+    >>> [t.text for t in tokenize("Woody Allen's 'Match Point' (2005)")]
+    ['woody', "allen's", 'match', 'point', '2005']
+    """
+    if not text:
+        return []
+    return [
+        Token(normalize(match.group()), position)
+        for position, match in enumerate(_WORD_RE.finditer(text))
+    ]
+
+
+def query_tokens(query: str) -> list[tuple[str, ...]]:
+    """Parse a free-form précis query string into tokens.
+
+    The paper's query model is a set of tokens ``Q = {k1, …, km}`` where a
+    token may be a multi-word value such as ``Woody Allen``. We follow the
+    common convention: double-quoted segments form one (phrase) token,
+    everything else splits on words.
+
+    >>> query_tokens('"Woody Allen" comedy')
+    [('woody', 'allen'), ('comedy',)]
+    """
+    out: list[tuple[str, ...]] = []
+    pos = 0
+    for match in re.finditer(r'"([^"]*)"', query):
+        for token in tokenize(query[pos : match.start()]):
+            out.append((token.text,))
+        phrase = tuple(t.text for t in tokenize(match.group(1)))
+        if phrase:
+            out.append(phrase)
+        pos = match.end()
+    for token in tokenize(query[pos:]):
+        out.append((token.text,))
+    return out
+
+
+def words(text: str) -> Iterator[str]:
+    """Just the normalized words of *text*, no positions."""
+    for token in tokenize(text):
+        yield token.text

@@ -1,0 +1,75 @@
+"""Unit tests for the BANKS-style baseline."""
+
+import pytest
+
+from repro.baselines import BanksSearch
+
+
+@pytest.fixture()
+def search(paper_db, paper_graph):
+    return BanksSearch(paper_db, paper_graph)
+
+
+class TestDataGraph:
+    def test_every_tuple_is_a_node(self, search, paper_db):
+        graph = search.data_graph()
+        assert len(graph) == paper_db.total_tuples()
+
+    def test_fk_pairs_are_edges(self, search):
+        graph = search.data_graph()
+        # GENRE tuples attach to their movie: MOVIE#1 has 2 genres,
+        # so (MOVIE, 1) should have GENRE neighbours
+        neighbours = {
+            node for node, __ in graph[("MOVIE", 1)] if node[0] == "GENRE"
+        }
+        assert len(neighbours) == 2
+
+    def test_graph_cached(self, search):
+        assert search.data_graph() is search.data_graph()
+
+
+class TestSearch:
+    def test_single_keyword_roots_at_matching_tuples(self, search):
+        trees = search.search(["thriller"], top_k=3)
+        assert trees
+        assert trees[0].cost == 0.0
+        assert trees[0].root[0] == "GENRE"
+
+    def test_two_keywords_connected_through_movie(self, search):
+        trees = search.search(["woody", "thriller"], top_k=5)
+        assert trees
+        best = trees[0]
+        relations_in_tree = {node[0] for node in best.nodes}
+        assert "MOVIE" in relations_in_tree  # the connector
+
+    def test_costs_are_sorted(self, search):
+        trees = search.search(["woody", "comedy"], top_k=10)
+        costs = [t.cost for t in trees]
+        assert costs == sorted(costs)
+
+    def test_missing_keyword_no_answer(self, search):
+        assert search.search(["woody", "zzzz"]) == []
+
+    def test_top_k_limits(self, search):
+        trees = search.search(["comedy"], top_k=2)
+        assert len(trees) <= 2
+
+    def test_paths_start_at_root(self, search):
+        trees = search.search(["woody", "drama"], top_k=3)
+        for tree in trees:
+            for path in tree.paths.values():
+                assert path[0] == tree.root
+
+    def test_paths_end_at_keyword_tuples(self, search, paper_db):
+        trees = search.search(["thriller"], top_k=1)
+        (tree,) = trees
+        relation, tid = tree.paths["thriller"][-1]
+        row = paper_db.relation(relation).fetch(tid)
+        assert any(
+            "thriller" in str(v).lower() for v in row.values if v is not None
+        )
+
+    def test_duplicate_node_sets_deduplicated(self, search):
+        trees = search.search(["comedy", "woody"], top_k=10)
+        node_sets = [frozenset(t.nodes) for t in trees]
+        assert len(node_sets) == len(set(node_sets))

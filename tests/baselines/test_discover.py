@@ -1,0 +1,93 @@
+"""Unit tests for the DISCOVER-style baseline."""
+
+import pytest
+
+from repro.baselines import DiscoverSearch
+
+
+@pytest.fixture()
+def search(paper_db, paper_graph):
+    return DiscoverSearch(paper_db, paper_graph)
+
+
+class TestCandidateNetworks:
+    def test_single_keyword_single_relation(self, search):
+        results = search.search(["thriller"])
+        assert results
+        best = results[0]
+        assert best.network.relations == ("GENRE",)
+        assert best.network.joins == 0
+
+    def test_two_keywords_need_join(self, search):
+        results = search.search(["woody", "thriller"])
+        assert results
+        best = results[0]
+        # smallest connected cover: DIRECTOR - MOVIE - GENRE
+        assert set(best.network.relations) == {"DIRECTOR", "MOVIE", "GENRE"}
+
+    def test_missing_keyword_yields_nothing(self, search):
+        assert search.search(["woody", "zzzz"]) == []
+
+    def test_networks_are_minimal(self, search, paper_db, paper_graph):
+        matches = search._match_keywords(["woody", "thriller"])
+        networks = search.candidate_networks(matches)
+        for network in networks:
+            relations = set(network.relations)
+            keyword_relations = {
+                kw: set(per) for kw, per in matches.items()
+            }
+            for relation in relations:
+                rest = relations - {relation}
+                covers = all(
+                    keyword_relations[kw] & rest for kw in keyword_relations
+                )
+                connected = search._is_connected(rest)
+                assert not (covers and connected), (
+                    f"{network} is not minimal: {relation} removable"
+                )
+
+    def test_network_size_bound_respected(self, paper_db, paper_graph):
+        small = DiscoverSearch(paper_db, paper_graph, max_network_size=1)
+        results = small.search(["woody", "thriller"])
+        assert results == []  # the cover needs 3 relations
+
+
+class TestExecution:
+    def test_joined_rows_are_consistent(self, search):
+        results = search.search(["woody", "thriller"])
+        for result in results:
+            movie = result.rows.get("MOVIE")
+            genre = result.rows.get("GENRE")
+            if movie is not None and genre is not None:
+                assert movie["MID"] == genre["MID"]
+
+    def test_keyword_tuples_actually_contain_keyword(self, search):
+        results = search.search(["thriller"])
+        for result in results:
+            row = result.rows["GENRE"]
+            assert "thriller" in row["GENRE"].lower()
+
+    def test_flat_output(self, search):
+        results = search.search(["thriller"])
+        flat = results[0].flat()
+        assert "GENRE.GENRE" in flat
+
+    def test_ranking_prefers_fewer_joins(self, search):
+        results = search.search(["allen"], limit=None)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores)
+
+    def test_limit(self, search):
+        results = search.search(["comedy"], limit=2)
+        assert len(results) <= 2
+
+    def test_flattening_duplicates_the_precis_aggregates(self, search):
+        """The paper's core criticism: a director with N matching movies
+
+        appears in N flattened rows, not one synthesized answer."""
+        results = search.search(["woody", "comedy"], limit=None)
+        director_rows = [
+            r for r in results if "DIRECTOR" in r.rows and "GENRE" in r.rows
+        ]
+        names = [r.rows["DIRECTOR"]["DNAME"] for r in director_rows]
+        assert names.count("Woody Allen") >= 3  # one row per comedy

@@ -1,0 +1,101 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PrecisEngine
+from repro.datasets import (
+    generate_movies_database,
+    generate_university_database,
+    movies_graph,
+    movies_schema,
+    movies_translation_spec,
+    paper_instance,
+    university_graph,
+    university_schema,
+)
+from repro.nlg import Translator
+from repro.relational import (
+    Column,
+    Database,
+    DatabaseSchema,
+    DataType,
+    ForeignKey,
+    RelationSchema,
+)
+
+
+@pytest.fixture(scope="session")
+def paper_db():
+    """The Woody Allen micro-instance (session-scoped: read-only tests)."""
+    return paper_instance()
+
+
+@pytest.fixture(scope="session")
+def paper_graph():
+    return movies_graph()
+
+
+@pytest.fixture(scope="session")
+def paper_engine(paper_db, paper_graph):
+    return PrecisEngine(
+        paper_db,
+        graph=paper_graph,
+        translator=Translator(movies_translation_spec()),
+    )
+
+
+@pytest.fixture(scope="session")
+def synthetic_movies():
+    """A mid-size deterministic synthetic movies database."""
+    return generate_movies_database(n_movies=120, seed=7)
+
+
+@pytest.fixture(scope="session")
+def university_db():
+    return generate_university_database(n_students=60, n_courses=12, seed=3)
+
+
+@pytest.fixture(scope="session")
+def university_g():
+    return university_graph()
+
+
+@pytest.fixture()
+def tiny_schema():
+    """A two-relation parent/child schema used across relational tests."""
+    return DatabaseSchema(
+        [
+            RelationSchema(
+                "PARENT",
+                [
+                    Column("PID", DataType.INT, nullable=False),
+                    Column("NAME", DataType.TEXT),
+                ],
+                primary_key="PID",
+            ),
+            RelationSchema(
+                "CHILD",
+                [
+                    Column("CID", DataType.INT, nullable=False),
+                    Column("PID", DataType.INT),
+                    Column("LABEL", DataType.TEXT),
+                ],
+                primary_key="CID",
+            ),
+        ],
+        [ForeignKey("CHILD", "PID", "PARENT", "PID")],
+    )
+
+
+@pytest.fixture()
+def tiny_db(tiny_schema):
+    db = Database(tiny_schema)
+    db.insert("PARENT", {"PID": 1, "NAME": "alpha"})
+    db.insert("PARENT", {"PID": 2, "NAME": "beta"})
+    db.insert("CHILD", {"CID": 10, "PID": 1, "LABEL": "a1"})
+    db.insert("CHILD", {"CID": 11, "PID": 1, "LABEL": "a2"})
+    db.insert("CHILD", {"CID": 12, "PID": 2, "LABEL": "b1"})
+    db.create_join_indexes()
+    return db

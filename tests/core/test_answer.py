@@ -1,0 +1,87 @@
+"""Unit tests for the PrecisAnswer object."""
+
+from repro import MaxTuplesPerRelation, WeightThreshold
+from repro.core import STRATEGY_NAIVE
+
+
+class TestAnswerViews:
+    def test_rows_of_hides_plumbing_attributes(self, paper_engine):
+        answer = paper_engine.ask('"Woody Allen"', degree=WeightThreshold(0.9))
+        rows = answer.rows_of("MOVIE")
+        assert rows
+        for row in rows:
+            assert set(row) == {"TITLE", "YEAR"}  # DID and MID hidden
+
+    def test_rows_of_invisible_relation_is_empty(self, paper_engine):
+        answer = paper_engine.ask('"Woody Allen"', degree=WeightThreshold(0.9))
+        assert answer.rows_of("CAST") == []  # no visible attributes
+
+    def test_describe_contains_sections(self, paper_engine):
+        answer = paper_engine.ask('"Woody Allen"', degree=WeightThreshold(0.9))
+        text = answer.describe()
+        assert "Result schema:" in text
+        assert "Result database:" in text
+        assert "Narrative:" in text
+        assert "Match Point" in text
+
+    def test_describe_not_found(self, paper_engine):
+        answer = paper_engine.ask("qqqq-none")
+        assert "no token matched" in answer.describe()
+
+    def test_dangling_tuples_zero_for_round_robin_full(self, paper_engine):
+        answer = paper_engine.ask('"Woody Allen"', degree=WeightThreshold(0.9))
+        assert answer.dangling_tuples() == 0
+
+    def test_dangling_tuples_positive_for_naive_trim(self, paper_engine):
+        """NaïveQ + a tight per-relation cap leaves CAST tuples whose
+
+        movie was trimmed away — a visible referential gap."""
+        answer = paper_engine.ask(
+            '"Woody Allen"',
+            degree=WeightThreshold(0.9),
+            cardinality=MaxTuplesPerRelation(2),
+            strategy=STRATEGY_NAIVE,
+        )
+        assert answer.dangling_tuples() > 0
+
+    def test_repr(self, paper_engine):
+        answer = paper_engine.ask('"Woody Allen"', degree=WeightThreshold(0.9))
+        assert "PrecisAnswer" in repr(answer)
+
+
+class TestToDict:
+    def test_json_roundtrip(self, paper_engine):
+        import json
+
+        answer = paper_engine.ask(
+            '"Woody Allen"',
+            degree=WeightThreshold(0.9),
+            cardinality=MaxTuplesPerRelation(3),
+        )
+        data = json.loads(json.dumps(answer.to_dict()))
+        assert data["found"]
+        assert data["query"] == '"Woody Allen"'
+        assert data["schema"]["MOVIE"] == ["TITLE", "YEAR"]
+        titles = [row["TITLE"] for row in data["relations"]["MOVIE"]]
+        assert "Match Point" in titles
+        assert data["narrative"]
+        assert data["cost"]["tuple_reads"] > 0
+        joins = {(j["source"], j["target"]) for j in data["joins"]}
+        assert ("MOVIE", "GENRE") in joins
+
+    def test_not_found_answer_serializes(self, paper_engine):
+        import json
+
+        answer = paper_engine.ask('"zz none"')
+        data = json.loads(json.dumps(answer.to_dict()))
+        assert not data["found"]
+        assert data["unmatched_tokens"] == ["zz none"]
+        assert data["relations"] == {}
+
+    def test_values_rendered_as_text(self, paper_engine):
+        answer = paper_engine.ask(
+            '"Woody Allen"', degree=WeightThreshold(0.9)
+        )
+        data = answer.to_dict()
+        for row in data["relations"]["MOVIE"]:
+            assert isinstance(row["YEAR"], str)  # rendered, not raw int

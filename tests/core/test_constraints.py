@@ -1,0 +1,200 @@
+"""Unit tests for degree and cardinality constraints (Tables 1–2,
+
+Formula 3)."""
+
+import pytest
+
+from repro.core import (
+    CompositeCardinality,
+    CompositeDegree,
+    MaxPathLength,
+    MaxTotalTuples,
+    MaxTuplesPerRelation,
+    TopRProjections,
+    Unlimited,
+    WeightThreshold,
+    cardinality_for_response_time,
+)
+from repro.core.constraints import SchemaState
+from repro.graph import Path
+from repro.graph.schema_graph import JoinEdge, ProjectionEdge
+from repro.relational import CostParameters
+
+
+def _proj_path(rel, attr, weight, hops=0):
+    path = None
+    prev = rel
+    for i in range(hops):
+        edge = JoinEdge(prev, f"{rel}_h{i}", "K", "K", 1.0)
+        path = Path.seed(edge) if path is None else path.extend(edge)
+        prev = f"{rel}_h{i}"
+    proj = ProjectionEdge(prev, attr, weight)
+    return Path.seed(proj) if path is None else path.extend(proj)
+
+
+def _join_path(src, dst, weight, hops=1):
+    path = Path.seed(JoinEdge(src, dst, "K", "K", weight))
+    for i in range(hops - 1):
+        path = path.extend(JoinEdge(path.terminal_relation, f"{dst}_h{i}", "K", "K", 1.0))
+    return path
+
+
+class TestTopRProjections:
+    def test_admits_until_r_distinct_attributes(self):
+        constraint = TopRProjections(2)
+        state = SchemaState()
+        p1 = _proj_path("A", "X", 1.0)
+        assert constraint.admits(state, p1)
+        state.admit(p1)
+        p2 = _proj_path("A", "Y", 0.9)
+        assert constraint.admits(state, p2)
+        state.admit(p2)
+        assert not constraint.admits(state, _proj_path("A", "Z", 0.8))
+
+    def test_duplicate_attribute_is_free(self):
+        constraint = TopRProjections(1)
+        state = SchemaState()
+        state.admit(_proj_path("A", "X", 1.0))
+        same_attr_again = _proj_path("A", "X", 0.5, hops=0)
+        assert constraint.admits(state, same_attr_again)
+
+    def test_join_path_needs_headroom(self):
+        constraint = TopRProjections(1)
+        state = SchemaState()
+        join = _join_path("A", "B", 0.9)
+        assert constraint.admits(state, join)
+        state.admit(_proj_path("A", "X", 1.0))
+        assert not constraint.admits(state, join)
+
+    def test_terminal_on_failure(self):
+        assert TopRProjections(3).terminal_on_failure
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TopRProjections(-1)
+
+    def test_zero_admits_nothing(self):
+        constraint = TopRProjections(0)
+        assert not constraint.admits(SchemaState(), _proj_path("A", "X", 1.0))
+
+
+class TestWeightThreshold:
+    def test_threshold(self):
+        constraint = WeightThreshold(0.9)
+        state = SchemaState()
+        assert constraint.admits(state, _proj_path("A", "X", 0.9))
+        assert not constraint.admits(state, _proj_path("A", "X", 0.89))
+
+    def test_join_paths_checked_on_weight(self):
+        constraint = WeightThreshold(0.5)
+        assert constraint.admits(SchemaState(), _join_path("A", "B", 0.6))
+        assert not constraint.admits(SchemaState(), _join_path("A", "B", 0.4))
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            WeightThreshold(1.5)
+        with pytest.raises(ValueError):
+            WeightThreshold(-0.1)
+
+    def test_terminal(self):
+        assert WeightThreshold(0.5).terminal_on_failure
+
+
+class TestMaxPathLength:
+    def test_projection_length(self):
+        constraint = MaxPathLength(2)
+        state = SchemaState()
+        assert constraint.admits(state, _proj_path("A", "X", 1.0, hops=1))
+        assert not constraint.admits(state, _proj_path("A", "X", 1.0, hops=2))
+
+    def test_join_path_leaves_room_for_projection(self):
+        constraint = MaxPathLength(2)
+        assert constraint.admits(SchemaState(), _join_path("A", "B", 1.0, hops=1))
+        assert not constraint.admits(SchemaState(), _join_path("A", "B", 1.0, hops=2))
+
+    def test_not_terminal(self):
+        assert not MaxPathLength(2).terminal_on_failure
+
+
+class TestCompositeDegree:
+    def test_conjunction(self):
+        constraint = CompositeDegree(WeightThreshold(0.5), MaxPathLength(1))
+        state = SchemaState()
+        assert constraint.admits(state, _proj_path("A", "X", 0.6))
+        assert not constraint.admits(state, _proj_path("A", "X", 0.4))
+        assert not constraint.admits(state, _proj_path("A", "X", 1.0, hops=1))
+
+    def test_terminal_only_if_all_terminal(self):
+        assert CompositeDegree(
+            WeightThreshold(0.5), TopRProjections(4)
+        ).terminal_on_failure
+        assert not CompositeDegree(
+            WeightThreshold(0.5), MaxPathLength(2)
+        ).terminal_on_failure
+
+    def test_failing_terminal_detects_which_part_failed(self):
+        constraint = CompositeDegree(WeightThreshold(0.5), MaxPathLength(1))
+        state = SchemaState()
+        # fails only the (non-terminal) length part
+        assert not constraint.failing_terminal(
+            state, _proj_path("A", "X", 0.9, hops=1)
+        )
+        # fails the (terminal) weight part
+        assert constraint.failing_terminal(state, _proj_path("A", "X", 0.1))
+
+    def test_needs_parts(self):
+        with pytest.raises(ValueError):
+            CompositeDegree()
+
+
+class TestCardinalityConstraints:
+    def test_unlimited(self):
+        constraint = Unlimited()
+        assert constraint.budget_for("R", {"R": 100}) is None
+        assert not constraint.exhausted({"R": 10**9})
+
+    def test_max_total(self):
+        constraint = MaxTotalTuples(10)
+        assert constraint.budget_for("R", {"A": 4, "B": 3}) == 3
+        assert constraint.budget_for("R", {"A": 10}) == 0
+        assert constraint.exhausted({"A": 10})
+        assert not constraint.exhausted({"A": 9})
+
+    def test_max_per_relation(self):
+        constraint = MaxTuplesPerRelation(5)
+        assert constraint.budget_for("R", {"R": 2}) == 3
+        assert constraint.budget_for("S", {"R": 2}) == 5
+        assert not constraint.exhausted({"R": 5})
+        assert MaxTuplesPerRelation(0).exhausted({})
+
+    def test_composite_takes_tightest(self):
+        constraint = CompositeCardinality(
+            MaxTotalTuples(10), MaxTuplesPerRelation(4)
+        )
+        assert constraint.budget_for("R", {"R": 1, "S": 2}) == 3
+        assert constraint.budget_for("R", {"R": 0, "S": 8}) == 2
+        assert constraint.exhausted({"S": 10})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MaxTotalTuples(-1)
+        with pytest.raises(ValueError):
+            MaxTuplesPerRelation(-2)
+
+
+class TestFormulaThree:
+    def test_derives_per_relation_cap(self):
+        params = CostParameters(index_time=1.0, tuple_time=2.0)
+        constraint = cardinality_for_response_time(90.0, 3, params)
+        # c_R = 90 / (3 * 3) = 10
+        assert constraint == MaxTuplesPerRelation(10)
+
+    def test_floors(self):
+        params = CostParameters(index_time=1.0, tuple_time=2.0)
+        assert cardinality_for_response_time(100.0, 3, params).c0 == 11
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cardinality_for_response_time(-1, 3)
+        with pytest.raises(ValueError):
+            cardinality_for_response_time(10, 0)

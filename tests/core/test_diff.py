@@ -1,0 +1,89 @@
+"""Tests for answer diffing."""
+
+import pytest
+
+from repro import MaxTuplesPerRelation, WeightThreshold
+from repro.core import diff_answers
+
+
+class TestIdentical:
+    def test_same_run_twice_is_empty(self, paper_engine):
+        a = paper_engine.ask('"Woody Allen"', degree=WeightThreshold(0.9))
+        b = paper_engine.ask('"Woody Allen"', degree=WeightThreshold(0.9))
+        diff = diff_answers(a, b)
+        assert diff.is_empty
+        assert diff.summary() == "answers are identical"
+
+
+class TestSchemaChanges:
+    def test_threshold_widening_reports_new_regions(self, paper_engine):
+        tight = paper_engine.ask('"Match Point"', degree=WeightThreshold(0.95))
+        loose = paper_engine.ask('"Match Point"', degree=WeightThreshold(0.5))
+        diff = diff_answers(tight, loose)
+        assert "THEATRE" in diff.relations_added
+        assert diff.relations_removed == ()
+        assert ("GENRE", "GENRE") in diff.attributes_added
+        assert "THEATRE" in diff.tuples_added
+        assert "+relations" in diff.summary()
+
+    def test_reverse_direction_mirrors(self, paper_engine):
+        tight = paper_engine.ask('"Match Point"', degree=WeightThreshold(0.95))
+        loose = paper_engine.ask('"Match Point"', degree=WeightThreshold(0.5))
+        diff = diff_answers(loose, tight)
+        assert "THEATRE" in diff.relations_removed
+        assert "THEATRE" in diff.tuples_removed
+
+
+class TestTupleChanges:
+    def test_cap_change_reports_tuple_delta(self, paper_engine):
+        small = paper_engine.ask(
+            '"Woody Allen"',
+            degree=WeightThreshold(0.9),
+            cardinality=MaxTuplesPerRelation(2),
+        )
+        large = paper_engine.ask(
+            '"Woody Allen"',
+            degree=WeightThreshold(0.9),
+            cardinality=MaxTuplesPerRelation(4),
+        )
+        diff = diff_answers(small, large)
+        assert diff.relations_added == ()
+        added_titles = {
+            t["TITLE"] for t in diff.tuples_added.get("MOVIE", [])
+        }
+        assert added_titles  # the extra movies
+        assert not diff.tuples_removed.get("MOVIE")
+
+    def test_tuples_matched_on_shared_attributes(self, paper_engine):
+        """An attribute-set change must not mark all tuples as new."""
+        from repro.core import TopRProjections
+
+        narrow = paper_engine.ask(
+            '"Woody Allen"', degree=TopRProjections(4)
+        )
+        wide = paper_engine.ask(
+            '"Woody Allen"', degree=WeightThreshold(0.9)
+        )
+        diff = diff_answers(narrow, wide)
+        movie_added = diff.tuples_added.get("MOVIE", [])
+        # same movies in both; only the attribute set grew
+        assert movie_added == []
+
+
+class TestDiffSymmetry:
+    def test_added_removed_mirror(self, paper_engine):
+        """diff(a,b).added must equal diff(b,a).removed, across a sweep
+
+        of thresholds."""
+        thresholds = [1.0, 0.9, 0.7, 0.5]
+        answers = [
+            paper_engine.ask('"Match Point"', degree=WeightThreshold(t))
+            for t in thresholds
+        ]
+        for a in answers:
+            for b in answers:
+                forward = diff_answers(a, b)
+                backward = diff_answers(b, a)
+                assert forward.relations_added == backward.relations_removed
+                assert forward.attributes_added == backward.attributes_removed
+                assert forward.tuples_added == backward.tuples_removed

@@ -1,0 +1,178 @@
+"""Unit tests for the end-to-end engine facade (§4 architecture)."""
+
+import pytest
+
+from repro import (
+    MaxTuplesPerRelation,
+    PrecisEngine,
+    PrecisQuery,
+    Profile,
+    TopRProjections,
+    Unlimited,
+    WeightThreshold,
+)
+from repro.text import SynonymMap
+
+
+class TestAsk:
+    def test_basic_answer(self, paper_engine):
+        answer = paper_engine.ask(
+            '"Woody Allen"', degree=WeightThreshold(0.9)
+        )
+        assert answer.found
+        assert "MOVIE" in answer.database
+        assert answer.total_tuples() > 0
+
+    def test_accepts_query_object(self, paper_engine):
+        query = PrecisQuery.parse('"Match Point"')
+        answer = paper_engine.ask(query, degree=WeightThreshold(0.9))
+        assert answer.found
+        assert answer.query is query
+
+    def test_unmatched_token_reported(self, paper_engine):
+        answer = paper_engine.ask('"xyzzy not present"')
+        assert not answer.found
+        assert answer.unmatched_tokens == ("xyzzy not present",)
+        assert answer.total_tuples() == 0
+
+    def test_multi_token_union_semantics(self, paper_engine):
+        answer = paper_engine.ask(
+            '"Match Point" "Scarlett Johansson"',
+            degree=WeightThreshold(0.9),
+        )
+        relations = {
+            occ.relation
+            for match in answer.matches
+            for occ in match.occurrences
+        }
+        assert {"MOVIE", "ACTOR"} <= relations
+        assert answer.result_schema.origin_relations
+
+    def test_cost_measured(self, paper_engine):
+        answer = paper_engine.ask('"Woody Allen"', degree=WeightThreshold(0.9))
+        assert answer.cost.tuple_reads > 0
+
+    def test_cardinality_respected(self, paper_engine):
+        answer = paper_engine.ask(
+            '"Woody Allen"',
+            degree=WeightThreshold(0.9),
+            cardinality=MaxTuplesPerRelation(2),
+        )
+        assert all(n <= 2 for n in answer.cardinalities().values())
+
+    def test_narrative_attached_when_translator_present(self, paper_engine):
+        answer = paper_engine.ask('"Woody Allen"', degree=WeightThreshold(0.9))
+        assert answer.narrative
+        assert "Woody Allen" in answer.narrative
+
+    def test_translate_flag_off(self, paper_engine):
+        answer = paper_engine.ask(
+            '"Woody Allen"', degree=WeightThreshold(0.9), translate=False
+        )
+        assert answer.narrative is None
+
+
+class TestPlan:
+    def test_plan_returns_schema_without_tuples(self, paper_engine):
+        schema, matches, graph = paper_engine.plan(
+            '"Woody Allen"', degree=WeightThreshold(0.9)
+        )
+        assert set(schema.origin_relations) == {"DIRECTOR", "ACTOR"}
+        assert matches[0].found
+        assert graph is paper_engine.graph
+
+
+class TestDefaults:
+    def test_default_graph_from_schema(self, paper_db):
+        engine = PrecisEngine(paper_db)
+        answer = engine.ask('"Woody Allen"', degree=TopRProjections(4))
+        assert answer.found
+
+    def test_default_degree_applied(self, paper_db, paper_graph):
+        engine = PrecisEngine(
+            paper_db, graph=paper_graph,
+            default_degree=TopRProjections(1),
+        )
+        answer = engine.ask('"Woody Allen"')
+        assert len(answer.result_schema.projected_attributes) == 1
+
+    def test_default_cardinality_applied(self, paper_db, paper_graph):
+        engine = PrecisEngine(
+            paper_db, graph=paper_graph,
+            default_cardinality=MaxTuplesPerRelation(1),
+        )
+        answer = engine.ask('"Woody Allen"', degree=WeightThreshold(0.9))
+        assert all(n <= 1 for n in answer.cardinalities().values())
+
+
+class TestSynonyms:
+    def test_synonym_resolves_to_canonical(self, paper_db, paper_graph):
+        synonyms = SynonymMap()
+        synonyms.add_synonym("the woodman", "Woody Allen")
+        engine = PrecisEngine(paper_db, graph=paper_graph, synonyms=synonyms)
+        answer = engine.ask(
+            '"the woodman"', degree=WeightThreshold(0.9)
+        )
+        assert answer.found
+
+
+class TestProfiles:
+    def test_profile_overrides_weights(self, paper_db, paper_graph):
+        engine = PrecisEngine(paper_db, graph=paper_graph)
+        fan = Profile("fan")
+        # a fan doesn't care about genres
+        fan.set_join_weight("MOVIE", "GENRE", 0.1)
+        answer = engine.ask(
+            '"Woody Allen"', degree=WeightThreshold(0.9), profile=fan
+        )
+        assert "GENRE" not in answer.result_schema.relations
+        # base graph untouched
+        plain = engine.ask('"Woody Allen"', degree=WeightThreshold(0.9))
+        assert "GENRE" in plain.result_schema.relations
+
+    def test_registered_profile_by_name(self, paper_db, paper_graph):
+        engine = PrecisEngine(paper_db, graph=paper_graph)
+        reviewer = Profile(
+            "reviewer",
+            degree=WeightThreshold(0.8),
+            cardinality=MaxTuplesPerRelation(2),
+        )
+        engine.register_profile(reviewer)
+        answer = engine.ask('"Woody Allen"', profile="reviewer")
+        assert all(n <= 2 for n in answer.cardinalities().values())
+        # the reviewer's looser degree reaches further than 0.9
+        assert ("ACTOR", "BLOCATION") not in answer.result_schema.projected_attributes
+        deep = engine.ask('"Woody Allen"', degree=WeightThreshold(0.6))
+        assert len(deep.result_schema.projected_attributes) >= len(
+            answer.result_schema.projected_attributes
+        )
+
+    def test_unknown_profile_raises(self, paper_db, paper_graph):
+        engine = PrecisEngine(paper_db, graph=paper_graph)
+        with pytest.raises(KeyError):
+            engine.ask('"Woody Allen"', profile="nobody")
+
+
+class TestStopwords:
+    def test_bare_stopwords_dropped_when_enabled(self, paper_db, paper_graph):
+        engine = PrecisEngine(
+            paper_db, graph=paper_graph, drop_stopwords=True
+        )
+        # "the" alone matches several titles; with stopword dropping the
+        # query reduces to the informative token only
+        answer = engine.ask("the jade", degree=WeightThreshold(0.9))
+        assert [m.token for m in answer.matches] == ["jade"]
+
+    def test_quoted_phrases_keep_stopwords(self, paper_db, paper_graph):
+        engine = PrecisEngine(
+            paper_db, graph=paper_graph, drop_stopwords=True
+        )
+        answer = engine.ask(
+            '"The Curse of the Jade Scorpion"', degree=WeightThreshold(0.9)
+        )
+        assert answer.found
+
+    def test_disabled_by_default(self, paper_engine):
+        answer = paper_engine.ask("the jade", degree=WeightThreshold(0.9))
+        tokens = [m.token for m in answer.matches]
+        assert "the" in tokens

@@ -1,0 +1,108 @@
+"""Tests for the result-size estimator."""
+
+import pytest
+
+from repro import PrecisEngine, WeightThreshold
+from repro.core import (
+    MaxTuplesPerRelation,
+    estimate_cardinalities,
+    estimate_total,
+    generate_result_database,
+    generate_result_schema,
+    suggest_cardinality,
+)
+from repro.bench import chain_database, chain_graph
+from repro.datasets import generate_movies_database, movies_graph
+from repro.text import build_index
+
+
+class TestUniformChainExactness:
+    """On a uniform-fanout chain the estimate should be near-exact."""
+
+    def test_matches_actual(self):
+        db = chain_database(4, roots=50, fanout=3, seed=1)
+        schema = generate_result_schema(
+            chain_graph(4), ["R1"], WeightThreshold(0.9)
+        )
+        seeds = {"R1": set(list(db.relation("R1").tids())[:10])}
+        estimated = estimate_cardinalities(db, schema, {"R1": 10})
+        answer, __ = generate_result_database(db, schema, seeds)
+        actual = answer.cardinalities()
+        for relation, expected in estimated.items():
+            assert expected == pytest.approx(actual[relation], rel=0.05), (
+                relation, estimated, actual,
+            )
+
+    def test_cap_respected_in_estimate(self):
+        db = chain_database(3, roots=50, fanout=3, seed=1)
+        schema = generate_result_schema(
+            chain_graph(3), ["R1"], WeightThreshold(0.9)
+        )
+        estimated = estimate_cardinalities(
+            db, schema, {"R1": 20}, per_relation_cap=15
+        )
+        assert all(v <= 15 for v in estimated.values())
+
+
+class TestMoviesApproximation:
+    def test_within_factor_of_actual(self):
+        db = generate_movies_database(n_movies=100, seed=3)
+        graph = movies_graph()
+        index = build_index(db)
+        name = next(
+            row["DNAME"] for row in db.relation("DIRECTOR").scan(["DNAME"])
+        )
+        (occ,) = [
+            o for o in index.lookup_token(name) if o.relation == "DIRECTOR"
+        ]
+        schema = generate_result_schema(
+            graph, ["DIRECTOR"], WeightThreshold(0.9)
+        )
+        estimated = estimate_total(
+            db, schema, {"DIRECTOR": len(occ.tids)}
+        )
+        answer, __ = generate_result_database(
+            db, schema, {"DIRECTOR": set(occ.tids)}
+        )
+        actual = answer.total_tuples()
+        assert actual / 3 <= estimated <= actual * 3, (estimated, actual)
+
+    def test_estimate_never_exceeds_database(self):
+        db = generate_movies_database(n_movies=50, seed=3)
+        schema = generate_result_schema(
+            movies_graph(), ["MOVIE"], WeightThreshold(0.5)
+        )
+        estimated = estimate_cardinalities(db, schema, {"MOVIE": 50})
+        for relation, value in estimated.items():
+            assert value <= len(db.relation(relation))
+
+
+class TestSuggestCardinality:
+    def test_suggested_cap_hits_target(self):
+        db = chain_database(4, roots=50, fanout=3, seed=1)
+        schema = generate_result_schema(
+            chain_graph(4), ["R1"], WeightThreshold(0.9)
+        )
+        seeds = {"R1": set(list(db.relation("R1").tids())[:10])}
+        constraint = suggest_cardinality(db, schema, {"R1": 10}, 60)
+        assert isinstance(constraint, MaxTuplesPerRelation)
+        answer, __ = generate_result_database(db, schema, seeds, constraint)
+        # within target plus modest estimation slack
+        assert answer.total_tuples() <= 60 * 1.2
+
+    def test_bigger_target_bigger_cap(self):
+        db = chain_database(3, roots=50, fanout=3, seed=1)
+        schema = generate_result_schema(
+            chain_graph(3), ["R1"], WeightThreshold(0.9)
+        )
+        small = suggest_cardinality(db, schema, {"R1": 10}, 30)
+        large = suggest_cardinality(db, schema, {"R1": 10}, 300)
+        assert large.c0 > small.c0
+
+    def test_validation(self):
+        db = chain_database(2, roots=5, fanout=2)
+        schema = generate_result_schema(
+            chain_graph(2), ["R1"], WeightThreshold(0.9)
+        )
+        with pytest.raises(ValueError):
+            suggest_cardinality(db, schema, {"R1": 5}, 0)

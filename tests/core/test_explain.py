@@ -1,0 +1,98 @@
+"""Unit tests for the explain facilities (SQL emission, plan, DDL)."""
+
+import pytest
+
+from repro import MaxTuplesPerRelation, WeightThreshold
+from repro.core import answer_ddl, emitted_queries, render_plan
+
+
+@pytest.fixture()
+def answer(paper_engine):
+    return paper_engine.ask(
+        '"Woody Allen"',
+        degree=WeightThreshold(0.9),
+        cardinality=MaxTuplesPerRelation(3),
+    )
+
+
+class TestEmittedQueries:
+    def test_one_query_per_seed_and_join(self, answer):
+        queries = emitted_queries(answer)
+        assert len(queries) == len(answer.report.seed_counts) + len(
+            answer.report.executions
+        )
+
+    def test_seed_queries_use_rowid(self, answer):
+        queries = emitted_queries(answer)
+        seed_queries = [q for q in queries if "ROWID" in q]
+        assert len(seed_queries) == 2  # DIRECTOR and ACTOR
+        assert any("FROM DIRECTOR" in q for q in seed_queries)
+
+    def test_join_queries_are_in_list_selections_without_joins(self, answer):
+        """§5.2: 'the query executed ... does not contain the actual
+
+        join between the two relations'."""
+        queries = emitted_queries(answer)
+        for query in queries:
+            assert "JOIN" not in query.upper().replace("ROUND-ROBIN", "")
+            assert query.count("FROM") == 1
+
+    def test_round_robin_renders_per_tuple_queries(self, answer):
+        queries = emitted_queries(answer)
+        rr = [q for q in queries if "round-robin" in q]
+        assert rr  # GENRE is fetched round-robin in the running example
+        assert all("= ?" in q for q in rr)
+
+    def test_projection_lists_are_retrieval_attributes(self, answer):
+        queries = emitted_queries(answer)
+        genre_query = next(q for q in queries if "FROM GENRE" in q)
+        assert "GENRE" in genre_query and "MID" in genre_query
+
+
+class TestRenderPlan:
+    def test_sections_present(self, answer):
+        plan = render_plan(answer)
+        assert "tokens:" in plan
+        assert "result schema:" in plan
+        assert "execution:" in plan
+        assert "seed DIRECTOR: 1 tuple(s)" in plan
+        assert "in-degree=2" in plan  # MOVIE
+
+    def test_join_lines_show_strategy_and_weight(self, answer):
+        plan = render_plan(answer)
+        assert "w=0.9" in plan  # MOVIE -> GENRE
+        assert "round_robin" in plan or "naive" in plan
+
+    def test_unmatched_token_flagged(self, paper_engine):
+        missing = paper_engine.ask('"zz-nothing"')
+        assert "NOT FOUND" in render_plan(missing)
+
+    def test_cost_summary_line(self, answer):
+        assert "tuple reads" in render_plan(answer)
+
+
+class TestAnswerDdl:
+    def test_ddl_covers_answer_relations(self, answer):
+        ddl = answer_ddl(answer)
+        for relation in answer.result_schema.relations:
+            assert f"CREATE TABLE {relation}" in ddl
+
+    def test_ddl_projects_attributes(self, answer):
+        ddl = answer_ddl(answer)
+        # MOVIE keeps TITLE/YEAR plus join plumbing, but not e.g. a
+        # column that was never retrieved
+        movie_block = ddl.split("CREATE TABLE MOVIE")[1].split(";")[0]
+        assert "TITLE" in movie_block
+        assert "DID" in movie_block  # plumbing for DIRECTOR join
+
+    def test_ddl_declares_inherited_fk(self, answer):
+        ddl = answer_ddl(answer)
+        assert "FOREIGN KEY (MID) REFERENCES MOVIE (MID)" in ddl
+
+    def test_ddl_parses_back(self, answer):
+        from repro.relational import parse_ddl
+
+        schema = parse_ddl(answer_ddl(answer))
+        assert set(schema.relation_names) == set(
+            answer.database.relation_names
+        )

@@ -1,0 +1,97 @@
+"""Tests for the interactive Explorer (§3.1 progressive exploration)."""
+
+import pytest
+
+from repro import MaxTuplesPerRelation
+from repro.core import Explorer
+
+
+@pytest.fixture()
+def explorer(paper_engine):
+    return Explorer(paper_engine, '"Match Point"', start_threshold=1.0)
+
+
+class TestExpansion:
+    def test_starts_tight(self, explorer):
+        answer = explorer.current()
+        assert set(answer.result_schema.relations) == {"MOVIE"}
+
+    def test_expand_reaches_new_regions_monotonically(self, explorer):
+        seen = [set(explorer.current().result_schema.relations)]
+        for __ in range(10):
+            answer = explorer.expand()
+            seen.append(set(answer.result_schema.relations))
+        for earlier, later in zip(seen, seen[1:]):
+            assert earlier <= later
+        assert "THEATRE" in seen[-1]  # the loosest region of Figure 1
+
+    def test_every_expand_admits_new_paths_until_exhausted(self, explorer):
+        """Each threshold level corresponds to at least one newly
+
+        admissible projection path (levels are path weights, so the
+        path count strictly grows; the attribute set may not, when the
+        new path is a second route to a known attribute)."""
+        previous = len(explorer.current().result_schema.projection_paths)
+        levels = explorer.reachable_levels()
+        for __ in range(len(levels) + 2):
+            answer = explorer.expand()
+            current = len(answer.result_schema.projection_paths)
+            assert current > previous or explorer.threshold == levels[-1]
+            if explorer.threshold == levels[-1]:
+                break
+            previous = current
+
+    def test_expand_at_bottom_is_stable(self, explorer):
+        for __ in range(30):
+            explorer.expand()
+        threshold = explorer.threshold
+        explorer.expand()
+        assert explorer.threshold == threshold
+
+
+class TestNarrow:
+    def test_narrow_undoes_expand(self, explorer):
+        before = explorer.threshold
+        explorer.expand()
+        explorer.narrow()
+        assert explorer.threshold == before
+
+    def test_narrow_at_top_is_stable(self, explorer):
+        explorer.narrow()
+        assert explorer.threshold == 1.0
+
+    def test_narrow_restores_schema(self, explorer):
+        original = set(explorer.current().result_schema.relations)
+        explorer.expand()
+        explorer.expand()
+        explorer.narrow()
+        explorer.narrow()
+        assert set(explorer.current().result_schema.relations) == original
+
+
+class TestFrontier:
+    def test_frontier_previews_next_relations(self, explorer):
+        weight, added = explorer.frontier()
+        assert weight < 1.0
+        answer = explorer.expand()
+        for relation in added:
+            assert relation in answer.result_schema.relations
+
+    def test_frontier_at_bottom(self, explorer):
+        for __ in range(30):
+            explorer.expand()
+        weight, added = explorer.frontier()
+        assert added == ()
+        assert weight == explorer.threshold
+
+
+class TestCardinalityCarriesThrough:
+    def test_cap_applies_at_every_level(self, paper_engine):
+        explorer = Explorer(
+            paper_engine,
+            '"Woody Allen"',
+            cardinality=MaxTuplesPerRelation(2),
+        )
+        for __ in range(5):
+            answer = explorer.expand()
+            assert all(n <= 2 for n in answer.cardinalities().values())

@@ -1,0 +1,136 @@
+"""Oracle tests: the Figure 3 generator vs brute-force path enumeration.
+
+For small random graphs we can enumerate *every* acyclic projection path
+exhaustively. Under a weight-threshold constraint the generator must
+admit exactly the paths above the threshold (its best-first pruning is
+provably lossless there: weights only shrink along a path); under top-r
+it must pick attributes no worse than the brute-force optimum.
+"""
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TopRProjections, WeightThreshold, generate_result_schema
+from repro.graph import SchemaGraph
+
+
+def _random_graph(seed: int) -> SchemaGraph:
+    rng = random.Random(seed)
+    graph = SchemaGraph()
+    n_relations = rng.randint(2, 5)
+    names = [f"R{i}" for i in range(n_relations)]
+    weights = [0.3, 0.5, 0.7, 0.9, 1.0]
+    for name in names:
+        graph.add_relation(name)
+        for j in range(rng.randint(1, 3)):
+            graph.add_attribute(name, f"A{j}", rng.choice(weights))
+    for a, b in itertools.permutations(names, 2):
+        if rng.random() < 0.4:
+            graph.add_join(a, b, "A0", "A0", rng.choice(weights))
+    return graph
+
+
+def _all_projection_paths(graph: SchemaGraph, origin: str):
+    """Exhaustive DFS enumeration of acyclic projection paths."""
+    paths = []
+
+    def visit(relation: str, visited: tuple[str, ...], joins: tuple, weight: float):
+        for edge in graph.projection_edges_of(relation):
+            paths.append(
+                (origin, joins, (relation, edge.attribute), weight * edge.weight)
+            )
+        for edge in graph.join_edges_from(relation):
+            if edge.target in visited:
+                continue
+            visit(
+                edge.target,
+                visited + (edge.target,),
+                joins + ((edge.source, edge.target),),
+                weight * edge.weight,
+            )
+
+    visit(origin, (origin,), (), 1.0)
+    return paths
+
+
+class TestWeightThresholdExactness:
+    @given(
+        seed=st.integers(0, 10_000),
+        threshold=st.sampled_from([0.25, 0.45, 0.65, 0.85, 0.95]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_admitted_paths_match_brute_force(self, seed, threshold):
+        graph = _random_graph(seed)
+        origin = graph.relations[0]
+        schema = generate_result_schema(
+            graph, [origin], WeightThreshold(threshold)
+        )
+        admitted = {
+            (
+                path.origin,
+                tuple((e.source, e.target) for e in path.joins),
+                path.terminal_attribute,
+            )
+            for path in schema.projection_paths
+        }
+        expected = {
+            (origin_, joins, attr)
+            for origin_, joins, attr, weight in _all_projection_paths(
+                graph, origin
+            )
+            if weight >= threshold - 1e-12
+        }
+        assert admitted == expected
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_multi_origin_union(self, seed):
+        graph = _random_graph(seed)
+        origins = list(graph.relations[:2])
+        threshold = 0.5
+        schema = generate_result_schema(
+            graph, origins, WeightThreshold(threshold)
+        )
+        admitted = {
+            (
+                path.origin,
+                tuple((e.source, e.target) for e in path.joins),
+                path.terminal_attribute,
+            )
+            for path in schema.projection_paths
+        }
+        expected = set()
+        for origin in origins:
+            for origin_, joins, attr, weight in _all_projection_paths(
+                graph, origin
+            ):
+                if weight >= threshold - 1e-12:
+                    expected.add((origin_, joins, attr))
+        assert admitted == expected
+
+
+class TestTopROptimality:
+    @given(seed=st.integers(0, 10_000), r=st.integers(1, 6))
+    @settings(max_examples=80, deadline=None)
+    def test_no_excluded_attribute_beats_an_admitted_one(self, seed, r):
+        graph = _random_graph(seed)
+        origin = graph.relations[0]
+        schema = generate_result_schema(graph, [origin], TopRProjections(r))
+        assert len(schema.projected_attributes) <= r
+
+        best: dict[tuple, float] = {}
+        for __, ___, attr, weight in _all_projection_paths(graph, origin):
+            best[attr] = max(best.get(attr, 0.0), weight)
+        admitted = schema.projected_attributes
+        excluded = set(best) - set(admitted)
+        if admitted and excluded:
+            worst_admitted = min(best[attr] for attr in admitted)
+            best_excluded = max(best[attr] for attr in excluded)
+            assert worst_admitted >= best_excluded - 1e-12
+
+        # if fewer than r attributes exist at all, all must be admitted
+        if len(best) <= r:
+            assert set(admitted) == set(best)

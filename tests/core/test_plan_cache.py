@@ -1,0 +1,69 @@
+"""Tests for the optional result-schema (plan) cache."""
+
+import pytest
+
+from repro import PrecisEngine, TopRProjections, WeightThreshold
+from repro.datasets import movies_graph, paper_instance
+
+
+@pytest.fixture()
+def engine():
+    return PrecisEngine(
+        paper_instance(), graph=movies_graph(), cache_plans=True
+    )
+
+
+class TestPlanCache:
+    def test_same_query_reuses_schema_object(self, engine):
+        first, __, ___ = engine.plan('"Woody Allen"', WeightThreshold(0.9))
+        second, __, ___ = engine.plan('"Woody Allen"', WeightThreshold(0.9))
+        assert first is second
+
+    def test_cache_keyed_by_token_relations_not_tokens(self, engine):
+        """Different tokens landing in the same relations share a plan."""
+        match_point, __, ___ = engine.plan(
+            '"Match Point"', WeightThreshold(0.9)
+        )
+        anything_else, __, ___ = engine.plan(
+            '"Anything Else"', WeightThreshold(0.9)
+        )
+        assert match_point is anything_else
+
+    def test_different_degree_different_plan(self, engine):
+        a, __, ___ = engine.plan('"Woody Allen"', WeightThreshold(0.9))
+        b, __, ___ = engine.plan('"Woody Allen"', TopRProjections(2))
+        assert a is not b
+
+    def test_profile_runs_bypass_cache(self, engine):
+        from repro import Profile
+
+        base, __, ___ = engine.plan('"Woody Allen"', WeightThreshold(0.9))
+        profile = Profile("p").set_join_weight("MOVIE", "GENRE", 0.1)
+        scoped, __, ___ = engine.plan(
+            '"Woody Allen"', WeightThreshold(0.9), profile=profile
+        )
+        assert scoped is not base
+        assert "GENRE" not in scoped.relations
+        # cache not polluted by the profile run
+        again, __, ___ = engine.plan('"Woody Allen"', WeightThreshold(0.9))
+        assert again is base
+
+    def test_query_time_weights_bypass_cache(self, engine):
+        base, __, ___ = engine.plan('"Woody Allen"', WeightThreshold(0.9))
+        overridden, __, ___ = engine.plan(
+            '"Woody Allen"',
+            WeightThreshold(0.9),
+            weights={("join", "MOVIE", "GENRE"): 0.1},
+        )
+        assert overridden is not base
+
+    def test_disabled_by_default(self):
+        engine = PrecisEngine(paper_instance(), graph=movies_graph())
+        a, __, ___ = engine.plan('"Woody Allen"', WeightThreshold(0.9))
+        b, __, ___ = engine.plan('"Woody Allen"', WeightThreshold(0.9))
+        assert a is not b
+
+    def test_ask_still_correct_with_cache(self, engine):
+        answer = engine.ask('"Woody Allen"', degree=WeightThreshold(0.9))
+        again = engine.ask('"Woody Allen"', degree=WeightThreshold(0.9))
+        assert answer.cardinalities() == again.cardinalities()

@@ -1,0 +1,149 @@
+"""Property-based tests for the précis core invariants (DESIGN.md §6)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MaxTotalTuples,
+    MaxTuplesPerRelation,
+    TopRProjections,
+    WeightThreshold,
+    generate_result_database,
+    generate_result_schema,
+)
+from repro.datasets import generate_movies_database, movies_graph
+from repro.graph import random_weight_assignment
+from repro.text import build_index
+
+_GRAPH = movies_graph()
+_DB = generate_movies_database(n_movies=40, seed=11)
+_INDEX = build_index(_DB)
+_RELATIONS = list(_GRAPH.relations)
+
+
+def _seeds_for_relation(relation, count=3):
+    rel = _DB.relation(relation)
+    return {relation: set(list(rel.tids())[:count])}
+
+
+class TestResultSchemaInvariants:
+    @given(
+        seed=st.integers(0, 10**6),
+        origin=st.sampled_from(_RELATIONS),
+        threshold=st.floats(0.05, 1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_weight_threshold_is_exact(self, seed, origin, threshold):
+        """Every admitted projection path satisfies the threshold, and
+
+        paths pop in non-increasing weight order, over random weights."""
+        graph = _GRAPH.with_weights(
+            random_weight_assignment(_GRAPH, random.Random(seed))
+        )
+        schema = generate_result_schema(
+            graph, [origin], WeightThreshold(threshold)
+        )
+        weights = [path.weight for path in schema.projection_paths]
+        assert all(w >= threshold - 1e-12 for w in weights)
+        assert weights == sorted(weights, reverse=True)
+        assert set(schema.relations) <= set(graph.relations)
+
+    @given(
+        seed=st.integers(0, 10**6),
+        origin=st.sampled_from(_RELATIONS),
+        r=st.integers(0, 15),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_top_r_bounds_distinct_attributes(self, seed, origin, r):
+        graph = _GRAPH.with_weights(
+            random_weight_assignment(_GRAPH, random.Random(seed))
+        )
+        schema = generate_result_schema(graph, [origin], TopRProjections(r))
+        assert len(schema.projected_attributes) <= r
+
+    @given(seed=st.integers(0, 10**6), origin=st.sampled_from(_RELATIONS))
+    @settings(max_examples=40, deadline=None)
+    def test_schema_attributes_subset_of_source(self, seed, origin):
+        graph = _GRAPH.with_weights(
+            random_weight_assignment(_GRAPH, random.Random(seed))
+        )
+        schema = generate_result_schema(graph, [origin], TopRProjections(8))
+        for relation in schema.relations:
+            source_attrs = set(_DB.relation(relation).schema.attribute_names)
+            assert set(schema.retrieval_attributes(relation)) <= source_attrs
+
+
+class TestResultDatabaseInvariants:
+    @given(
+        origin=st.sampled_from(_RELATIONS),
+        cap=st.integers(1, 15),
+        strategy=st.sampled_from(["naive", "round_robin", "auto"]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_per_relation_cap_never_exceeded(self, origin, cap, strategy):
+        schema = generate_result_schema(
+            _GRAPH, [origin], WeightThreshold(0.6)
+        )
+        if schema.is_empty():
+            return
+        answer, __ = generate_result_database(
+            _DB,
+            schema,
+            _seeds_for_relation(origin),
+            MaxTuplesPerRelation(cap),
+            strategy=strategy,
+        )
+        assert all(n <= cap for n in answer.cardinalities().values())
+
+    @given(origin=st.sampled_from(_RELATIONS), total=st.integers(0, 40))
+    @settings(max_examples=50, deadline=None)
+    def test_total_cap_never_exceeded(self, origin, total):
+        schema = generate_result_schema(
+            _GRAPH, [origin], WeightThreshold(0.6)
+        )
+        if schema.is_empty():
+            return
+        answer, __ = generate_result_database(
+            _DB, schema, _seeds_for_relation(origin), MaxTotalTuples(total)
+        )
+        assert answer.total_tuples() <= total
+
+    @given(origin=st.sampled_from(_RELATIONS))
+    @settings(max_examples=30, deadline=None)
+    def test_unconstrained_round_robin_answer_is_consistent(self, origin):
+        """With no cardinality bound the answer must be a fully
+
+        consistent sub-database (no dangling references)."""
+        schema = generate_result_schema(
+            _GRAPH, [origin], WeightThreshold(0.6)
+        )
+        if schema.is_empty():
+            return
+        answer, __ = generate_result_database(
+            _DB, schema, _seeds_for_relation(origin)
+        )
+        assert answer.integrity_violations() == []
+
+    @given(
+        origin=st.sampled_from(_RELATIONS),
+        cap=st.integers(1, 10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_answer_tuples_subset_of_source(self, origin, cap):
+        schema = generate_result_schema(
+            _GRAPH, [origin], WeightThreshold(0.6)
+        )
+        if schema.is_empty():
+            return
+        answer, __ = generate_result_database(
+            _DB, schema, _seeds_for_relation(origin), MaxTuplesPerRelation(cap)
+        )
+        for relation in answer.relation_names:
+            attrs = answer.relation(relation).schema.attribute_names
+            source_rows = {
+                tuple(row.values) for row in _DB.relation(relation).scan(attrs)
+            }
+            for row in answer.relation(relation).scan():
+                assert tuple(row.values) in source_rows

@@ -1,0 +1,39 @@
+"""Unit tests for PrecisQuery parsing."""
+
+from repro.core import PrecisQuery
+
+
+class TestParse:
+    def test_words(self):
+        query = PrecisQuery.parse("woody comedy")
+        assert query.tokens == (("woody",), ("comedy",))
+
+    def test_phrases(self):
+        query = PrecisQuery.parse('"Woody Allen" drama')
+        assert query.tokens == (("woody", "allen"), ("drama",))
+
+    def test_empty(self):
+        assert PrecisQuery.parse("").is_empty()
+        assert PrecisQuery.parse("   ").is_empty()
+
+    def test_text_preserved(self):
+        text = '"Woody Allen" 2005'
+        assert PrecisQuery.parse(text).text == text
+
+    def test_token_strings(self):
+        query = PrecisQuery.parse('"Match Point" drama')
+        assert query.token_strings == ("match point", "drama")
+
+
+class TestFromTokens:
+    def test_each_string_is_one_token(self):
+        query = PrecisQuery.from_tokens(["Woody Allen", "comedy"])
+        assert query.tokens == (("woody", "allen"), ("comedy",))
+
+    def test_empty_tokens_dropped(self):
+        query = PrecisQuery.from_tokens(["", "drama"])
+        assert query.tokens == (("drama",),)
+
+    def test_str(self):
+        query = PrecisQuery.from_tokens(["Woody Allen"])
+        assert str(query) == '"Woody Allen"'

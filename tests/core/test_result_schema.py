@@ -1,0 +1,88 @@
+"""Direct unit tests for the ResultSchema container."""
+
+import pytest
+
+from repro.core.result_schema import ResultSchema
+from repro.graph import Path
+from repro.graph.schema_graph import JoinEdge, ProjectionEdge
+
+
+def _schema_with_paths():
+    schema = ResultSchema(origin_relations=("A", "B"))
+    a_title = Path.seed(ProjectionEdge("A", "TITLE", 1.0))
+    a_to_c = Path.seed(JoinEdge("A", "C", "K", "K", 0.9)).extend(
+        ProjectionEdge("C", "NAME", 1.0)
+    )
+    b_to_c = Path.seed(JoinEdge("B", "C", "K2", "K2", 0.8)).extend(
+        ProjectionEdge("C", "NAME", 0.9)
+    )
+    deep = (
+        Path.seed(JoinEdge("A", "C", "K", "K", 0.9))
+        .extend(JoinEdge("C", "D", "J", "J", 0.7))
+        .extend(ProjectionEdge("D", "LABEL", 1.0))
+    )
+    for path in (a_title, a_to_c, b_to_c, deep):
+        schema.admit(path)
+    return schema
+
+
+class TestAccumulation:
+    def test_relations_first_appearance_order(self):
+        schema = _schema_with_paths()
+        assert schema.relations == ("A", "C", "B", "D")
+
+    def test_join_path_rejected(self):
+        schema = ResultSchema(origin_relations=("A",))
+        join_only = Path.seed(JoinEdge("A", "B", "K", "K", 0.5))
+        with pytest.raises(ValueError):
+            schema.admit(join_only)
+
+    def test_empty(self):
+        schema = ResultSchema(origin_relations=("A",))
+        assert schema.is_empty()
+        assert schema.relations == ()
+        assert schema.join_edges() == ()
+
+
+class TestDerivedViews:
+    def test_attributes_of(self):
+        schema = _schema_with_paths()
+        assert schema.attributes_of("A") == ("TITLE",)
+        assert schema.attributes_of("C") == ("NAME",)
+        assert schema.attributes_of("D") == ("LABEL",)
+
+    def test_projected_attributes(self):
+        schema = _schema_with_paths()
+        assert schema.projected_attributes == {
+            ("A", "TITLE"), ("C", "NAME"), ("D", "LABEL"),
+        }
+
+    def test_join_edges_deduplicated(self):
+        schema = _schema_with_paths()
+        pairs = [(e.source, e.target) for e in schema.join_edges()]
+        assert pairs == [("A", "C"), ("B", "C"), ("C", "D")]
+
+    def test_in_degrees(self):
+        schema = _schema_with_paths()
+        assert schema.in_degrees() == {"A": 0, "B": 0, "C": 2, "D": 1}
+
+    def test_join_edges_into_and_from(self):
+        schema = _schema_with_paths()
+        assert {e.source for e in schema.join_edges_into("C")} == {"A", "B"}
+        assert [e.target for e in schema.join_edges_from("C")] == ["D"]
+
+    def test_retrieval_attributes_add_join_columns(self):
+        schema = _schema_with_paths()
+        assert set(schema.retrieval_attributes("C")) == {"NAME", "K", "K2", "J"}
+        assert set(schema.retrieval_attributes("A")) == {"TITLE", "K"}
+
+    def test_paths_from(self):
+        schema = _schema_with_paths()
+        assert len(schema.paths_from("A")) == 3
+        assert len(schema.paths_from("B")) == 1
+
+    def test_describe_mentions_origins_and_degrees(self):
+        schema = _schema_with_paths()
+        text = schema.describe()
+        assert "* A(TITLE)" in text
+        assert "in-degree=2" in text

@@ -1,0 +1,93 @@
+"""Tests for the digital-library dataset and précis over it."""
+
+import pytest
+
+from repro import MaxTuplesPerRelation, PrecisEngine, WeightThreshold
+from repro.datasets import (
+    generate_library_database,
+    library_graph,
+    library_schema,
+    library_translation_spec,
+)
+from repro.graph import validate_graph
+from repro.nlg import Translator
+
+
+class TestSchemaAndGraph:
+    def test_seven_relations(self):
+        assert len(library_schema()) == 7
+
+    def test_graph_consistent_with_schema(self):
+        assert validate_graph(library_graph(), library_schema()) == []
+
+    def test_bridges_have_no_heading(self):
+        spec = library_translation_spec()
+        assert spec.heading_of("MADE_BY") is None
+        assert spec.heading_of("SHOWN_AT") is None
+        assert spec.heading_of("ITEM") == "TITLE"
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_library_database(n_items=40, seed=2)
+        b = generate_library_database(n_items=40, seed=2)
+        assert a.cardinalities() == b.cardinalities()
+
+    def test_integrity(self):
+        db = generate_library_database(n_items=60, seed=1)
+        assert db.integrity_violations() == []
+
+    def test_scaling(self):
+        db = generate_library_database(n_items=100, seed=0)
+        cards = db.cardinalities()
+        assert cards["ITEM"] == 100
+        assert cards["MADE_BY"] >= 100  # 1-2 creators per item
+        assert cards["SUBJECT"] >= 100
+
+
+class TestPrecisOverLibrary:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return PrecisEngine(
+            generate_library_database(n_items=80, seed=4),
+            graph=library_graph(),
+            translator=Translator(library_translation_spec()),
+        )
+
+    def test_creator_query_crosses_the_bridge(self, engine):
+        name = next(
+            row["NAME"]
+            for row in engine.db.relation("CREATOR").scan(["NAME"])
+        )
+        answer = engine.ask(
+            f'"{name}"',
+            degree=WeightThreshold(0.9),
+            cardinality=MaxTuplesPerRelation(4),
+        )
+        assert answer.found
+        assert "ITEM" in answer.result_schema.relations
+        assert "MADE_BY" in answer.result_schema.relations
+        # the bridge is plumbing: no visible attributes
+        assert answer.result_schema.attributes_of("SHOWN_AT") == ()
+
+    def test_narrative_speaks_through_bridges(self, engine):
+        name = next(
+            row["NAME"]
+            for row in engine.db.relation("CREATOR").scan(["NAME"])
+        )
+        answer = engine.ask(
+            f'"{name}"',
+            degree=WeightThreshold(0.9),
+            cardinality=MaxTuplesPerRelation(4),
+        )
+        assert answer.narrative
+        assert f"Works by {name} include" in answer.narrative
+
+    def test_topic_query_pulls_items(self, engine):
+        answer = engine.ask(
+            "mythology",
+            degree=WeightThreshold(0.95),
+            cardinality=MaxTuplesPerRelation(3),
+        )
+        if answer.found:  # topic exists at this seed
+            assert "ITEM" in answer.result_schema.relations

@@ -1,0 +1,129 @@
+"""Unit tests for the movies dataset (Figure 1 faithfulness + generator)."""
+
+import pytest
+
+from repro.datasets import (
+    generate_movies_database,
+    movies_graph,
+    movies_schema,
+    paper_instance,
+)
+
+
+class TestSchema:
+    def test_seven_relations(self):
+        schema = movies_schema()
+        assert set(schema.relation_names) == {
+            "THEATRE", "PLAY", "MOVIE", "GENRE", "CAST", "ACTOR", "DIRECTOR",
+        }
+
+    def test_primary_keys_match_paper(self):
+        schema = movies_schema()
+        assert schema.relation("MOVIE").primary_key == ("MID",)
+        assert schema.relation("CAST").primary_key == ("MID", "AID")
+        assert schema.relation("DIRECTOR").primary_key == ("DID",)
+
+    def test_foreign_keys_connect_the_graph(self):
+        schema = movies_schema()
+        pairs = {(fk.source, fk.target) for fk in schema.foreign_keys}
+        assert pairs == {
+            ("PLAY", "THEATRE"), ("PLAY", "MOVIE"), ("GENRE", "MOVIE"),
+            ("CAST", "MOVIE"), ("CAST", "ACTOR"), ("MOVIE", "DIRECTOR"),
+        }
+
+
+class TestGraphWeights:
+    """The textually attested weights of Figure 1."""
+
+    def test_genre_movie_asymmetry(self):
+        graph = movies_graph()
+        assert graph.join_edge("GENRE", "MOVIE").weight == 1.0
+        assert graph.join_edge("MOVIE", "GENRE").weight == 0.9
+
+    def test_phone_projection_weights(self):
+        """PHONE over THEATRE = 0.8; over MOVIE = 0.7 * 1 * 0.8 = 0.56."""
+        graph = movies_graph()
+        assert graph.projection_edge("THEATRE", "PHONE").weight == 0.8
+        transfer = (
+            graph.join_edge("MOVIE", "PLAY").weight
+            * graph.join_edge("PLAY", "THEATRE").weight
+            * graph.projection_edge("THEATRE", "PHONE").weight
+        )
+        assert transfer == pytest.approx(0.56)
+
+    def test_heading_attributes_weigh_one(self):
+        graph = movies_graph()
+        for relation, attribute in [
+            ("THEATRE", "NAME"), ("MOVIE", "TITLE"), ("GENRE", "GENRE"),
+            ("ACTOR", "ANAME"), ("DIRECTOR", "DNAME"),
+        ]:
+            assert graph.projection_edge(relation, attribute).weight == 1.0
+
+    def test_every_fk_has_both_directions(self):
+        graph = movies_graph()
+        for source, target in [
+            ("GENRE", "MOVIE"), ("CAST", "MOVIE"), ("CAST", "ACTOR"),
+            ("PLAY", "MOVIE"), ("PLAY", "THEATRE"), ("MOVIE", "DIRECTOR"),
+        ]:
+            assert graph.has_join(source, target)
+            assert graph.has_join(target, source)
+
+
+class TestPaperInstance:
+    def test_integrity(self):
+        assert paper_instance().integrity_violations() == []
+
+    def test_woody_is_director_and_actor(self):
+        db = paper_instance()
+        directors = {
+            row["DNAME"] for row in db.relation("DIRECTOR").scan(["DNAME"])
+        }
+        actors = {
+            row["ANAME"] for row in db.relation("ACTOR").scan(["ANAME"])
+        }
+        assert "Woody Allen" in directors
+        assert "Woody Allen" in actors
+
+    def test_match_point_genres(self):
+        db = paper_instance()
+        genres = sorted(
+            row["GENRE"]
+            for row in db.relation("GENRE").scan()
+            if row["MID"] == 1
+        )
+        assert genres == ["Drama", "Thriller"]
+
+
+class TestSyntheticGenerator:
+    def test_deterministic(self):
+        a = generate_movies_database(n_movies=30, seed=5)
+        b = generate_movies_database(n_movies=30, seed=5)
+        assert a.cardinalities() == b.cardinalities()
+        rows_a = sorted(r.values for r in a.relation("MOVIE").scan())
+        rows_b = sorted(r.values for r in b.relation("MOVIE").scan())
+        assert rows_a == rows_b
+
+    def test_different_seeds_differ(self):
+        a = generate_movies_database(n_movies=30, seed=5)
+        b = generate_movies_database(n_movies=30, seed=6)
+        rows_a = sorted(r.values for r in a.relation("MOVIE").scan())
+        rows_b = sorted(r.values for r in b.relation("MOVIE").scan())
+        assert rows_a != rows_b
+
+    def test_scales_with_n_movies(self):
+        db = generate_movies_database(n_movies=50, seed=1)
+        cards = db.cardinalities()
+        assert cards["MOVIE"] == 50
+        assert cards["DIRECTOR"] == 12
+        assert cards["GENRE"] >= 50
+
+    def test_referential_integrity(self, synthetic_movies):
+        assert synthetic_movies.integrity_violations() == []
+
+    def test_join_indexes_created(self, synthetic_movies):
+        assert synthetic_movies.relation("GENRE").has_index("MID")
+        assert synthetic_movies.relation("MOVIE").has_index("MID")
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            generate_movies_database(n_movies=0)

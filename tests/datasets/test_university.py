@@ -1,0 +1,59 @@
+"""Unit tests for the university dataset (the second schema)."""
+
+from repro import PrecisEngine, TopRProjections, WeightThreshold
+from repro.datasets import (
+    generate_university_database,
+    university_graph,
+    university_schema,
+)
+
+
+class TestSchema:
+    def test_relations(self):
+        schema = university_schema()
+        assert set(schema.relation_names) == {
+            "DEPARTMENT", "INSTRUCTOR", "COURSE", "TEACHES",
+            "STUDENT", "ENROLLED",
+        }
+
+    def test_m2m_diamond(self):
+        schema = university_schema()
+        pairs = {(fk.source, fk.target) for fk in schema.foreign_keys}
+        assert ("ENROLLED", "STUDENT") in pairs
+        assert ("ENROLLED", "COURSE") in pairs
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_university_database(n_students=20, n_courses=6, seed=9)
+        b = generate_university_database(n_students=20, n_courses=6, seed=9)
+        assert a.cardinalities() == b.cardinalities()
+
+    def test_integrity(self, university_db):
+        assert university_db.integrity_violations() == []
+
+    def test_cardinalities(self, university_db):
+        cards = university_db.cardinalities()
+        assert cards["STUDENT"] == 60
+        assert cards["COURSE"] == 12
+        assert cards["DEPARTMENT"] == 5
+
+
+class TestPrecisOverUniversity:
+    def test_course_query_pulls_instructors(self, university_db, university_g):
+        engine = PrecisEngine(university_db, graph=university_g)
+        course = next(
+            row["CNAME"]
+            for row in university_db.relation("COURSE").scan(["CNAME"])
+        )
+        answer = engine.ask(f'"{course}"', degree=WeightThreshold(0.85))
+        assert answer.found
+        assert "COURSE" in answer.result_schema.relations
+        assert "INSTRUCTOR" in answer.result_schema.relations
+
+    def test_department_query(self, university_db, university_g):
+        engine = PrecisEngine(university_db, graph=university_g)
+        answer = engine.ask("Informatics", degree=TopRProjections(5))
+        assert answer.found
+        assert answer.total_tuples() > 0
+        assert len(answer.result_schema.projected_attributes) <= 5

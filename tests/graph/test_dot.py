@@ -1,0 +1,55 @@
+"""Unit tests for DOT export."""
+
+from repro.core import WeightThreshold, generate_result_schema
+from repro.graph import graph_to_dot, result_schema_to_dot
+
+
+class TestGraphToDot:
+    def test_structure(self, paper_graph):
+        dot = graph_to_dot(paper_graph)
+        assert dot.startswith("digraph schema_graph {")
+        assert dot.rstrip().endswith("}")
+        assert '"MOVIE" [shape=box' in dot
+        assert '"MOVIE.TITLE"' in dot
+        assert '"MOVIE" -> "GENRE"' in dot
+
+    def test_weights_rendered(self, paper_graph):
+        dot = graph_to_dot(paper_graph)
+        assert "MID (0.9)" in dot  # MOVIE -> GENRE
+        assert '"0.8"' in dot  # THEATRE.PHONE projection
+
+    def test_every_edge_present(self, paper_graph):
+        dot = graph_to_dot(paper_graph)
+        joins = sum(1 for e in paper_graph.all_join_edges())
+        arrow_lines = [
+            line
+            for line in dot.splitlines()
+            if "->" in line and "dashed" not in line
+        ]
+        assert len(arrow_lines) == joins
+
+
+class TestResultSchemaToDot:
+    def test_highlights_origins_and_in_degrees(self, paper_graph):
+        schema = generate_result_schema(
+            paper_graph, ["DIRECTOR", "ACTOR"], WeightThreshold(0.9)
+        )
+        dot = result_schema_to_dot(schema)
+        assert "in-degree 2" in dot  # MOVIE
+        # token relations are filled
+        director_line = next(
+            line for line in dot.splitlines() if line.strip().startswith('"DIRECTOR" [')
+        )
+        assert "filled" in director_line
+        movie_line = next(
+            line for line in dot.splitlines() if line.strip().startswith('"MOVIE" [')
+        )
+        assert "filled" not in movie_line
+
+    def test_join_edges_labelled(self, paper_graph):
+        schema = generate_result_schema(
+            paper_graph, ["DIRECTOR"], WeightThreshold(0.9)
+        )
+        dot = result_schema_to_dot(schema)
+        assert '"DIRECTOR" -> "MOVIE"' in dot
+        assert "DID→DID (1)" in dot

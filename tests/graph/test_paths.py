@@ -1,0 +1,107 @@
+"""Unit tests for transitive join/projection paths (§3.2)."""
+
+import pytest
+
+from repro.graph import GraphError, Path, multiply_weights
+from repro.graph.schema_graph import JoinEdge, ProjectionEdge
+
+
+def _join(src, dst, weight):
+    return JoinEdge(src, dst, "K", "K", weight)
+
+
+def _proj(rel, attr, weight):
+    return ProjectionEdge(rel, attr, weight)
+
+
+class TestSeeding:
+    def test_seed_projection(self):
+        path = Path.seed(_proj("A", "X", 0.8))
+        assert path.is_projection_path
+        assert path.origin == "A"
+        assert path.weight == 0.8
+        assert path.length == 1
+        assert path.terminal_attribute == ("A", "X")
+
+    def test_seed_join(self):
+        path = Path.seed(_join("A", "B", 0.7))
+        assert path.is_join_path
+        assert path.terminal_relation == "B"
+        assert path.weight == 0.7
+
+
+class TestExtension:
+    def test_join_then_projection(self):
+        path = Path.seed(_join("A", "B", 0.5)).extend(_proj("B", "X", 0.8))
+        assert path.is_projection_path
+        assert path.weight == pytest.approx(0.4)
+        assert path.length == 2
+        assert path.relations() == ("A", "B")
+
+    def test_transfer_matches_paper_example(self):
+        """PHONE over THEATRE = 0.8; over MOVIE = 0.7 * 1 * 0.8 = 0.56."""
+        path = (
+            Path.seed(_join("MOVIE", "PLAY", 0.7))
+            .extend(_join("PLAY", "THEATRE", 1.0))
+            .extend(_proj("THEATRE", "PHONE", 0.8))
+        )
+        assert path.weight == pytest.approx(0.56)
+
+    def test_projection_path_cannot_extend(self):
+        path = Path.seed(_proj("A", "X", 1.0))
+        with pytest.raises(GraphError):
+            path.extend(_join("A", "B", 0.5))
+
+    def test_non_adjacent_join_rejected(self):
+        path = Path.seed(_join("A", "B", 0.5))
+        with pytest.raises(GraphError):
+            path.extend(_join("C", "D", 0.5))
+
+    def test_non_adjacent_projection_rejected(self):
+        path = Path.seed(_join("A", "B", 0.5))
+        with pytest.raises(GraphError):
+            path.extend(_proj("A", "X", 0.5))
+
+    def test_cycle_rejected(self):
+        path = Path.seed(_join("A", "B", 0.5))
+        with pytest.raises(GraphError):
+            path.extend(_join("B", "A", 0.5))
+
+    def test_can_extend_mirrors_extend(self):
+        path = Path.seed(_join("A", "B", 0.5))
+        assert path.can_extend(_join("B", "C", 0.5))
+        assert not path.can_extend(_join("B", "A", 0.5))
+        assert not path.can_extend(_join("C", "D", 0.5))
+        assert path.can_extend(_proj("B", "X", 0.5))
+        assert not path.can_extend(_proj("A", "X", 0.5))
+
+
+class TestOrdering:
+    def test_weight_decreasing(self):
+        heavy = Path.seed(_proj("A", "X", 0.9))
+        light = Path.seed(_proj("A", "Y", 0.5))
+        assert heavy < light  # heavier sorts first
+
+    def test_ties_broken_by_shorter_length(self):
+        short = Path.seed(_proj("A", "X", 0.5))
+        long = Path.seed(_join("A", "B", 0.5)).extend(_proj("B", "X", 1.0))
+        assert short.weight == long.weight
+        assert short < long
+
+    def test_weight_never_increases_with_extension(self):
+        path = Path.seed(_join("A", "B", 0.9))
+        extended = path.extend(_join("B", "C", 0.99))
+        assert extended.weight <= path.weight
+
+    def test_deterministic_total_order(self):
+        a = Path.seed(_proj("A", "X", 0.5))
+        b = Path.seed(_proj("A", "Y", 0.5))
+        assert (a < b) != (b < a)
+
+
+class TestMultiplyWeights:
+    def test_empty_is_identity(self):
+        assert multiply_weights([]) == 1.0
+
+    def test_product(self):
+        assert multiply_weights([0.5, 0.5, 2.0]) == pytest.approx(0.5)

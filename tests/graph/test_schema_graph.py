@@ -1,0 +1,114 @@
+"""Unit tests for the weighted schema graph."""
+
+import pytest
+
+from repro.graph import GraphError, SchemaGraph, graph_from_schema
+from repro.datasets import movies_schema
+
+
+@pytest.fixture()
+def graph():
+    g = SchemaGraph()
+    g.add_relation("A", ["X", "Y"])
+    g.add_relation("B", ["X", "Z"])
+    g.set_projection_weight("A", "X", 0.5)
+    g.set_projection_weight("A", "Y", 1.0)
+    g.add_join("A", "B", "X", "X", 0.8)
+    g.add_join("B", "A", "X", "X", 0.4)
+    return g
+
+
+class TestBuilding:
+    def test_duplicate_relation(self, graph):
+        with pytest.raises(GraphError):
+            graph.add_relation("A")
+
+    def test_duplicate_attribute(self, graph):
+        with pytest.raises(GraphError):
+            graph.add_attribute("A", "X")
+
+    def test_duplicate_join_direction(self, graph):
+        with pytest.raises(GraphError):
+            graph.add_join("A", "B", "X", "X", 0.1)
+
+    def test_join_requires_attributes(self, graph):
+        with pytest.raises(GraphError):
+            graph.add_join("B", "B", "NOPE", "X", 0.1)
+
+    def test_weight_bounds(self, graph):
+        with pytest.raises(GraphError):
+            graph.set_projection_weight("A", "X", 1.5)
+        with pytest.raises(GraphError):
+            graph.set_join_weight("A", "B", -0.1)
+
+    def test_add_join_pair(self):
+        g = SchemaGraph()
+        g.add_relation("A", ["K"])
+        g.add_relation("B", ["K"])
+        g.add_join_pair("A", "B", "K", weight_left_to_right=0.9,
+                        weight_right_to_left=0.3)
+        assert g.join_edge("A", "B").weight == 0.9
+        assert g.join_edge("B", "A").weight == 0.3
+
+    def test_target_attribute_defaults_to_source(self, graph):
+        g = SchemaGraph()
+        g.add_relation("A", ["K"])
+        g.add_relation("B", ["K"])
+        g.add_join("A", "B", "K", weight=0.5)
+        assert g.join_edge("A", "B").target_attribute == "K"
+
+
+class TestLookups:
+    def test_edges_attached_to(self, graph):
+        edges = graph.edges_attached_to("A")
+        kinds = [type(e).__name__ for e in edges]
+        assert kinds.count("ProjectionEdge") == 2
+        assert kinds.count("JoinEdge") == 1
+
+    def test_join_edges_from_and_into(self, graph):
+        assert [e.target for e in graph.join_edges_from("A")] == ["B"]
+        assert [e.source for e in graph.join_edges_into("A")] == ["B"]
+
+    def test_unknown_relation(self, graph):
+        with pytest.raises(GraphError):
+            graph.attributes_of("NOPE")
+        with pytest.raises(GraphError):
+            graph.projection_edge("A", "NOPE")
+        with pytest.raises(GraphError):
+            graph.join_edge("B", "B")
+
+    def test_edge_count(self, graph):
+        assert graph.edge_count() == 4 + 2  # 4 projections + 2 joins
+
+
+class TestCopies:
+    def test_copy_is_independent(self, graph):
+        clone = graph.copy()
+        clone.set_projection_weight("A", "X", 0.9)
+        assert graph.projection_edge("A", "X").weight == 0.5
+        assert clone.projection_edge("A", "X").weight == 0.9
+
+    def test_with_weights(self, graph):
+        clone = graph.with_weights(
+            {("proj", "A", "X"): 0.7, ("join", "A", "B"): 0.2}
+        )
+        assert clone.projection_edge("A", "X").weight == 0.7
+        assert clone.join_edge("A", "B").weight == 0.2
+        assert graph.projection_edge("A", "X").weight == 0.5
+
+    def test_with_weights_bad_key(self, graph):
+        with pytest.raises(GraphError):
+            graph.with_weights({("bogus", "A"): 0.5})
+
+
+class TestGraphFromSchema:
+    def test_movies_schema_bootstraps(self):
+        graph = graph_from_schema(movies_schema(), 0.5, 0.6)
+        assert set(graph.relations) == {
+            "THEATRE", "PLAY", "MOVIE", "GENRE", "CAST", "ACTOR", "DIRECTOR",
+        }
+        # both directions exist for every FK
+        assert graph.has_join("GENRE", "MOVIE")
+        assert graph.has_join("MOVIE", "GENRE")
+        assert graph.join_edge("MOVIE", "GENRE").weight == 0.6
+        assert graph.projection_edge("MOVIE", "TITLE").weight == 0.5

@@ -1,0 +1,48 @@
+"""Unit tests for graph JSON serialization."""
+
+import pytest
+
+from repro.graph import GraphError, edge_weight_map
+from repro.graph.serialization import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+
+
+class TestRoundtrip:
+    def test_structure_and_weights_survive(self, paper_graph):
+        clone, headings = graph_from_dict(graph_to_dict(paper_graph))
+        assert clone.relations == paper_graph.relations
+        assert edge_weight_map(clone) == edge_weight_map(paper_graph)
+        assert headings == {}
+
+    def test_headings_survive(self, paper_graph):
+        headings = {"MOVIE": "TITLE", "DIRECTOR": "DNAME"}
+        __, loaded = graph_from_dict(graph_to_dict(paper_graph, headings))
+        assert loaded == headings
+
+    def test_file_roundtrip(self, paper_graph, tmp_path):
+        path = save_graph(
+            paper_graph, tmp_path / "g" / "graph.json", {"MOVIE": "TITLE"}
+        )
+        clone, headings = load_graph(path)
+        assert edge_weight_map(clone) == edge_weight_map(paper_graph)
+        assert headings == {"MOVIE": "TITLE"}
+
+    def test_join_attributes_preserved(self, paper_graph):
+        clone, __ = graph_from_dict(graph_to_dict(paper_graph))
+        edge = clone.join_edge("PLAY", "THEATRE")
+        assert edge.source_attribute == "TID"
+        assert edge.target_attribute == "TID"
+
+
+class TestValidation:
+    def test_version_check(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"version": 42})
+
+    def test_missing_fields(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"version": 1, "relations": [{"name": "R"}]})

@@ -1,0 +1,114 @@
+"""Tests for graph/schema consistency validation."""
+
+import pytest
+
+from repro.datasets import movies_graph, movies_schema
+from repro.graph import (
+    GraphSchemaMismatch,
+    SchemaGraph,
+    check_graph,
+    validate_graph,
+)
+from repro.relational import Column, DatabaseSchema, DataType, RelationSchema
+
+
+class TestConsistentPair:
+    def test_movies_graph_matches_movies_schema(self):
+        assert validate_graph(movies_graph(), movies_schema()) == []
+
+    def test_check_passes_silently(self):
+        check_graph(movies_graph(), movies_schema())
+
+
+class TestMismatches:
+    def _schema(self):
+        return DatabaseSchema(
+            [
+                RelationSchema(
+                    "A",
+                    [
+                        Column("ID", DataType.INT, nullable=False),
+                        Column("NAME", DataType.TEXT),
+                    ],
+                    primary_key="ID",
+                ),
+                RelationSchema(
+                    "B",
+                    [
+                        Column("BID", DataType.INT, nullable=False),
+                        Column("AREF", DataType.INT),
+                    ],
+                    primary_key="BID",
+                ),
+            ],
+            [],
+        )
+
+    def test_unknown_graph_relation(self):
+        graph = SchemaGraph()
+        graph.add_relation("GHOST", ["X"])
+        problems = validate_graph(graph, self._schema())
+        assert any("GHOST not in schema" in p for p in problems)
+
+    def test_unknown_graph_attribute(self):
+        graph = SchemaGraph()
+        graph.add_relation("A", ["ID", "NAME", "NOPE"])
+        problems = validate_graph(graph, self._schema())
+        assert any("A.NOPE not in schema" in p for p in problems)
+
+    def test_missing_projection_edge_reported(self):
+        graph = SchemaGraph()
+        graph.add_relation("A", ["ID"])  # NAME has no projection edge
+        graph.add_relation("B", ["BID", "AREF"])
+        problems = validate_graph(graph, self._schema())
+        assert any("A.NAME has no projection edge" in p for p in problems)
+
+    def test_missing_schema_relation_reported(self):
+        graph = SchemaGraph()
+        graph.add_relation("A", ["ID", "NAME"])
+        problems = validate_graph(graph, self._schema())
+        assert any("relation B missing from graph" in p for p in problems)
+
+    def test_join_type_mismatch(self):
+        graph = SchemaGraph()
+        graph.add_relation("A", ["ID", "NAME"])
+        graph.add_relation("B", ["BID", "AREF"])
+        graph.add_join("A", "B", "NAME", "AREF", 0.5)  # TEXT vs INT
+        problems = validate_graph(graph, self._schema())
+        assert any("type mismatch" in p for p in problems)
+
+    def test_uncovered_foreign_key(self):
+        schema = DatabaseSchema(
+            [
+                RelationSchema(
+                    "A",
+                    [Column("ID", DataType.INT, nullable=False)],
+                    primary_key="ID",
+                ),
+                RelationSchema(
+                    "B",
+                    [
+                        Column("BID", DataType.INT, nullable=False),
+                        Column("AREF", DataType.INT),
+                    ],
+                    primary_key="BID",
+                ),
+            ],
+        )
+        schema.add_foreign_key(
+            __import__("repro.relational", fromlist=["ForeignKey"]).ForeignKey(
+                "B", "AREF", "A", "ID"
+            )
+        )
+        graph = SchemaGraph()
+        graph.add_relation("A", ["ID"])
+        graph.add_relation("B", ["BID", "AREF"])
+        problems = validate_graph(graph, schema)
+        assert any("no join edge in either direction" in p for p in problems)
+
+    def test_check_raises(self):
+        graph = SchemaGraph()
+        graph.add_relation("GHOST", ["X"])
+        with pytest.raises(GraphSchemaMismatch) as excinfo:
+            check_graph(graph, self._schema())
+        assert excinfo.value.problems

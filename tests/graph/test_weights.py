@@ -1,0 +1,67 @@
+"""Unit tests for weight assignment utilities."""
+
+import random
+
+import pytest
+
+from repro.graph import (
+    assign_uniform_weights,
+    edge_weight_map,
+    random_weight_assignment,
+    random_weight_assignments,
+)
+from repro.datasets import movies_graph
+
+
+@pytest.fixture()
+def graph():
+    return movies_graph()
+
+
+class TestEdgeWeightMap:
+    def test_covers_all_edges(self, graph):
+        weights = edge_weight_map(graph)
+        assert len(weights) == graph.edge_count()
+        assert weights[("join", "MOVIE", "GENRE")] == 0.9
+        assert weights[("proj", "THEATRE", "PHONE")] == 0.8
+
+
+class TestRandomAssignment:
+    def test_within_bounds(self, graph):
+        weights = random_weight_assignment(
+            graph, random.Random(1), low=0.2, high=0.7
+        )
+        assert all(0.2 <= w <= 0.7 for w in weights.values())
+        assert len(weights) == graph.edge_count()
+
+    def test_deterministic_given_seed(self, graph):
+        sets_a = random_weight_assignments(graph, 3, seed=42)
+        sets_b = random_weight_assignments(graph, 3, seed=42)
+        assert sets_a == sets_b
+
+    def test_sets_differ_from_each_other(self, graph):
+        sets = random_weight_assignments(graph, 2, seed=0)
+        assert sets[0] != sets[1]
+
+    def test_twenty_sets_like_the_paper(self, graph):
+        sets = random_weight_assignments(graph, 20, seed=0)
+        assert len(sets) == 20
+        # applying a set yields a valid graph
+        clone = graph.with_weights(sets[0])
+        assert clone.edge_count() == graph.edge_count()
+
+
+class TestUniformWeights:
+    def test_projections_only(self, graph):
+        flat = assign_uniform_weights(graph, projection_weight=0.4)
+        assert flat.projection_edge("MOVIE", "TITLE").weight == 0.4
+        assert flat.join_edge("MOVIE", "GENRE").weight == 0.9  # untouched
+
+    def test_joins_only(self, graph):
+        flat = assign_uniform_weights(graph, join_weight=0.5)
+        assert flat.join_edge("MOVIE", "GENRE").weight == 0.5
+        assert flat.projection_edge("MOVIE", "TITLE").weight == 1.0
+
+    def test_original_untouched(self, graph):
+        assign_uniform_weights(graph, projection_weight=0.1, join_weight=0.1)
+        assert graph.projection_edge("MOVIE", "TITLE").weight == 1.0

@@ -1,0 +1,112 @@
+"""Cross-dataset matrix: the same invariants over all three schemas.
+
+Guards against movie-isms: every datasets module must satisfy the same
+engine-level contract (found answers, constraint compliance, consistent
+sub-databases, CSV round-trip, DDL round-trip, graph/schema validity).
+"""
+
+import pytest
+
+from repro import MaxTuplesPerRelation, PrecisEngine, WeightThreshold
+from repro.datasets import (
+    generate_library_database,
+    generate_movies_database,
+    generate_university_database,
+    library_graph,
+    movies_graph,
+    university_graph,
+)
+from repro.graph import validate_graph
+from repro.relational import create_schema_sql, parse_ddl
+from repro.relational.csvio import load_database, save_database
+
+
+def _movies():
+    db = generate_movies_database(n_movies=60, seed=13)
+    return db, movies_graph(), ("MOVIE", "TITLE")
+
+
+def _university():
+    db = generate_university_database(n_students=40, n_courses=10, seed=13)
+    return db, university_graph(), ("COURSE", "CNAME")
+
+
+def _library():
+    db = generate_library_database(n_items=60, seed=13)
+    return db, library_graph(), ("ITEM", "TITLE")
+
+
+DATASETS = {
+    "movies": _movies,
+    "university": _university,
+    "library": _library,
+}
+
+
+@pytest.fixture(params=sorted(DATASETS), scope="module")
+def setup(request):
+    db, graph, (relation, attribute) = DATASETS[request.param]()
+    token = next(
+        row[attribute] for row in db.relation(relation).scan([attribute])
+    )
+    return db, graph, token
+
+
+class TestDatasetContract:
+    def test_graph_matches_schema(self, setup):
+        db, graph, __ = setup
+        assert validate_graph(graph, db.schema) == []
+
+    def test_source_integrity(self, setup):
+        db, __, ___ = setup
+        assert db.integrity_violations() == []
+
+    def test_precis_answer_contract(self, setup):
+        db, graph, token = setup
+        engine = PrecisEngine(db, graph=graph)
+        answer = engine.ask(
+            f'"{token}"',
+            degree=WeightThreshold(0.85),
+            cardinality=MaxTuplesPerRelation(4),
+        )
+        assert answer.found
+        assert all(n <= 4 for n in answer.cardinalities().values())
+        # tuples are source tuples
+        for relation in answer.database.relation_names:
+            attrs = answer.database.relation(relation).schema.attribute_names
+            source = {
+                tuple(row.values) for row in db.relation(relation).scan(attrs)
+            }
+            for row in answer.database.relation(relation).scan():
+                assert tuple(row.values) in source
+
+    def test_answer_round_trips_through_csv_and_ddl(self, setup, tmp_path):
+        db, graph, token = setup
+        engine = PrecisEngine(db, graph=graph)
+        answer = engine.ask(
+            f'"{token}"',
+            degree=WeightThreshold(0.85),
+            cardinality=MaxTuplesPerRelation(4),
+        )
+        back = load_database(
+            save_database(answer.database, tmp_path / "ans"),
+            enforce_foreign_keys=False,
+        )
+        assert back.cardinalities() == answer.cardinalities()
+        parsed = parse_ddl(create_schema_sql(answer.database.schema))
+        assert set(parsed.relation_names) == set(
+            answer.database.relation_names
+        )
+
+    def test_explorer_monotone(self, setup):
+        from repro.core import Explorer
+
+        db, graph, token = setup
+        engine = PrecisEngine(db, graph=graph)
+        explorer = Explorer(engine, f'"{token}"', start_threshold=1.0)
+        previous = set(explorer.current().result_schema.relations)
+        for __ in range(4):
+            answer = explorer.expand()
+            current = set(answer.result_schema.relations)
+            assert previous <= current
+            previous = current

@@ -1,0 +1,138 @@
+"""Integration golden tests: the paper's running example end to end.
+
+Covers Figure 4 (result schema), the §5.2 cardinality example (result
+database, Figure 6's content) and the §5.3 narrative in one pipeline run,
+through the public engine API only.
+"""
+
+import pytest
+
+from repro import (
+    MaxTuplesPerRelation,
+    PrecisEngine,
+    Unlimited,
+    WeightThreshold,
+)
+from repro.datasets import (
+    movies_graph,
+    movies_translation_spec,
+    paper_instance,
+)
+from repro.nlg import Translator
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return PrecisEngine(
+        paper_instance(),
+        graph=movies_graph(),
+        translator=Translator(movies_translation_spec()),
+    )
+
+
+@pytest.fixture(scope="module")
+def answer(engine):
+    """The full running example: Q = {"Woody Allen"}, degree = weight
+
+    >= 0.9, cardinality = up to 3 tuples per relation."""
+    return engine.ask(
+        '"Woody Allen"',
+        degree=WeightThreshold(0.9),
+        cardinality=MaxTuplesPerRelation(3),
+    )
+
+
+class TestTokenResolution:
+    def test_woody_found_in_both_relations(self, answer):
+        (match,) = answer.matches
+        assert match.relations == ("ACTOR", "DIRECTOR")
+
+
+class TestFigure4ResultSchema:
+    def test_relations(self, answer):
+        assert set(answer.result_schema.relations) == {
+            "DIRECTOR", "ACTOR", "CAST", "MOVIE", "GENRE",
+        }
+
+    def test_visible_attributes(self, answer):
+        schema = answer.result_schema
+        assert set(schema.attributes_of("DIRECTOR")) == {
+            "DNAME", "BDATE", "BLOCATION",
+        }
+        assert set(schema.attributes_of("ACTOR")) == {"ANAME"}
+        assert set(schema.attributes_of("MOVIE")) == {"TITLE", "YEAR"}
+        assert set(schema.attributes_of("GENRE")) == {"GENRE"}
+        assert schema.attributes_of("CAST") == ()
+
+    def test_movie_in_degree_two(self, answer):
+        assert answer.result_schema.in_degree("MOVIE") == 2
+
+
+class TestSection52ResultDatabase:
+    def test_cardinalities_respect_the_constraint(self, answer):
+        assert all(n <= 3 for n in answer.cardinalities().values())
+
+    def test_figure_6_movie_rows(self, answer):
+        rows = answer.rows_of("MOVIE")
+        assert [(r["TITLE"], r["YEAR"]) for r in rows] == [
+            ("Match Point", 2005),
+            ("Melinda and Melinda", 2004),
+            ("Anything Else", 2003),
+        ]
+
+    def test_director_row(self, answer):
+        (row,) = answer.rows_of("DIRECTOR")
+        assert row == {
+            "DNAME": "Woody Allen",
+            "BDATE": "December 1, 1935",
+            "BLOCATION": "Brooklyn, New York, USA",
+        }
+
+
+class TestSection53Narrative:
+    def test_narrative_with_paper_cardinality(self, answer):
+        assert (
+            "Woody Allen was born on December 1, 1935 in "
+            "Brooklyn, New York, USA. As a director, Woody Allen's work "
+            "includes Match Point (2005), Melinda and Melinda (2004), "
+            "Anything Else (2003)." in answer.narrative
+        )
+
+    def test_full_narrative_unconstrained_genres(self, engine):
+        """The §5.3 listing shows genres for all three movies."""
+        full = engine.ask(
+            '"Woody Allen"',
+            degree=WeightThreshold(0.9),
+            cardinality=Unlimited(),
+        )
+        director_par = next(
+            p for p in full.narrative.split("\n\n") if "As a director" in p
+        )
+        for clause in [
+            "Match Point is Drama, Thriller.",
+            "Melinda and Melinda is Comedy, Drama.",
+            "Anything Else is Comedy, Romance.",
+        ]:
+            assert clause in director_par
+
+
+class TestWeightSensitivity:
+    """§3.1: 'changing weights ... essentially affects the part of the
+
+    database explored'."""
+
+    def test_lower_threshold_reaches_theatres(self, engine):
+        deep = engine.ask('"Match Point"', degree=WeightThreshold(0.5))
+        assert "THEATRE" in deep.result_schema.relations
+        shallow = engine.ask('"Match Point"', degree=WeightThreshold(0.95))
+        assert "THEATRE" not in shallow.result_schema.relations
+
+    def test_genre_query_always_pulls_movies(self, engine):
+        """GENRE -> MOVIE has weight 1: 'an answer regarding a genre
+
+        should always contain information about related movies'."""
+        answer = engine.ask("Thriller", degree=WeightThreshold(0.99))
+        assert "MOVIE" in answer.result_schema.relations
+        assert any(
+            row["TITLE"] == "Match Point" for row in answer.rows_of("MOVIE")
+        )

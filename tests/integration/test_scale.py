@@ -1,0 +1,80 @@
+"""Larger-scale smoke tests: invariants hold and latency stays sane."""
+
+import time
+
+import pytest
+
+from repro import MaxTuplesPerRelation, PrecisEngine, WeightThreshold
+from repro.bench import chain_database, chain_graph
+from repro.core import (
+    MaxTotalTuples,
+    generate_result_database,
+    generate_result_schema,
+)
+from repro.datasets import generate_movies_database, movies_graph
+
+
+class TestBigMovies:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        db = generate_movies_database(n_movies=2000, seed=99)
+        return PrecisEngine(db, graph=movies_graph())
+
+    def test_database_shape(self, engine):
+        cards = engine.db.cardinalities()
+        assert cards["MOVIE"] == 2000
+        assert cards["CAST"] > 4000
+
+    def test_query_latency_bounded(self, engine):
+        name = next(
+            row["DNAME"]
+            for row in engine.db.relation("DIRECTOR").scan(["DNAME"])
+        )
+        start = time.perf_counter()
+        answer = engine.ask(
+            f'"{name}"',
+            degree=WeightThreshold(0.9),
+            cardinality=MaxTuplesPerRelation(10),
+        )
+        elapsed = time.perf_counter() - start
+        assert answer.found
+        assert elapsed < 2.0  # generous; typically ~2 ms
+
+    def test_answer_invariants_at_scale(self, engine):
+        title = next(
+            row["TITLE"] for row in engine.db.relation("MOVIE").scan(["TITLE"])
+        )
+        answer = engine.ask(
+            f'"{title}"',
+            degree=WeightThreshold(0.7),
+            cardinality=MaxTuplesPerRelation(8),
+        )
+        assert all(n <= 8 for n in answer.cardinalities().values())
+        for relation in answer.database.relation_names:
+            attrs = answer.database.relation(relation).schema.attribute_names
+            source = {
+                tuple(r.values)
+                for r in engine.db.relation(relation).scan(attrs)
+            }
+            for row in answer.database.relation(relation).scan():
+                assert tuple(row.values) in source
+
+
+class TestDeepChain:
+    def test_ten_level_chain_walks_fully(self):
+        db = chain_database(
+            10, roots=20, fanout=2, seed=0, max_tuples_per_relation=500
+        )
+        schema = generate_result_schema(
+            chain_graph(10), ["R1"], WeightThreshold(0.9)
+        )
+        assert len(schema.relations) == 10
+        seeds = {"R1": set(list(db.relation("R1").tids())[:5])}
+        answer, report = generate_result_database(
+            db, schema, seeds, MaxTotalTuples(200)
+        )
+        assert answer.total_tuples() <= 200
+        assert report.joins_executed >= 1
+        # budget-ordered: earlier (heavier, nearer) levels fill first
+        cards = answer.cardinalities()
+        assert cards["R2"] >= 1

@@ -1,0 +1,111 @@
+"""Tests for HTML rendering of answers."""
+
+import re
+
+import pytest
+
+from repro import MaxTuplesPerRelation, WeightThreshold
+from repro.nlg import answer_to_html
+
+
+@pytest.fixture()
+def answer(paper_engine):
+    return paper_engine.ask(
+        '"Woody Allen"',
+        degree=WeightThreshold(0.9),
+        cardinality=MaxTuplesPerRelation(3),
+    )
+
+
+class TestStructure:
+    def test_wrapper_and_heading(self, answer):
+        html = answer_to_html(answer)
+        assert html.startswith('<div class="precis">')
+        assert html.rstrip().endswith("</div>")
+        assert "<h2>Précis: &quot;Woody Allen&quot;</h2>" in html
+
+    def test_custom_title(self, answer):
+        html = answer_to_html(answer, title="Who is Woody Allen?")
+        assert "<h2>Who is Woody Allen?</h2>" in html
+
+    def test_tables_per_relation(self, answer):
+        html = answer_to_html(answer)
+        assert "<h3>MOVIE</h3>" in html
+        assert "<th>TITLE</th>" in html
+        assert "<td>Match Point</td>" in html
+        # CAST has no visible attributes -> no table
+        assert "<h3>CAST</h3>" not in html
+
+    def test_narrative_paragraphs(self, answer):
+        html = answer_to_html(answer)
+        assert html.count('<p class="precis-narrative">') == 2  # homonyms
+
+    def test_not_found(self, paper_engine):
+        empty = paper_engine.ask("zz-none")
+        html = answer_to_html(empty)
+        assert "No matches found" in html
+
+
+class TestLinkification:
+    def test_values_become_followup_links(self, answer):
+        html = answer_to_html(answer)
+        assert (
+            '<a href="?q=&quot;Match Point&quot;">Match Point</a>' in html
+        )
+
+    def test_longest_value_wins(self, answer):
+        html = answer_to_html(answer)
+        # "Melinda and Melinda" must be one link, not two "Melinda" links
+        assert '">Melinda and Melinda</a>' in html
+
+    def test_linkify_off(self, answer):
+        html = answer_to_html(answer, linkify=False)
+        assert "<a href" not in html
+
+
+class TestEscaping:
+    def test_html_in_data_is_escaped(self, paper_graph):
+        from repro import PrecisEngine
+        from repro.datasets import paper_instance
+
+        db = paper_instance()
+        db.insert(
+            "MOVIE",
+            {"MID": 77, "TITLE": "<script>alert(1)</script>", "YEAR": 2000,
+             "DID": 1},
+        )
+        engine = PrecisEngine(db, graph=paper_graph)
+        answer = engine.ask('"script"', degree=WeightThreshold(0.9))
+        html = answer_to_html(answer)
+        assert "<script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_no_unescaped_ampersands_outside_entities(self, answer):
+        html = answer_to_html(answer)
+        for match in re.finditer(r"&(?!amp;|lt;|gt;|quot;|#)", html):
+            pytest.fail(f"raw ampersand at {match.start()}")
+
+
+class TestLinkifySubstringSafety:
+    def test_substring_values_do_not_corrupt_anchors(self, paper_graph):
+        """Regression: a linkable value that is a substring of another
+        ("Match" vs "Match Point") must not re-match inside the anchor
+        markup generated for the longer one."""
+        from repro import PrecisEngine
+        from repro.datasets import movies_translation_spec, paper_instance
+        from repro.nlg import Translator
+
+        db = paper_instance()
+        # a genre literally called "Match" makes "Match" linkable
+        db.insert("GENRE", {"MID": 1, "GENRE": "Match"})
+        engine = PrecisEngine(
+            db,
+            graph=paper_graph,
+            translator=Translator(movies_translation_spec()),
+        )
+        answer = engine.ask('"Woody Allen"', degree=WeightThreshold(0.9))
+        html = answer_to_html(answer)
+        # no nested anchors, no anchors inside href attributes
+        assert "<a href" not in html[html.find("<a href") + 2:].split("</a>")[0]
+        assert re.search(r'href="[^"]*<a ', html) is None
+        assert '">Match Point</a>' in html

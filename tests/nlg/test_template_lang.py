@@ -1,0 +1,175 @@
+"""Unit tests for the §5.3 template language."""
+
+import pytest
+
+from repro.nlg import (
+    MacroLibrary,
+    TemplateError,
+    parse_definitions,
+    parse_template,
+)
+
+
+class TestLiteralsAndVariables:
+    def test_literal(self):
+        assert parse_template('"hello"').render({}) == "hello"
+
+    def test_single_quoted_literal(self):
+        assert parse_template("'hi there'").render({}) == "hi there"
+
+    def test_escaped_quote(self):
+        assert parse_template(r'"say \"hi\""').render({}) == 'say "hi"'
+
+    def test_variable_scalar(self):
+        assert parse_template("@NAME").render({"NAME": "Woody"}) == "Woody"
+
+    def test_variable_case_insensitive(self):
+        assert parse_template("@name").render({"NaMe": "x"}) == "x"
+
+    def test_unbound_variable_renders_empty(self):
+        assert parse_template("@MISSING").render({}) == ""
+
+    def test_concatenation_with_plus(self):
+        template = parse_template('"born on "+@BDATE+"."')
+        assert template.render({"BDATE": "Dec 1"}) == "born on Dec 1."
+
+    def test_adjacent_expressions_concatenate(self):
+        template = parse_template('"a" "b" @X')
+        assert template.render({"X": "c"}) == "abc"
+
+    def test_list_renders_comma_separated(self):
+        assert (
+            parse_template("@XS").render({"XS": ["a", "b", "c"]}) == "a, b, c"
+        )
+
+    def test_numeric_values_render(self):
+        assert parse_template("@N").render({"N": 2005}) == "2005"
+
+
+class TestIndexing:
+    def test_explicit_index_one_based(self):
+        template = parse_template("@XS[2]")
+        assert template.render({"XS": ["a", "b"]}) == "b"
+
+    def test_out_of_range_is_empty(self):
+        assert parse_template("@XS[9]").render({"XS": ["a"]}) == ""
+
+    def test_index_on_scalar(self):
+        assert parse_template("@X[1]").render({"X": "only"}) == "only"
+
+    def test_unbound_loop_variable_errors(self):
+        with pytest.raises(TemplateError):
+            parse_template("@XS[$i$]").render({"XS": ["a"]})
+
+
+class TestFunctions:
+    def test_arityof(self):
+        template = parse_template("ARITYOF(@XS)")
+        assert template.render({"XS": ["a", "b", "c"]}) == "3"
+        assert template.render({"XS": "solo"}) == "1"
+        assert template.render({}) == "0"
+
+    def test_upper_lower(self):
+        assert parse_template("UPPER(@X)").render({"X": "hi"}) == "HI"
+        assert parse_template("LOWER(@X)").render({"X": "HI"}) == "hi"
+
+    def test_first(self):
+        assert parse_template("FIRST(@XS)").render({"XS": ["a", "b"]}) == "a"
+
+    def test_unknown_function(self):
+        with pytest.raises(TemplateError):
+            parse_template("NOPE(@X)").render({"X": 1})
+
+
+class TestLoops:
+    def test_paper_separator_idiom(self):
+        """The MOVIE_LIST pattern from §5.3, verbatim."""
+        source = (
+            '[i<ARITYOF(@TITLE)] {@TITLE[$i$]+" ("+@YEAR[$i$]+"), "}'
+            '[i=ARITYOF(@TITLE)] {@TITLE[$i$]+" ("+@YEAR[$i$]+")."}'
+        )
+        template = parse_template(source)
+        context = {
+            "TITLE": ["Match Point", "Melinda and Melinda", "Anything Else"],
+            "YEAR": [2005, 2004, 2003],
+        }
+        assert template.render(context) == (
+            "Match Point (2005), Melinda and Melinda (2004), "
+            "Anything Else (2003)."
+        )
+
+    def test_single_item_list(self):
+        source = (
+            '[i<ARITYOF(@X)] {@X[$i$]+", "}[i=ARITYOF(@X)] {@X[$i$]+"."}'
+        )
+        assert parse_template(source).render({"X": ["solo"]}) == "solo."
+
+    def test_empty_list_renders_nothing(self):
+        source = (
+            '[i<ARITYOF(@X)] {@X[$i$]+", "}[i=ARITYOF(@X)] {@X[$i$]+"."}'
+        )
+        assert parse_template(source).render({"X": []}) == ""
+
+    def test_less_equal_loop(self):
+        source = '[i<=ARITYOF(@X)] {@X[$i$]}'
+        assert parse_template(source).render({"X": ["a", "b"]}) == "ab"
+
+    def test_nested_loops(self):
+        source = "[i<=ARITYOF(@X)] {[j<=ARITYOF(@X)] {@X[$j$]} \"|\"}"
+        assert parse_template(source).render({"X": ["a", "b"]}) == "ab|ab|"
+
+    def test_loop_bound_must_be_integer(self):
+        with pytest.raises(TemplateError):
+            parse_template('[i<@X] {"x"}').render({"X": "text"})
+
+
+class TestMacros:
+    def test_macro_expansion(self):
+        macros = MacroLibrary()
+        macros.define("GREET", '"Hello, "+@NAME+"!"')
+        template = parse_template("@GREET")
+        assert template.render({"NAME": "Ada"}, macros) == "Hello, Ada!"
+
+    def test_variable_shadows_macro(self):
+        macros = MacroLibrary()
+        macros.define("X", '"macro"')
+        assert parse_template("@X").render({"X": "value"}, macros) == "value"
+
+    def test_macros_can_use_macros(self):
+        macros = MacroLibrary()
+        macros.define("INNER", '"<"+@V+">"')
+        macros.define("OUTER", '"["+@INNER+"]"')
+        assert parse_template("@OUTER").render({"V": "x"}, macros) == "[<x>]"
+
+    def test_parse_definitions(self):
+        source = (
+            'DEFINE A as "first"\n'
+            "DEFINE B as\n"
+            '[i<=ARITYOF(@X)] {@X[$i$]+";"}\n'
+        )
+        macros = parse_definitions(source)
+        assert "A" in macros
+        assert "B" in macros
+        assert macros.expand("B", {"X": ["p", "q"]}) == "p;q;"
+
+    def test_parse_definitions_rejects_garbage(self):
+        with pytest.raises(TemplateError):
+            parse_definitions("not a define line")
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            '"unterminated',
+            "[i<2 {@X}",
+            "[i<2] {@X",
+            "@X[",
+            "@X[bad]",
+            "FUNC(",
+            "}",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(TemplateError):
+            parse_template(bad)

@@ -1,0 +1,76 @@
+"""Property-based tests for the template language."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlg import parse_template
+from repro.nlg.template_lang import TemplateError
+
+_words = st.text(alphabet=string.ascii_letters, min_size=1, max_size=8)
+_values = st.one_of(
+    _words,
+    st.integers(-1000, 1000),
+    st.lists(_words, max_size=5),
+    st.none(),
+)
+_contexts = st.dictionaries(
+    st.text(alphabet=string.ascii_uppercase, min_size=1, max_size=6),
+    _values,
+    max_size=6,
+)
+
+
+class TestRenderTotality:
+    @given(context=_contexts, var=st.text(string.ascii_uppercase, min_size=1, max_size=6))
+    @settings(max_examples=80, deadline=None)
+    def test_variable_render_never_crashes(self, context, var):
+        template = parse_template(f"@{var}")
+        out = template.render(context)
+        assert isinstance(out, str)
+
+    @given(context=_contexts)
+    @settings(max_examples=60, deadline=None)
+    def test_separator_idiom_always_wellformed(self, context):
+        """The a, b, c. idiom yields exactly arity items joined by
+
+        ', ' and terminated by '.' for any list binding."""
+        template = parse_template(
+            '[i<ARITYOF(@X)] {@X[$i$]+", "}[i=ARITYOF(@X)] {@X[$i$]+"."}'
+        )
+        items = ["alpha", "beta", "gamma", "delta"]
+        for n in range(len(items) + 1):
+            scope = dict(context)
+            scope["X"] = items[:n]
+            out = template.render(scope)
+            if n == 0:
+                assert out == ""
+            else:
+                assert out == ", ".join(items[:n]) + "."
+
+    @given(literal=_words)
+    @settings(max_examples=40, deadline=None)
+    def test_literal_roundtrip(self, literal):
+        assert parse_template(f'"{literal}"').render({}) == literal
+
+    @given(
+        context=_contexts,
+        index=st.integers(-3, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_indexing_in_or_out_of_range_is_total(self, context, index):
+        scope = dict(context)
+        scope["XS"] = ["a", "b", "c"]
+        if index < 1:
+            # the grammar only admits non-negative integer indexes;
+            # negative forms are syntax errors
+            if index < 0:
+                try:
+                    parse_template(f"@XS[{index}]")
+                except TemplateError:
+                    return
+            return
+        out = parse_template(f"@XS[{index}]").render(scope)
+        expected = ["a", "b", "c"][index - 1] if index <= 3 else ""
+        assert out == expected

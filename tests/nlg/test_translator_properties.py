@@ -1,0 +1,65 @@
+"""Robustness property: translation is total over random engine runs."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MaxTuplesPerRelation, PrecisEngine, WeightThreshold
+from repro.datasets import (
+    generate_movies_database,
+    movies_graph,
+    movies_translation_spec,
+)
+from repro.graph import random_weight_assignment
+from repro.nlg import Translator, answer_to_html
+
+_DB = generate_movies_database(n_movies=50, seed=23)
+_GRAPH = movies_graph()
+_TRANSLATOR = Translator(movies_translation_spec())
+
+_words = sorted(
+    {
+        word
+        for row in _DB.relation("MOVIE").scan(["TITLE"])
+        for word in row["TITLE"].lower().split()
+    }
+)
+
+
+class TestTranslationTotality:
+    @given(
+        word=st.sampled_from(_words),
+        threshold=st.floats(0.3, 1.0),
+        cap=st.integers(1, 6),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_narrative_and_html_never_crash(self, word, threshold, cap, seed):
+        graph = _GRAPH.with_weights(
+            random_weight_assignment(_GRAPH, random.Random(seed))
+        )
+        engine = PrecisEngine(
+            _DB, graph=graph, translator=_TRANSLATOR
+        )
+        answer = engine.ask(
+            word,
+            degree=WeightThreshold(threshold),
+            cardinality=MaxTuplesPerRelation(cap),
+        )
+        if answer.found:
+            assert answer.narrative is not None
+            assert isinstance(answer.narrative, str)
+        html = answer_to_html(answer)
+        assert html.startswith('<div class="precis">')
+
+    @given(word=st.sampled_from(_words), cap=st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_describe_total(self, word, cap):
+        engine = PrecisEngine(_DB, graph=_GRAPH, translator=_TRANSLATOR)
+        answer = engine.ask(
+            word,
+            degree=WeightThreshold(0.9),
+            cardinality=MaxTuplesPerRelation(cap),
+        )
+        assert isinstance(answer.describe(), str)

@@ -1,0 +1,65 @@
+"""Unit tests for profiles and the registry (§3.1 personalization)."""
+
+import pytest
+
+from repro.core import MaxTuplesPerRelation, WeightThreshold
+from repro.personalization import Profile, ProfileRegistry
+
+
+class TestProfile:
+    def test_weight_setters(self):
+        profile = Profile("p")
+        profile.set_projection_weight("R", "A", 0.3)
+        profile.set_join_weight("R", "S", 0.6)
+        assert profile.weights == {
+            ("proj", "R", "A"): 0.3,
+            ("join", "R", "S"): 0.6,
+        }
+
+    def test_personalize_applies_overrides(self, paper_graph):
+        profile = Profile("fan").set_join_weight("MOVIE", "GENRE", 0.2)
+        personalized = profile.personalize(paper_graph)
+        assert personalized.join_edge("MOVIE", "GENRE").weight == 0.2
+        assert paper_graph.join_edge("MOVIE", "GENRE").weight == 0.9
+
+    def test_personalize_without_weights_returns_same_graph(self, paper_graph):
+        profile = Profile("empty")
+        assert profile.personalize(paper_graph) is paper_graph
+
+    def test_merged_with_overrides(self):
+        base = Profile(
+            "designer",
+            weights={("proj", "R", "A"): 0.5},
+            degree=WeightThreshold(0.8),
+        )
+        user = Profile(
+            "user",
+            weights={("proj", "R", "A"): 0.9, ("proj", "R", "B"): 0.2},
+            cardinality=MaxTuplesPerRelation(3),
+        )
+        merged = base.merged_with(user)
+        assert merged.weights[("proj", "R", "A")] == 0.9
+        assert merged.weights[("proj", "R", "B")] == 0.2
+        assert merged.degree == WeightThreshold(0.8)
+        assert merged.cardinality == MaxTuplesPerRelation(3)
+        assert merged.name == "designer+user"
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = ProfileRegistry()
+        registry.register(Profile("a"))
+        assert registry.get("a").name == "a"
+        assert "a" in registry
+        assert registry.names() == ("a",)
+        assert len(registry) == 1
+
+    def test_duplicate_rejected(self):
+        registry = ProfileRegistry()
+        registry.register(Profile("a"))
+        with pytest.raises(KeyError):
+            registry.register(Profile("a"))
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ProfileRegistry().get("nope")

@@ -1,0 +1,80 @@
+"""Unit tests for the cost model substrate (paper Formulas 1–2)."""
+
+from repro.relational import CostMeter, CostParameters, CostSnapshot
+
+
+class TestCostParameters:
+    def test_unit_fetch_is_index_plus_tuple(self):
+        params = CostParameters(index_time=1.5, tuple_time=2.5)
+        assert params.unit_fetch == 4.0
+
+    def test_defaults(self):
+        params = CostParameters()
+        assert params.unit_fetch == params.index_time + params.tuple_time
+
+
+class TestCostMeter:
+    def test_charging(self):
+        meter = CostMeter()
+        meter.charge_index_lookup()
+        meter.charge_index_lookup(2)
+        meter.charge_tuple_read(3)
+        meter.charge_scan_step()
+        snapshot = meter.snapshot()
+        assert snapshot.index_lookups == 3
+        assert snapshot.tuple_reads == 3
+        assert snapshot.scan_steps == 1
+
+    def test_modeled_cost(self):
+        params = CostParameters(index_time=1.0, tuple_time=2.0, scan_time=0.5)
+        meter = CostMeter(params)
+        meter.charge_index_lookup(4)
+        meter.charge_tuple_read(4)
+        meter.charge_scan_step(2)
+        assert meter.modeled_cost() == 4 * 1.0 + 4 * 2.0 + 2 * 0.5
+
+    def test_reset(self):
+        meter = CostMeter()
+        meter.charge_tuple_read(5)
+        meter.reset()
+        assert meter.modeled_cost() == 0.0
+
+    def test_measure_scope_delta(self):
+        meter = CostMeter()
+        meter.charge_tuple_read(10)  # pre-existing charge
+        with meter.measure() as measured:
+            meter.charge_tuple_read(3)
+            meter.charge_index_lookup(2)
+        assert measured.delta.tuple_reads == 3
+        assert measured.delta.index_lookups == 2
+        assert measured.modeled_cost == (
+            3 * meter.params.tuple_time + 2 * meter.params.index_time
+        )
+
+    def test_nested_measurements(self):
+        meter = CostMeter()
+        with meter.measure() as outer:
+            meter.charge_tuple_read()
+            with meter.measure() as inner:
+                meter.charge_tuple_read(2)
+        assert inner.delta.tuple_reads == 2
+        assert outer.delta.tuple_reads == 3
+
+
+class TestCostSnapshot:
+    def test_subtraction(self):
+        a = CostSnapshot(5, 10, 2)
+        b = CostSnapshot(2, 4, 1)
+        delta = a - b
+        assert (delta.index_lookups, delta.tuple_reads, delta.scan_steps) == (
+            3,
+            6,
+            1,
+        )
+
+    def test_formula_two_shape(self):
+        """card tuples fetched via index: cost = card * (It + Tt)."""
+        params = CostParameters(index_time=1.0, tuple_time=2.0)
+        card = 17
+        snap = CostSnapshot(index_lookups=card, tuple_reads=card)
+        assert snap.modeled_cost(params) == card * params.unit_fetch

@@ -1,0 +1,70 @@
+"""Unit tests for CSV round-tripping."""
+
+import pytest
+
+from repro.relational import Database, SchemaError
+from repro.relational.csvio import (
+    load_database,
+    save_database,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+
+class TestSchemaSerialization:
+    def test_roundtrip(self, tiny_schema):
+        data = schema_to_dict(tiny_schema)
+        back = schema_from_dict(data)
+        assert back.relation_names == tiny_schema.relation_names
+        for name in tiny_schema.relation_names:
+            assert back.relation(name) == tiny_schema.relation(name)
+        assert back.foreign_keys == tiny_schema.foreign_keys
+
+    def test_malformed_manifest(self):
+        with pytest.raises(SchemaError):
+            schema_from_dict({"relations": [{"name": "R"}]})
+
+
+class TestDatabaseRoundtrip:
+    def test_roundtrip(self, tiny_db, tmp_path):
+        path = save_database(tiny_db, tmp_path / "out")
+        back = load_database(path)
+        assert back.cardinalities() == tiny_db.cardinalities()
+        originals = sorted(
+            row.values for row in tiny_db.relation("CHILD").scan()
+        )
+        loaded = sorted(row.values for row in back.relation("CHILD").scan())
+        assert originals == loaded
+
+    def test_roundtrip_preserves_nulls(self, tiny_db, tmp_path):
+        tiny_db.insert("CHILD", {"CID": 99, "PID": None, "LABEL": None})
+        back = load_database(save_database(tiny_db, tmp_path / "n"))
+        rows = [
+            row
+            for row in back.relation("CHILD").scan()
+            if row["CID"] == 99
+        ]
+        assert rows[0]["PID"] is None
+        assert rows[0]["LABEL"] is None
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(SchemaError):
+            load_database(tmp_path)
+
+    def test_missing_relation_file_loads_empty(self, tiny_db, tmp_path):
+        path = save_database(tiny_db, tmp_path / "partial")
+        (path / "CHILD.csv").unlink()
+        back = load_database(path, enforce_foreign_keys=False)
+        assert len(back.relation("CHILD")) == 0
+        assert len(back.relation("PARENT")) == 2
+
+    def test_types_survive(self, tiny_db, tmp_path):
+        back = load_database(save_database(tiny_db, tmp_path / "t"))
+        row = next(iter(back.relation("PARENT").scan()))
+        assert isinstance(row["PID"], int)
+        assert isinstance(row["NAME"], str)
+
+    def test_paper_instance_roundtrip(self, paper_db, tmp_path):
+        back = load_database(save_database(paper_db, tmp_path / "movies"))
+        assert back.cardinalities() == paper_db.cardinalities()
+        assert back.integrity_violations() == []

@@ -1,0 +1,128 @@
+"""Unit tests for value coercion, validation and rendering."""
+
+import datetime
+
+import pytest
+
+from repro.relational.datatypes import DataType, coerce, render, validate
+
+
+class TestCoerceInt:
+    def test_int_passthrough(self):
+        assert coerce(5, DataType.INT) == 5
+
+    def test_string_to_int(self):
+        assert coerce(" 42 ", DataType.INT) == 42
+
+    def test_integral_float(self):
+        assert coerce(3.0, DataType.INT) == 3
+
+    def test_fractional_float_rejected(self):
+        with pytest.raises(ValueError):
+            coerce(3.5, DataType.INT)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValueError):
+            coerce(True, DataType.INT)
+
+    def test_garbage_string_rejected(self):
+        with pytest.raises(ValueError):
+            coerce("forty", DataType.INT)
+
+    def test_none_passthrough(self):
+        assert coerce(None, DataType.INT) is None
+
+
+class TestCoerceFloat:
+    def test_int_widens(self):
+        assert coerce(2, DataType.FLOAT) == 2.0
+        assert isinstance(coerce(2, DataType.FLOAT), float)
+
+    def test_string(self):
+        assert coerce("2.5", DataType.FLOAT) == 2.5
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValueError):
+            coerce(False, DataType.FLOAT)
+
+
+class TestCoerceText:
+    def test_string_passthrough(self):
+        assert coerce("hello", DataType.TEXT) == "hello"
+
+    def test_number_rejected(self):
+        with pytest.raises(ValueError):
+            coerce(7, DataType.TEXT)
+
+
+class TestCoerceDate:
+    def test_iso_string(self):
+        assert coerce("2005-11-12", DataType.DATE) == datetime.date(2005, 11, 12)
+
+    def test_date_passthrough(self):
+        d = datetime.date(2001, 1, 1)
+        assert coerce(d, DataType.DATE) is d
+
+    def test_datetime_truncates(self):
+        dt = datetime.datetime(2001, 1, 1, 12, 30)
+        assert coerce(dt, DataType.DATE) == datetime.date(2001, 1, 1)
+
+    def test_bad_string_rejected(self):
+        with pytest.raises(ValueError):
+            coerce("12/11/2005", DataType.DATE)
+
+
+class TestCoerceBool:
+    @pytest.mark.parametrize("raw", ["true", "T", "yes", "1", 1, True])
+    def test_truthy(self, raw):
+        assert coerce(raw, DataType.BOOL) is True
+
+    @pytest.mark.parametrize("raw", ["false", "N", "0", 0, False])
+    def test_falsy(self, raw):
+        assert coerce(raw, DataType.BOOL) is False
+
+    def test_other_int_rejected(self):
+        with pytest.raises(ValueError):
+            coerce(2, DataType.BOOL)
+
+
+class TestValidate:
+    def test_none_is_valid_everywhere(self):
+        for dtype in DataType:
+            assert validate(None, dtype)
+
+    def test_bool_is_not_int(self):
+        assert not validate(True, DataType.INT)
+        assert validate(True, DataType.BOOL)
+
+    def test_datetime_is_not_date(self):
+        assert not validate(
+            datetime.datetime(2020, 1, 1), DataType.DATE
+        )
+        assert validate(datetime.date(2020, 1, 1), DataType.DATE)
+
+    def test_int_is_not_float(self):
+        assert not validate(1, DataType.FLOAT)
+        assert validate(1.0, DataType.FLOAT)
+
+
+class TestRender:
+    def test_null_renders_empty(self):
+        assert render(None) == ""
+
+    def test_bool(self):
+        assert render(True) == "true"
+        assert render(False) == "false"
+
+    def test_date_iso(self):
+        assert render(datetime.date(2005, 11, 12)) == "2005-11-12"
+
+    def test_roundtrip_through_coerce(self):
+        for value, dtype in [
+            (42, DataType.INT),
+            (2.5, DataType.FLOAT),
+            ("text", DataType.TEXT),
+            (datetime.date(1999, 12, 31), DataType.DATE),
+            (True, DataType.BOOL),
+        ]:
+            assert coerce(render(value), dtype) == value

@@ -1,0 +1,104 @@
+"""Unit tests for DDL emission and parsing."""
+
+import pytest
+
+from repro.relational import (
+    DataType,
+    SQLSyntaxError,
+    create_schema_sql,
+    create_table_sql,
+    parse_ddl,
+)
+from repro.datasets import movies_schema
+
+
+class TestEmission:
+    def test_create_table_basics(self, tiny_schema):
+        sql = create_table_sql(
+            tiny_schema.relation("CHILD"), tiny_schema.foreign_keys
+        )
+        assert "CREATE TABLE CHILD" in sql
+        assert "CID INT NOT NULL" in sql
+        assert "PRIMARY KEY (CID)" in sql
+        assert "FOREIGN KEY (PID) REFERENCES PARENT (PID)" in sql
+
+    def test_pk_columns_forced_not_null(self):
+        schema = movies_schema()
+        sql = create_table_sql(schema.relation("MOVIE"))
+        assert "MID INT NOT NULL" in sql
+        assert "TITLE TEXT," in sql  # nullable stays plain
+
+    def test_schema_script_orders_parents_first(self, tiny_schema):
+        script = create_schema_sql(tiny_schema)
+        assert script.index("CREATE TABLE PARENT") < script.index(
+            "CREATE TABLE CHILD"
+        )
+
+    def test_only_outbound_fks_rendered(self, tiny_schema):
+        sql = create_table_sql(
+            tiny_schema.relation("PARENT"), tiny_schema.foreign_keys
+        )
+        assert "FOREIGN KEY" not in sql
+
+
+class TestParsing:
+    def test_roundtrip_movies_schema(self):
+        original = movies_schema()
+        parsed = parse_ddl(create_schema_sql(original))
+        assert set(parsed.relation_names) == set(original.relation_names)
+        for name in original.relation_names:
+            a, b = original.relation(name), parsed.relation(name)
+            assert a.attribute_names == b.attribute_names
+            assert a.primary_key == b.primary_key
+            for col in a.columns:
+                assert b.column(col.name).dtype == col.dtype
+        assert set(map(str, parsed.foreign_keys)) == set(
+            map(str, original.foreign_keys)
+        )
+
+    def test_type_aliases(self):
+        schema = parse_ddl(
+            "CREATE TABLE T (A INTEGER, B VARCHAR(40), C DOUBLE, "
+            "D BOOLEAN, E DATE);"
+        )
+        t = schema.relation("T")
+        assert t.column("A").dtype is DataType.INT
+        assert t.column("B").dtype is DataType.TEXT
+        assert t.column("C").dtype is DataType.FLOAT
+        assert t.column("D").dtype is DataType.BOOL
+        assert t.column("E").dtype is DataType.DATE
+
+    def test_inline_primary_key(self):
+        schema = parse_ddl("CREATE TABLE T (A INT PRIMARY KEY, B TEXT);")
+        assert schema.relation("T").primary_key == ("A",)
+
+    def test_composite_primary_key(self):
+        schema = parse_ddl(
+            "CREATE TABLE T (A INT NOT NULL, B INT NOT NULL, "
+            "PRIMARY KEY (A, B));"
+        )
+        assert schema.relation("T").primary_key == ("A", "B")
+
+    def test_comments_stripped(self):
+        schema = parse_ddl(
+            "-- the demo table\nCREATE TABLE T (A INT -- key\n);"
+        )
+        assert "T" in schema
+
+    def test_case_insensitive_keywords(self):
+        schema = parse_ddl("create table t (a int not null primary key);")
+        assert schema.relation("t").primary_key == ("a",)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "DROP TABLE T;",
+            "CREATE TABLE T (A NOPETYPE);",
+            "CREATE TABLE T (A INT); garbage after",
+            "CREATE TABLE T (!!!);",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(SQLSyntaxError):
+            parse_ddl(bad)

@@ -1,0 +1,75 @@
+"""Property-based round-trip tests for the DDL layer."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import (
+    Column,
+    DatabaseSchema,
+    DataType,
+    RelationSchema,
+    create_schema_sql,
+    parse_ddl,
+)
+
+_names = st.text(
+    alphabet=string.ascii_uppercase, min_size=1, max_size=8
+).filter(lambda s: s.isidentifier())
+
+
+@st.composite
+def relation_schemas(draw, name):
+    n_cols = draw(st.integers(1, 6))
+    col_names = draw(
+        st.lists(_names, min_size=n_cols, max_size=n_cols, unique=True)
+    )
+    columns = [
+        Column(
+            col,
+            draw(st.sampled_from(list(DataType))),
+            nullable=draw(st.booleans()),
+        )
+        for col in col_names
+    ]
+    pk = draw(
+        st.one_of(
+            st.none(),
+            st.lists(
+                st.sampled_from(col_names), min_size=1, max_size=2,
+                unique=True,
+            ),
+        )
+    )
+    return RelationSchema(name, columns, pk)
+
+
+@st.composite
+def database_schemas(draw):
+    n_rels = draw(st.integers(1, 4))
+    rel_names = draw(
+        st.lists(_names, min_size=n_rels, max_size=n_rels, unique=True)
+    )
+    return DatabaseSchema(
+        [draw(relation_schemas(name)) for name in rel_names]
+    )
+
+
+class TestDdlRoundtrip:
+    @given(database_schemas())
+    @settings(max_examples=60, deadline=None)
+    def test_emit_parse_roundtrip(self, schema):
+        parsed = parse_ddl(create_schema_sql(schema))
+        assert set(parsed.relation_names) == set(schema.relation_names)
+        for name in schema.relation_names:
+            original = schema.relation(name)
+            loaded = parsed.relation(name)
+            assert loaded.attribute_names == original.attribute_names
+            assert set(loaded.primary_key) == set(original.primary_key)
+            for col in original.columns:
+                assert loaded.column(col.name).dtype == col.dtype
+                # NOT NULL survives; pk columns are forced non-null in
+                # the DDL, which is a legal strengthening
+                if not col.nullable:
+                    assert not loaded.column(col.name).nullable

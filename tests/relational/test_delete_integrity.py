@@ -1,0 +1,108 @@
+"""Tests for FK-aware deletes on Database."""
+
+import pytest
+
+from repro.relational import ForeignKeyViolation
+
+
+class TestProtectedDelete:
+    def test_referenced_parent_protected(self, tiny_db):
+        with pytest.raises(ForeignKeyViolation):
+            tiny_db.delete("PARENT", 1)  # has two children
+        assert 1 in tiny_db.relation("PARENT")
+
+    def test_unreferenced_parent_deletes(self, tiny_db):
+        tiny_db.insert("PARENT", {"PID": 3, "NAME": "gamma"})
+        removed = tiny_db.delete("PARENT", 3)
+        assert removed == 1
+        assert 3 not in tiny_db.relation("PARENT")
+
+    def test_child_deletes_freely(self, tiny_db):
+        assert tiny_db.delete("CHILD", 3) == 1
+        assert tiny_db.integrity_violations() == []
+
+    def test_cascade_removes_children(self, tiny_db):
+        removed = tiny_db.delete("PARENT", 1, cascade=True)
+        assert removed == 3  # parent + two children
+        assert tiny_db.integrity_violations() == []
+        assert len(tiny_db.relation("CHILD")) == 1
+
+    def test_cascade_recurses(self):
+        from repro.relational import (
+            Column,
+            Database,
+            DatabaseSchema,
+            DataType,
+            ForeignKey,
+            RelationSchema,
+        )
+
+        schema = DatabaseSchema(
+            [
+                RelationSchema(
+                    "A",
+                    [Column("AID", DataType.INT, nullable=False)],
+                    primary_key="AID",
+                ),
+                RelationSchema(
+                    "B",
+                    [
+                        Column("BID", DataType.INT, nullable=False),
+                        Column("AID", DataType.INT),
+                    ],
+                    primary_key="BID",
+                ),
+                RelationSchema(
+                    "C",
+                    [
+                        Column("CID", DataType.INT, nullable=False),
+                        Column("BID", DataType.INT),
+                    ],
+                    primary_key="CID",
+                ),
+            ],
+            [
+                ForeignKey("B", "AID", "A", "AID"),
+                ForeignKey("C", "BID", "B", "BID"),
+            ],
+        )
+        db = Database(schema)
+        a = db.insert("A", {"AID": 1})
+        b = db.insert("B", {"BID": 10, "AID": 1})
+        db.insert("C", {"CID": 100, "BID": 10})
+        db.insert("C", {"CID": 101, "BID": 10})
+        db.create_join_indexes()
+        removed = db.delete("A", a, cascade=True)
+        assert removed == 4  # A + B + two C
+        assert db.total_tuples() == 0
+
+    def test_unenforced_database_deletes_directly(self, tiny_schema):
+        from repro.relational import Database
+
+        db = Database(tiny_schema, enforce_foreign_keys=False)
+        pid = db.insert("PARENT", {"PID": 1, "NAME": "x"})
+        db.insert("CHILD", {"CID": 1, "PID": 1, "LABEL": "c"})
+        assert db.delete("PARENT", pid) == 1
+        # dangling child now detectable
+        assert db.integrity_violations()
+
+
+class TestDisambiguation:
+    def test_options_per_occurrence(self, paper_engine):
+        options = paper_engine.disambiguate('"Woody Allen"')
+        assert len(options) == 2
+        by_relation = {opt["relation"]: opt for opt in options}
+        assert by_relation["DIRECTOR"]["attribute"] == "DNAME"
+        assert by_relation["DIRECTOR"]["matches"] == 1
+        assert by_relation["ACTOR"]["samples"] == ["Woody Allen"]
+
+    def test_sample_limit(self, paper_engine):
+        options = paper_engine.disambiguate("Comedy", samples=2)
+        (genre_option,) = [
+            o for o in options if o["relation"] == "GENRE"
+        ]
+        assert genre_option["matches"] == 4
+        assert len(genre_option["samples"]) == 2
+
+    def test_no_matches_no_options(self, paper_engine):
+        assert paper_engine.disambiguate('"zz none"') == []

@@ -1,0 +1,121 @@
+"""Unit tests for the query operators — including the paper's NaïveQ
+
+prefix semantics and the RoundRobin fairness property."""
+
+import pytest
+
+from repro.relational import (
+    Column,
+    DataType,
+    RelationSchema,
+    RoundRobinScans,
+    select_by_tids,
+    select_eq,
+    select_in,
+    top_n,
+)
+from repro.relational.relation import Relation
+
+
+@pytest.fixture()
+def children():
+    """10 children: parent 1 has 6 of them, parent 2 has 3, parent 3 has 1."""
+    schema = RelationSchema(
+        "CHILD",
+        [
+            Column("CID", DataType.INT, nullable=False),
+            Column("PID", DataType.INT),
+        ],
+        primary_key="CID",
+    )
+    rel = Relation(schema)
+    spread = [1, 1, 1, 1, 1, 1, 2, 2, 2, 3]
+    for cid, pid in enumerate(spread, start=1):
+        rel.insert({"CID": cid, "PID": pid})
+    rel.create_index("PID")
+    return rel
+
+
+class TestSelectByTids:
+    def test_sorted_deterministic(self, children):
+        rows = select_by_tids(children, {3, 1, 2})
+        assert [r.tid for r in rows] == [1, 2, 3]
+
+    def test_limit_prefix(self, children):
+        rows = select_by_tids(children, range(1, 11), limit=4)
+        assert [r.tid for r in rows] == [1, 2, 3, 4]
+
+    def test_projection(self, children):
+        rows = select_by_tids(children, [1], attributes=["PID"])
+        assert rows[0].attributes == ("PID",)
+
+
+class TestSelectEqAndIn:
+    def test_select_eq(self, children):
+        rows = select_eq(children, "PID", 2)
+        assert {r["CID"] for r in rows} == {7, 8, 9}
+
+    def test_select_in(self, children):
+        rows = select_in(children, "PID", [2, 3])
+        assert {r["CID"] for r in rows} == {7, 8, 9, 10}
+
+    def test_naive_starvation(self, children):
+        """The paper's NaïveQ risk: an arbitrary prefix over a 1-to-n
+
+        join can starve later driving values entirely."""
+        rows = select_in(children, "PID", [1, 2, 3], limit=6)
+        pids = {r["PID"] for r in rows}
+        assert pids == {1}  # parent 1's six children hog the prefix
+
+    def test_top_n(self, children):
+        rows = list(children.scan())
+        assert len(top_n(rows, 3)) == 3
+        assert len(top_n(rows, None)) == 10
+        assert top_n(rows, 0) == []
+
+
+class TestRoundRobin:
+    def test_fair_spread(self, children):
+        """RoundRobin with the same budget covers every driving value."""
+        scans = RoundRobinScans(children, "PID", [1, 2, 3])
+        rows = scans.take(6)
+        pids = [r["PID"] for r in rows]
+        assert set(pids) == {1, 2, 3}
+        # first full round touches each parent once
+        assert pids[:3] == [1, 2, 3]
+
+    def test_exhausted_scans_close(self, children):
+        scans = RoundRobinScans(children, "PID", [3])
+        rows = scans.take(None)
+        assert len(rows) == 1
+        assert scans.exhausted()
+        assert scans.next_tuple() is None
+
+    def test_unlimited_budget_retrieves_all(self, children):
+        scans = RoundRobinScans(children, "PID", [1, 2, 3])
+        rows = scans.take(None)
+        assert len(rows) == 10
+
+    def test_missing_driving_values_skipped(self, children):
+        scans = RoundRobinScans(children, "PID", [42, 2])
+        assert scans.open_scans == 1
+        assert len(scans.take(None)) == 3
+
+    def test_duplicate_driving_values_deduplicated(self, children):
+        scans = RoundRobinScans(children, "PID", [2, 2, 2])
+        assert scans.open_scans == 1
+        assert len(scans.take(None)) == 3
+
+    def test_budget_zero(self, children):
+        scans = RoundRobinScans(children, "PID", [1, 2])
+        assert scans.take(0) == []
+
+    def test_no_driving_tuple_starves_while_budget_remains(self, children):
+        """For any budget >= number of driving values with matches, every
+
+        driving value gets at least one joining tuple (the property the
+        paper designed RoundRobin for)."""
+        for budget in range(3, 11):
+            scans = RoundRobinScans(children, "PID", [1, 2, 3])
+            rows = scans.take(budget)
+            assert {r["PID"] for r in rows} >= {1, 2, 3}

@@ -1,0 +1,64 @@
+"""Unit tests for Row."""
+
+import pytest
+
+from repro.relational import Row, SchemaError
+
+
+@pytest.fixture()
+def row():
+    return Row("MOVIE", 7, ("MID", "TITLE"), (1, "Match Point"))
+
+
+class TestAccess:
+    def test_by_name(self, row):
+        assert row["TITLE"] == "Match Point"
+
+    def test_by_position(self, row):
+        assert row[0] == 1
+
+    def test_unknown_name_raises(self, row):
+        with pytest.raises(SchemaError):
+            row["NOPE"]
+
+    def test_get_default(self, row):
+        assert row.get("NOPE", "x") == "x"
+        assert row.get("MID") == 1
+
+    def test_contains(self, row):
+        assert "MID" in row
+        assert "NOPE" not in row
+
+    def test_iter_and_len(self, row):
+        assert list(row) == [1, "Match Point"]
+        assert len(row) == 2
+
+    def test_as_dict(self, row):
+        assert row.as_dict() == {"MID": 1, "TITLE": "Match Point"}
+
+
+class TestShape:
+    def test_arity_mismatch(self):
+        with pytest.raises(SchemaError):
+            Row("R", 1, ("A", "B"), (1,))
+
+    def test_project(self, row):
+        projected = row.project(["TITLE"])
+        assert projected.attributes == ("TITLE",)
+        assert projected.tid == 7
+        assert projected.relation == "MOVIE"
+
+
+class TestEquality:
+    def test_equal_ignores_tid(self, row):
+        other = Row("MOVIE", 99, ("MID", "TITLE"), (1, "Match Point"))
+        assert row == other
+        assert hash(row) == hash(other)
+
+    def test_unequal_relation(self, row):
+        other = Row("FILM", 7, ("MID", "TITLE"), (1, "Match Point"))
+        assert row != other
+
+    def test_unequal_values(self, row):
+        other = Row("MOVIE", 7, ("MID", "TITLE"), (2, "Match Point"))
+        assert row != other

@@ -1,0 +1,134 @@
+"""Unit tests for schema objects."""
+
+import pytest
+
+from repro.relational import (
+    Column,
+    DatabaseSchema,
+    DataType,
+    ForeignKey,
+    RelationSchema,
+    SchemaError,
+)
+
+
+def _movie_schema():
+    return RelationSchema(
+        "MOVIE",
+        [
+            Column("MID", DataType.INT, nullable=False),
+            Column("TITLE", DataType.TEXT),
+            Column("YEAR", DataType.INT),
+        ],
+        primary_key="MID",
+    )
+
+
+class TestColumn:
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("bad name", DataType.INT)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("", DataType.INT)
+
+
+class TestRelationSchema:
+    def test_attribute_names_in_order(self):
+        assert _movie_schema().attribute_names == ("MID", "TITLE", "YEAR")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(
+                "R", [Column("A", DataType.INT), Column("A", DataType.TEXT)]
+            )
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [])
+
+    def test_pk_must_exist(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [Column("A", DataType.INT)], primary_key="B")
+
+    def test_string_pk_normalized_to_tuple(self):
+        assert _movie_schema().primary_key == ("MID",)
+
+    def test_composite_pk(self):
+        rs = RelationSchema(
+            "CAST",
+            [Column("MID", DataType.INT), Column("AID", DataType.INT)],
+            primary_key=("MID", "AID"),
+        )
+        assert rs.primary_key == ("MID", "AID")
+
+    def test_positions(self):
+        rs = _movie_schema()
+        assert rs.position("TITLE") == 1
+        assert rs.positions(["YEAR", "MID"]) == (2, 0)
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            _movie_schema().column("NOPE")
+
+    def test_project_keeps_pk_when_included(self):
+        projected = _movie_schema().project(["MID", "TITLE"])
+        assert projected.primary_key == ("MID",)
+        assert projected.attribute_names == ("MID", "TITLE")
+
+    def test_project_drops_pk_when_excluded(self):
+        projected = _movie_schema().project(["TITLE", "YEAR"])
+        assert projected.primary_key == ()
+
+    def test_project_deduplicates(self):
+        projected = _movie_schema().project(["TITLE", "TITLE"])
+        assert projected.attribute_names == ("TITLE",)
+
+    def test_equality_and_hash(self):
+        assert _movie_schema() == _movie_schema()
+        assert hash(_movie_schema()) == hash(_movie_schema())
+
+
+class TestDatabaseSchema:
+    def test_duplicate_relation_rejected(self):
+        schema = DatabaseSchema([_movie_schema()])
+        with pytest.raises(SchemaError):
+            schema.add_relation(_movie_schema())
+
+    def test_fk_validation(self):
+        genre = RelationSchema(
+            "GENRE",
+            [Column("MID", DataType.INT), Column("GENRE", DataType.TEXT)],
+        )
+        schema = DatabaseSchema([_movie_schema(), genre])
+        schema.add_foreign_key(ForeignKey("GENRE", "MID", "MOVIE", "MID"))
+        assert len(schema.foreign_keys) == 1
+
+    def test_fk_unknown_column_rejected(self):
+        genre = RelationSchema("GENRE", [Column("MID", DataType.INT)])
+        schema = DatabaseSchema([_movie_schema(), genre])
+        with pytest.raises(SchemaError):
+            schema.add_foreign_key(ForeignKey("GENRE", "X", "MOVIE", "MID"))
+
+    def test_fk_type_mismatch_rejected(self):
+        genre = RelationSchema("GENRE", [Column("MID", DataType.TEXT)])
+        schema = DatabaseSchema([_movie_schema(), genre])
+        with pytest.raises(SchemaError):
+            schema.add_foreign_key(ForeignKey("GENRE", "MID", "MOVIE", "MID"))
+
+    def test_foreign_keys_of_and_into(self):
+        genre = RelationSchema("GENRE", [Column("MID", DataType.INT)])
+        schema = DatabaseSchema(
+            [_movie_schema(), genre],
+            [ForeignKey("GENRE", "MID", "MOVIE", "MID")],
+        )
+        assert len(schema.foreign_keys_of("GENRE")) == 1
+        assert len(schema.foreign_keys_into("MOVIE")) == 1
+        assert schema.foreign_keys_of("MOVIE") == []
+
+    def test_contains_and_len(self):
+        schema = DatabaseSchema([_movie_schema()])
+        assert "MOVIE" in schema
+        assert "NOPE" not in schema
+        assert len(schema) == 1

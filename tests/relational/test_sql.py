@@ -1,0 +1,157 @@
+"""Unit tests for the mini-SQL layer."""
+
+import pytest
+
+from repro.relational import QueryError, SQLSyntaxError
+from repro.relational.sql import AttrRef, execute, parse
+
+
+class TestParser:
+    def test_simple_select(self):
+        stmt = parse("SELECT NAME FROM PARENT")
+        assert stmt.projections == [AttrRef(None, "NAME")]
+        assert stmt.tables[0].name == "PARENT"
+        assert stmt.conditions == []
+
+    def test_star(self):
+        stmt = parse("SELECT * FROM PARENT")
+        assert stmt.projections == []
+
+    def test_alias(self):
+        stmt = parse("SELECT p.NAME FROM PARENT p")
+        assert stmt.tables[0].alias == "p"
+        assert stmt.projections[0] == AttrRef("p", "NAME")
+
+    def test_as_alias(self):
+        stmt = parse("SELECT x.NAME FROM PARENT AS x")
+        assert stmt.tables[0].alias == "x"
+
+    def test_where_literal_and_join(self):
+        stmt = parse(
+            "SELECT c.LABEL FROM PARENT p, CHILD c "
+            "WHERE p.PID = c.PID AND p.NAME = 'alpha'"
+        )
+        assert len(stmt.conditions) == 2
+        assert stmt.conditions[0].is_join
+        assert not stmt.conditions[1].is_join
+        assert stmt.conditions[1].right == "alpha"
+
+    def test_operators(self):
+        for op in ["=", "!=", "<", "<=", ">", ">="]:
+            stmt = parse(f"SELECT A FROM R WHERE A {op} 5")
+            assert stmt.conditions[0].op == op
+
+    def test_diamond_op_normalized(self):
+        stmt = parse("SELECT A FROM R WHERE A <> 5")
+        assert stmt.conditions[0].op == "!="
+
+    def test_like(self):
+        stmt = parse("SELECT A FROM R WHERE A LIKE 'al%'")
+        assert stmt.conditions[0].op == "LIKE"
+
+    def test_limit(self):
+        assert parse("SELECT A FROM R LIMIT 3").limit == 3
+
+    def test_quoted_string_with_escape(self):
+        stmt = parse("SELECT A FROM R WHERE A = 'it''s'")
+        assert stmt.conditions[0].right == "it's"
+
+    def test_numbers(self):
+        stmt = parse("SELECT A FROM R WHERE A = 2.5")
+        assert stmt.conditions[0].right == 2.5
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT",
+            "SELECT FROM R",
+            "SELECT A R",
+            "SELECT A FROM R WHERE",
+            "SELECT A FROM R LIMIT x",
+            "SELECT A FROM R alias 5",
+            "SELECT A FROM R WHERE A LIKE 5",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(SQLSyntaxError):
+            parse(bad)
+
+
+class TestExecutor:
+    def test_point_select(self, tiny_db):
+        rows = execute(tiny_db, "SELECT NAME FROM PARENT WHERE PID = 1")
+        assert rows == [{"PARENT.NAME": "alpha"}]
+
+    def test_star_select(self, tiny_db):
+        rows = execute(tiny_db, "SELECT * FROM PARENT WHERE PID = 2")
+        assert rows == [{"PARENT.PID": 2, "PARENT.NAME": "beta"}]
+
+    def test_join(self, tiny_db):
+        rows = execute(
+            tiny_db,
+            "SELECT c.LABEL FROM PARENT p, CHILD c "
+            "WHERE p.PID = c.PID AND p.NAME = 'alpha'",
+        )
+        assert sorted(r["c.LABEL"] for r in rows) == ["a1", "a2"]
+
+    def test_join_unqualified_attribute_resolution(self, tiny_db):
+        rows = execute(
+            tiny_db,
+            "SELECT LABEL FROM PARENT p, CHILD c "
+            "WHERE p.PID = c.PID AND NAME = 'beta'",
+        )
+        assert [r["c.LABEL"] for r in rows] == ["b1"]
+
+    def test_ambiguous_attribute_rejected(self, tiny_db):
+        with pytest.raises(QueryError):
+            execute(
+                tiny_db,
+                "SELECT PID FROM PARENT p, CHILD c WHERE p.PID = c.PID",
+            )
+
+    def test_unknown_relation(self, tiny_db):
+        with pytest.raises(QueryError):
+            execute(tiny_db, "SELECT A FROM NOPE")
+
+    def test_unknown_attribute(self, tiny_db):
+        with pytest.raises(QueryError):
+            execute(tiny_db, "SELECT NOPE FROM PARENT")
+
+    def test_duplicate_alias(self, tiny_db):
+        with pytest.raises(QueryError):
+            execute(tiny_db, "SELECT p.NAME FROM PARENT p, CHILD p")
+
+    def test_limit(self, tiny_db):
+        rows = execute(tiny_db, "SELECT LABEL FROM CHILD LIMIT 2")
+        assert len(rows) == 2
+
+    def test_like(self, tiny_db):
+        rows = execute(
+            tiny_db, "SELECT LABEL FROM CHILD WHERE LABEL LIKE 'a%'"
+        )
+        assert sorted(r["CHILD.LABEL"] for r in rows) == ["a1", "a2"]
+
+    def test_inequality(self, tiny_db):
+        rows = execute(tiny_db, "SELECT CID FROM CHILD WHERE CID >= 11")
+        assert sorted(r["CHILD.CID"] for r in rows) == [11, 12]
+
+    def test_cross_product_when_no_join(self, tiny_db):
+        rows = execute(tiny_db, "SELECT p.PID, c.CID FROM PARENT p, CHILD c")
+        assert len(rows) == 6  # 2 parents x 3 children
+
+    def test_self_join(self, tiny_db):
+        rows = execute(
+            tiny_db,
+            "SELECT a.CID, b.CID FROM CHILD a, CHILD b "
+            "WHERE a.PID = b.PID AND a.CID < b.CID",
+        )
+        assert len(rows) == 1  # (10, 11) under parent 1
+        assert rows[0] == {"a.CID": 10, "b.CID": 11}
+
+    def test_paper_instance_query(self, paper_db):
+        rows = execute(
+            paper_db,
+            "SELECT m.TITLE, g.GENRE FROM MOVIE m, GENRE g "
+            "WHERE m.MID = g.MID AND m.TITLE = 'Match Point'",
+        )
+        assert sorted(r["g.GENRE"] for r in rows) == ["Drama", "Thriller"]

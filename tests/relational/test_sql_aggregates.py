@@ -1,0 +1,141 @@
+"""Unit tests for mini-SQL GROUP BY / COUNT / ORDER BY."""
+
+import pytest
+
+from repro.relational import QueryError, SQLSyntaxError
+from repro.relational.sql import execute, parse
+
+
+class TestParsing:
+    def test_count_star(self):
+        stmt = parse("SELECT COUNT(*) FROM R")
+        assert str(stmt.projections[0]) == "COUNT(*)"
+
+    def test_count_attr(self):
+        stmt = parse("SELECT COUNT(a.X) FROM R a")
+        assert str(stmt.projections[0]) == "COUNT(a.X)"
+
+    def test_group_by(self):
+        stmt = parse("SELECT X, COUNT(*) FROM R GROUP BY X")
+        assert len(stmt.group_by) == 1
+
+    def test_order_by_directions(self):
+        stmt = parse("SELECT X FROM R ORDER BY X DESC, Y ASC, Z")
+        assert [(str(r), d) for r, d in stmt.order_by] == [
+            ("X", True), ("Y", False), ("Z", False),
+        ]
+
+    def test_order_by_count(self):
+        stmt = parse("SELECT X, COUNT(*) FROM R GROUP BY X ORDER BY COUNT(*) DESC")
+        assert str(stmt.order_by[0][0]) == "COUNT(*)"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT COUNT( FROM R",
+            "SELECT COUNT(*) FROM R GROUP X",
+            "SELECT X FROM R ORDER X",
+            "SELECT COUNT(*, *) FROM R",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(SQLSyntaxError):
+            parse(bad)
+
+
+class TestCount:
+    def test_count_star_whole_table(self, paper_db):
+        assert execute(paper_db, "SELECT COUNT(*) FROM GENRE") == [
+            {"COUNT(*)": 9}
+        ]
+
+    def test_count_attr_skips_nulls(self, tiny_db):
+        tiny_db.insert("CHILD", {"CID": 99, "PID": None, "LABEL": "x"})
+        rows = execute(tiny_db, "SELECT COUNT(PID) FROM CHILD")
+        assert rows == [{"COUNT(CHILD.PID)": 3}]
+        rows = execute(tiny_db, "SELECT COUNT(*) FROM CHILD")
+        assert rows == [{"COUNT(*)": 4}]
+
+    def test_count_with_where(self, paper_db):
+        rows = execute(
+            paper_db, "SELECT COUNT(*) FROM GENRE WHERE GENRE = 'Comedy'"
+        )
+        assert rows == [{"COUNT(*)": 4}]
+
+
+class TestGroupBy:
+    def test_movies_per_director(self, paper_db):
+        rows = execute(
+            paper_db,
+            "SELECT d.DNAME, COUNT(*) FROM DIRECTOR d, MOVIE m "
+            "WHERE m.DID = d.DID GROUP BY d.DNAME ORDER BY COUNT(*) DESC",
+        )
+        assert rows == [
+            {"d.DNAME": "Woody Allen", "COUNT(*)": 5},
+            {"d.DNAME": "Sofia Coppola", "COUNT(*)": 1},
+        ]
+
+    def test_bare_group_by_distinct(self, paper_db):
+        rows = execute(
+            paper_db, "SELECT GENRE FROM GENRE GROUP BY GENRE ORDER BY GENRE"
+        )
+        assert [r["GENRE.GENRE"] for r in rows] == [
+            "Comedy", "Drama", "Romance", "Thriller",
+        ]
+
+    def test_non_grouped_projection_rejected(self, paper_db):
+        with pytest.raises(QueryError):
+            execute(
+                paper_db,
+                "SELECT TITLE, COUNT(*) FROM MOVIE GROUP BY YEAR",
+            )
+
+    def test_group_key_can_be_null(self, tiny_db):
+        tiny_db.insert("CHILD", {"CID": 99, "PID": None, "LABEL": "x"})
+        rows = execute(
+            tiny_db,
+            "SELECT PID, COUNT(*) FROM CHILD GROUP BY PID ORDER BY PID",
+        )
+        assert rows[0] == {"CHILD.PID": None, "COUNT(*)": 1}  # NULLs first
+
+
+class TestOrderBy:
+    def test_order_desc_with_limit(self, paper_db):
+        rows = execute(
+            paper_db, "SELECT TITLE FROM MOVIE ORDER BY YEAR DESC LIMIT 3"
+        )
+        assert [r["MOVIE.TITLE"] for r in rows] == [
+            "Match Point", "Melinda and Melinda", "Anything Else",
+        ]
+
+    def test_hidden_order_column_stripped(self, paper_db):
+        rows = execute(paper_db, "SELECT TITLE FROM MOVIE ORDER BY YEAR")
+        assert set(rows[0]) == {"MOVIE.TITLE"}
+
+    def test_multi_key_order(self, paper_db):
+        rows = execute(
+            paper_db,
+            "SELECT g.GENRE, m.TITLE FROM GENRE g, MOVIE m "
+            "WHERE g.MID = m.MID ORDER BY g.GENRE, m.TITLE",
+        )
+        pairs = [(r["g.GENRE"], r["m.TITLE"]) for r in rows]
+        assert pairs == sorted(pairs)
+
+    def test_order_by_count_without_projection(self, paper_db):
+        rows = execute(
+            paper_db,
+            "SELECT GENRE FROM GENRE GROUP BY GENRE "
+            "ORDER BY COUNT(*) DESC, GENRE LIMIT 1",
+        )
+        assert rows == [{"GENRE.GENRE": "Comedy"}]
+
+    def test_order_by_unknown_in_star_select(self, paper_db):
+        rows = execute(paper_db, "SELECT * FROM MOVIE ORDER BY YEAR DESC")
+        assert rows[0]["MOVIE.YEAR"] == 2005
+
+    def test_order_by_missing_column_rejected(self, paper_db):
+        with pytest.raises(QueryError):
+            execute(
+                paper_db,
+                "SELECT TITLE FROM MOVIE GROUP BY TITLE ORDER BY NOPE",
+            )

@@ -1,0 +1,138 @@
+"""Oracle test: the mini-SQL executor vs brute-force evaluation.
+
+Random two-relation instances, random conjunctive queries (literal
+filters + an optional equi-join), evaluated both by the planner/executor
+(index probes, greedy join order) and by a naive nested-loop over raw
+rows. Results must be identical as multisets.
+"""
+
+import random
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import (
+    Column,
+    Database,
+    DatabaseSchema,
+    DataType,
+    RelationSchema,
+)
+from repro.relational.sql import execute
+
+
+def _instance(seed: int) -> Database:
+    rng = random.Random(seed)
+    schema = DatabaseSchema(
+        [
+            RelationSchema(
+                "L",
+                [
+                    Column("ID", DataType.INT, nullable=False),
+                    Column("K", DataType.INT),
+                    Column("TAG", DataType.TEXT),
+                ],
+                primary_key="ID",
+            ),
+            RelationSchema(
+                "R",
+                [
+                    Column("RID", DataType.INT, nullable=False),
+                    Column("K", DataType.INT),
+                    Column("N", DataType.INT),
+                ],
+                primary_key="RID",
+            ),
+        ]
+    )
+    db = Database(schema)
+    tags = ["red", "blue", "green"]
+    for i in range(1, rng.randint(2, 10)):
+        db.insert(
+            "L",
+            {
+                "ID": i,
+                "K": rng.randint(0, 4) if rng.random() < 0.9 else None,
+                "TAG": rng.choice(tags),
+            },
+        )
+    for i in range(1, rng.randint(2, 12)):
+        db.insert(
+            "R",
+            {
+                "RID": i,
+                "K": rng.randint(0, 4),
+                "N": rng.randint(-3, 3),
+            },
+        )
+    if seed % 2 == 0:  # exercise both indexed and unindexed paths
+        db.create_join_indexes()
+        db.relation("L").create_index("K")
+        db.relation("R").create_index("K")
+    return db
+
+
+def _naive_eval(db, k_filter, tag_filter, n_op, n_value, joined):
+    lefts = [row.as_dict() for row in db.relation("L").scan()]
+    rights = [row.as_dict() for row in db.relation("R").scan()]
+    out = []
+    ops = {
+        "<": lambda a, b: a is not None and a < b,
+        ">": lambda a, b: a is not None and a > b,
+        "=": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+    }
+    for left in lefts:
+        if k_filter is not None and left["K"] != k_filter:
+            continue
+        if tag_filter is not None and left["TAG"] != tag_filter:
+            continue
+        if not joined:
+            out.append((left["ID"],))
+            continue
+        for right in rights:
+            if left["K"] is None or right["K"] != left["K"]:
+                continue
+            if n_op is not None and not ops[n_op](right["N"], n_value):
+                continue
+            out.append((left["ID"], right["RID"]))
+    return Counter(out)
+
+
+class TestSqlOracle:
+    @given(
+        seed=st.integers(0, 3000),
+        k_filter=st.one_of(st.none(), st.integers(0, 4)),
+        tag_filter=st.one_of(st.none(), st.sampled_from(["red", "blue"])),
+        joined=st.booleans(),
+        n_op=st.one_of(st.none(), st.sampled_from(["<", ">", "=", "!="])),
+        n_value=st.integers(-3, 3),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_executor_matches_naive_evaluation(
+        self, seed, k_filter, tag_filter, joined, n_op, n_value
+    ):
+        db = _instance(seed)
+        conditions = []
+        if joined:
+            select = "SELECT l.ID, r.RID FROM L l, R r"
+            conditions.append("l.K = r.K")
+            if n_op is not None:
+                conditions.append(f"r.N {n_op} {n_value}")
+        else:
+            select = "SELECT l.ID FROM L l"
+            n_op = None
+        if k_filter is not None:
+            conditions.append(f"l.K = {k_filter}")
+        if tag_filter is not None:
+            conditions.append(f"l.TAG = '{tag_filter}'")
+        sql = select + (" WHERE " + " AND ".join(conditions) if conditions else "")
+
+        rows = execute(db, sql)
+        got = Counter(
+            tuple(row[key] for key in (["l.ID", "r.RID"] if joined else ["l.ID"]))
+            for row in rows
+        )
+        expected = _naive_eval(db, k_filter, tag_filter, n_op, n_value, joined)
+        assert got == expected, sql

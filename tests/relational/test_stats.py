@@ -1,0 +1,83 @@
+"""Unit tests for database statistics."""
+
+import pytest
+
+from repro.relational import (
+    database_summary,
+    fanout_stats,
+    relation_stats,
+)
+
+
+class TestRelationStats:
+    def test_cardinality_and_distinct(self, tiny_db):
+        stats = relation_stats(tiny_db, "CHILD")
+        assert stats.cardinality == 3
+        assert stats.distinct["PID"] == 2
+        assert stats.distinct["CID"] == 3
+        assert stats.nulls["PID"] == 0
+
+    def test_nulls_counted(self, tiny_db):
+        tiny_db.insert("CHILD", {"CID": 99, "PID": None, "LABEL": None})
+        stats = relation_stats(tiny_db, "CHILD")
+        assert stats.nulls["PID"] == 1
+        assert stats.nulls["LABEL"] == 1
+        assert stats.distinct["PID"] == 2  # NULL not a distinct value
+
+    def test_selectivity(self, tiny_db):
+        stats = relation_stats(tiny_db, "CHILD")
+        assert stats.selectivity("CID") == pytest.approx(1.0)
+        assert stats.selectivity("PID") == pytest.approx(1.5)
+
+    def test_empty_relation(self, tiny_schema):
+        from repro.relational import Database
+
+        db = Database(tiny_schema)
+        stats = relation_stats(db, "PARENT")
+        assert stats.cardinality == 0
+        assert stats.selectivity("PID") == 0.0
+
+
+class TestFanoutStats:
+    def test_children_per_parent(self, tiny_db):
+        (fk,) = tiny_db.schema.foreign_keys
+        fan = fanout_stats(tiny_db, fk)
+        assert fan.min_fanout == 1
+        assert fan.max_fanout == 2
+        assert fan.mean_fanout == pytest.approx(1.5)
+        assert fan.orphans == 0
+
+    def test_orphan_parents(self, tiny_db):
+        tiny_db.insert("PARENT", {"PID": 3, "NAME": "gamma"})
+        (fk,) = tiny_db.schema.foreign_keys
+        fan = fanout_stats(tiny_db, fk)
+        assert fan.orphans == 1
+        assert fan.min_fanout == 0
+
+    def test_skew_detection(self, tiny_db):
+        tiny_db.insert("PARENT", {"PID": 3, "NAME": "gamma"})
+        tiny_db.insert("PARENT", {"PID": 4, "NAME": "delta"})
+        for cid in range(100, 110):
+            tiny_db.insert("CHILD", {"CID": cid, "PID": 1, "LABEL": "x"})
+        (fk,) = tiny_db.schema.foreign_keys
+        fan = fanout_stats(tiny_db, fk)
+        assert fan.is_skewed
+
+    def test_paper_instance_fanouts(self, paper_db):
+        fk = next(
+            fk
+            for fk in paper_db.schema.foreign_keys
+            if fk.source == "GENRE"
+        )
+        fan = fanout_stats(paper_db, fk)
+        assert fan.max_fanout == 2  # two genres per movie at most
+        assert fan.min_fanout == 1
+
+
+class TestDatabaseSummary:
+    def test_summary_mentions_everything(self, tiny_db):
+        text = database_summary(tiny_db)
+        assert "2 relations, 5 tuples" in text
+        assert "PARENT: 2 tuples" in text
+        assert "CHILD.PID -> PARENT.PID" in text
+        assert "fan-out 1–2" in text

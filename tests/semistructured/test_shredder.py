@@ -1,0 +1,158 @@
+"""Unit tests for document shredding + précis over documents."""
+
+import pytest
+
+from repro import PrecisEngine, TopRProjections, WeightThreshold
+from repro.nlg import Translator, generic_spec
+from repro.relational import DataType
+from repro.semistructured import ShredError, shred
+
+DOCS = [
+    {
+        "title": "Match Point",
+        "year": 2005,
+        "director": {"name": "Woody Allen", "born": "Brooklyn"},
+        "genres": ["Drama", "Thriller"],
+        "cast": [
+            {"actor": "Scarlett Johansson", "role": "Nola Rice"},
+            {"actor": "Jonathan Rhys Meyers", "role": "Chris Wilton"},
+        ],
+    },
+    {
+        "title": "Lost in Translation",
+        "year": 2003,
+        "director": {"name": "Sofia Coppola", "born": "New York"},
+        "genres": ["Drama"],
+        "cast": [{"actor": "Scarlett Johansson", "role": "Charlotte"}],
+    },
+]
+
+
+@pytest.fixture(scope="module")
+def result():
+    return shred(DOCS, root_name="MOVIE")
+
+
+class TestSchemaInference:
+    def test_relations(self, result):
+        assert set(result.database.relation_names) == {
+            "MOVIE", "DIRECTOR", "GENRES", "CAST",
+        }
+        assert result.root_relation == "MOVIE"
+
+    def test_scalar_types_unified(self, result):
+        movie = result.database.relation("MOVIE").schema
+        assert movie.column("TITLE").dtype is DataType.TEXT
+        assert movie.column("YEAR").dtype is DataType.INT
+
+    def test_synthesized_keys(self, result):
+        cast = result.database.relation("CAST").schema
+        assert cast.primary_key == ("_ID",)
+        assert cast.has_column("_PARENT_ID")
+        fks = {str(fk) for fk in result.database.schema.foreign_keys}
+        assert "CAST._PARENT_ID -> MOVIE._ID" in fks
+        assert "DIRECTOR._PARENT_ID -> MOVIE._ID" in fks
+
+    def test_scalar_list_becomes_value_relation(self, result):
+        genres = result.database.relation("GENRES")
+        values = sorted(row["VALUE"] for row in genres.scan(["VALUE"]))
+        assert values == ["Drama", "Drama", "Thriller"]
+
+    def test_mixed_int_float_unifies_to_float(self):
+        out = shred([{"x": 1}, {"x": 2.5}])
+        assert out.database.relation("DOC").schema.column("X").dtype is (
+            DataType.FLOAT
+        )
+        values = {row["X"] for row in out.database.relation("DOC").scan(["X"])}
+        assert values == {1.0, 2.5}
+
+    def test_missing_fields_become_null(self):
+        out = shred([{"a": 1, "b": "x"}, {"a": 2}])
+        rows = sorted(
+            (row["A"], row["B"]) for row in out.database.relation("DOC").scan()
+        )
+        assert rows == [(1, "x"), (2, None)]
+
+
+class TestLoading:
+    def test_referential_integrity(self, result):
+        assert result.database.integrity_violations() == []
+
+    def test_parent_ids_link_correctly(self, result):
+        db = result.database
+        match_point = next(
+            row
+            for row in db.relation("MOVIE").scan()
+            if row["TITLE"] == "Match Point"
+        )
+        cast = [
+            row["ACTOR"]
+            for row in db.relation("CAST").scan()
+            if row["_PARENT_ID"] == match_point["_ID"]
+        ]
+        assert sorted(cast) == [
+            "Jonathan Rhys Meyers", "Scarlett Johansson",
+        ]
+
+    def test_headings_guessed(self, result):
+        assert result.headings["MOVIE"] == "TITLE"
+        assert result.headings["DIRECTOR"] == "NAME"
+        assert result.headings["GENRES"] == "VALUE"
+
+
+class TestGraph:
+    def test_bidirectional_join_edges(self, result):
+        graph = result.graph
+        assert graph.join_edge("MOVIE", "CAST").weight == 0.8
+        assert graph.join_edge("CAST", "MOVIE").weight == 1.0
+
+    def test_heading_weight_is_one(self, result):
+        assert result.graph.projection_edge("MOVIE", "TITLE").weight == 1.0
+        assert result.graph.projection_edge("MOVIE", "_ID").weight == 0.1
+
+
+class TestPrecisOverDocuments:
+    def test_keyword_to_subdatabase(self, result):
+        engine = PrecisEngine(result.database, graph=result.graph)
+        answer = engine.ask('"Scarlett Johansson"', degree=WeightThreshold(0.8))
+        assert answer.found
+        assert "CAST" in answer.result_schema.relations
+        assert "MOVIE" in answer.result_schema.relations
+        titles = {row["TITLE"] for row in answer.rows_of("MOVIE")}
+        assert titles == {"Match Point", "Lost in Translation"}
+
+    def test_narrative_via_generic_spec(self, result):
+        engine = PrecisEngine(
+            result.database,
+            graph=result.graph,
+            translator=Translator(generic_spec(result.graph, result.headings)),
+        )
+        answer = engine.ask('"Woody Allen"', degree=TopRProjections(6))
+        assert answer.narrative
+        assert "Woody Allen" in answer.narrative
+
+
+class TestValidation:
+    def test_empty_documents_rejected(self):
+        with pytest.raises(ShredError):
+            shred([])
+
+    def test_nested_lists_rejected(self):
+        with pytest.raises(ShredError):
+            shred([{"grid": [[1, 2], [3, 4]]}])
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ShredError):
+            shred([42])  # type: ignore[list-item]
+
+    def test_weird_field_names_sanitized(self):
+        out = shred([{"weird field!": "x", "1num": 2}])
+        schema = out.database.relation("DOC").schema
+        assert schema.has_column("WEIRD_FIELD")
+        assert schema.has_column("F_1NUM")
+
+    def test_name_collision_between_levels(self):
+        out = shred([{"data": {"data": {"x": 1}}}])
+        names = set(out.database.relation_names)
+        assert "DATA" in names
+        assert "DATA_2" in names

@@ -1,0 +1,86 @@
+"""Unit tests for the XML adapter."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro import PrecisEngine, WeightThreshold
+from repro.semistructured import (
+    ShredError,
+    element_to_document,
+    shred_xml,
+)
+
+XML = """
+<movies>
+  <movie year="2005">
+    <title>Match Point</title>
+    <director born="Brooklyn">Woody Allen</director>
+    <genre>Drama</genre>
+    <genre>Thriller</genre>
+  </movie>
+  <movie year="2003">
+    <title>Lost in Translation</title>
+    <director born="New York">Sofia Coppola</director>
+    <genre>Drama</genre>
+  </movie>
+</movies>
+"""
+
+
+class TestElementToDocument:
+    def test_attributes_become_fields(self):
+        doc = element_to_document(ET.fromstring('<m year="2005"/>'))
+        assert doc == {"year": 2005}
+
+    def test_leaf_text_becomes_scalar(self):
+        doc = element_to_document(
+            ET.fromstring("<m><title>Match Point</title></m>")
+        )
+        assert doc == {"title": "Match Point"}
+
+    def test_repeated_tags_become_list(self):
+        doc = element_to_document(
+            ET.fromstring("<m><g>Drama</g><g>Thriller</g></m>")
+        )
+        assert doc == {"g": ["Drama", "Thriller"]}
+
+    def test_element_with_attributes_and_text(self):
+        doc = element_to_document(
+            ET.fromstring('<m><d born="Brooklyn">Woody</d></m>')
+        )
+        assert doc == {"d": {"born": "Brooklyn", "_text": "Woody"}}
+
+    def test_numeric_text_parsed(self):
+        doc = element_to_document(ET.fromstring("<m><n>2.5</n></m>"))
+        assert doc == {"n": 2.5}
+
+
+class TestShredXml:
+    def test_end_to_end_precis_over_xml(self):
+        result = shred_xml(XML, root_name="MOVIE")
+        assert "MOVIE" in result.database.relation_names
+        engine = PrecisEngine(result.database, graph=result.graph)
+        answer = engine.ask('"Woody Allen"', degree=WeightThreshold(0.8))
+        assert answer.found
+        titles = {
+            row.get("TITLE")
+            for row in answer.database.relation("MOVIE").scan()
+        }
+        assert "Match Point" in titles
+
+    def test_default_root_name_from_child_tag(self):
+        result = shred_xml(XML)
+        assert result.root_relation == "MOVIE"
+
+    def test_integrity(self):
+        result = shred_xml(XML)
+        assert result.database.integrity_violations() == []
+
+    def test_malformed_xml(self):
+        with pytest.raises(ShredError):
+            shred_xml("<movies><movie></movies>")
+
+    def test_empty_root(self):
+        with pytest.raises(ShredError):
+            shred_xml("<movies/>")

@@ -1,0 +1,166 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture()
+def demo_dir(tmp_path):
+    directory = tmp_path / "demo"
+    code, __ = _run(["init-demo", str(directory)])
+    assert code == 0
+    return directory
+
+
+class TestInitDemo:
+    def test_writes_database_and_graph(self, demo_dir):
+        assert (demo_dir / "_schema.json").exists()
+        assert (demo_dir / "_graph.json").exists()
+        assert (demo_dir / "MOVIE.csv").exists()
+
+    def test_synthetic_size(self, tmp_path):
+        directory = tmp_path / "synth"
+        code, out = _run(
+            ["init-demo", str(directory), "--movies", "30", "--seed", "4"]
+        )
+        assert code == 0
+        assert "tuples" in out
+
+
+class TestSchema:
+    def test_prints_ddl_and_summary(self, demo_dir):
+        code, out = _run(["schema", str(demo_dir)])
+        assert code == 0
+        assert "CREATE TABLE MOVIE" in out
+        assert "relations," in out
+        assert "fan-out" in out
+
+
+class TestQuery:
+    def test_basic_query(self, demo_dir):
+        code, out = _run(
+            [
+                "query", str(demo_dir), '"Woody Allen"',
+                "--degree-weight", "0.9", "--per-relation", "3",
+            ]
+        )
+        assert code == 0
+        assert "Match Point" in out
+        assert "Result schema:" in out
+
+    def test_narrative_flag(self, demo_dir):
+        code, out = _run(
+            [
+                "query", str(demo_dir), '"Woody Allen"',
+                "--degree-weight", "0.9", "--narrative",
+            ]
+        )
+        assert code == 0
+        assert "Woody Allen" in out
+
+    def test_dot_output(self, demo_dir):
+        code, out = _run(
+            [
+                "query", str(demo_dir), '"Woody Allen"',
+                "--degree-weight", "0.9", "--dot",
+            ]
+        )
+        assert code == 0
+        assert out.startswith("digraph")
+
+    def test_save_exports_answer(self, demo_dir, tmp_path):
+        target = tmp_path / "answer"
+        code, out = _run(
+            [
+                "query", str(demo_dir), '"Woody Allen"',
+                "--degree-weight", "0.9", "--save", str(target),
+            ]
+        )
+        assert code == 0
+        assert (target / "_schema.json").exists()
+        assert (target / "MOVIE.csv").exists()
+
+    def test_no_match_exit_code(self, demo_dir):
+        code, out = _run(["query", str(demo_dir), "zzznope"])
+        assert code == 1
+        assert "no match" in out
+
+    def test_degree_top_and_total(self, demo_dir):
+        code, out = _run(
+            [
+                "query", str(demo_dir), '"Woody Allen"',
+                "--degree-top", "3", "--total", "4",
+            ]
+        )
+        assert code == 0
+
+    def test_composite_degree(self, demo_dir):
+        code, __ = _run(
+            [
+                "query", str(demo_dir), '"Woody Allen"',
+                "--degree-weight", "0.8", "--degree-length", "2",
+                "--degree-top", "6",
+            ]
+        )
+        assert code == 0
+
+
+class TestExplain:
+    def test_plan_ddl_and_sql(self, demo_dir):
+        code, out = _run(
+            [
+                "explain", str(demo_dir), '"Woody Allen"',
+                "--degree-weight", "0.9", "--per-relation", "3",
+            ]
+        )
+        assert code == 0
+        assert "précis plan" in out
+        assert "CREATE TABLE" in out
+        assert "SELECT" in out
+        assert "ROWID IN" in out
+
+
+class TestGraphFallback:
+    def test_directory_without_graph_file(self, demo_dir):
+        (demo_dir / "_graph.json").unlink()
+        code, out = _run(
+            ["query", str(demo_dir), '"Woody Allen"', "--degree-top", "5"]
+        )
+        assert code == 0
+
+
+class TestEstimate:
+    def test_estimate_prints_sizes(self, demo_dir):
+        code, out = _run(
+            [
+                "estimate", str(demo_dir), '"Woody Allen"',
+                "--degree-weight", "0.9",
+            ]
+        )
+        assert code == 0
+        assert "estimated answer size" in out
+        assert "MOVIE" in out
+        assert "total:" in out
+
+    def test_estimate_suggests_cap(self, demo_dir):
+        code, out = _run(
+            [
+                "estimate", str(demo_dir), '"Woody Allen"',
+                "--degree-weight", "0.9", "--target-total", "10",
+            ]
+        )
+        assert code == 0
+        assert "--per-relation" in out
+
+    def test_estimate_no_match(self, demo_dir):
+        code, out = _run(["estimate", str(demo_dir), "zzznope"])
+        assert code == 1

@@ -1,0 +1,92 @@
+"""Coverage for small public API surfaces not exercised elsewhere."""
+
+import pytest
+
+from repro import WeightThreshold
+from repro.cli import build_parser
+from repro.core import GeneratorReport
+from repro.relational import (
+    ConstraintViolation,
+    ForeignKeyViolation,
+    NotNullViolation,
+    PrimaryKeyViolation,
+    RelationalError,
+    SchemaError,
+    TypeMismatchError,
+)
+from repro.text import ENGLISH_STOPWORDS, is_stopword
+
+
+class TestExceptionHierarchy:
+    def test_everything_is_a_relational_error(self):
+        for exc_type in (
+            SchemaError,
+            ConstraintViolation,
+            PrimaryKeyViolation,
+            ForeignKeyViolation,
+            NotNullViolation,
+            TypeMismatchError,
+        ):
+            assert issubclass(exc_type, RelationalError)
+
+    def test_constraint_violations_grouped(self):
+        for exc_type in (
+            PrimaryKeyViolation,
+            ForeignKeyViolation,
+            NotNullViolation,
+        ):
+            assert issubclass(exc_type, ConstraintViolation)
+
+    def test_single_catch_covers_engine_failures(self, tiny_db):
+        with pytest.raises(RelationalError):
+            tiny_db.insert("CHILD", {"CID": 10, "PID": 999})
+        with pytest.raises(RelationalError):
+            tiny_db.insert("PARENT", {"PID": 1, "NAME": "dup"})
+
+    def test_violation_messages_carry_context(self):
+        error = PrimaryKeyViolation("MOVIE", (1,))
+        assert "MOVIE" in str(error)
+        assert error.relation == "MOVIE"
+        error = NotNullViolation("MOVIE", "MID")
+        assert error.attribute == "MID"
+
+
+class TestStopwords:
+    def test_is_stopword(self):
+        assert is_stopword("the")
+        assert not is_stopword("thriller")
+
+    def test_list_is_lowercase_frozen(self):
+        assert isinstance(ENGLISH_STOPWORDS, frozenset)
+        assert all(w == w.lower() for w in ENGLISH_STOPWORDS)
+
+
+class TestCliParser:
+    def test_build_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["query", "dir", "tokens", "--degree-weight", "0.9"]
+        )
+        assert args.command == "query"
+        assert args.degree_weight == 0.9
+
+    def test_strategy_choices_enforced(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(
+                ["query", "dir", "tokens", "--strategy", "bogus"]
+            )
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestGeneratorReport:
+    def test_tuples_retrieved_counts_seeds_and_joins(self, paper_engine):
+        answer = paper_engine.ask(
+            '"Woody Allen"', degree=WeightThreshold(0.9)
+        )
+        report: GeneratorReport = answer.report
+        assert report.tuples_retrieved() == answer.total_tuples()
+        assert report.joins_executed == len(report.executions)

@@ -1,0 +1,31 @@
+"""Execute every Python block of docs/tutorial.md so the tutorial
+
+cannot drift from the library. Blocks share one namespace, in order,
+exactly as a reader would run them."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+_TUTORIAL = Path(__file__).parent.parent / "docs" / "tutorial.md"
+
+
+def _blocks():
+    text = _TUTORIAL.read_text()
+    return re.findall(r"```python\n(.*?)```", text, re.DOTALL)
+
+
+def test_tutorial_has_blocks():
+    assert len(_blocks()) >= 8
+
+
+def test_tutorial_blocks_execute_in_order():
+    namespace: dict = {}
+    for position, block in enumerate(_blocks(), start=1):
+        try:
+            exec(compile(block, f"tutorial-block-{position}", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - diagnostic aid
+            pytest.fail(
+                f"tutorial block {position} failed: {exc}\n---\n{block}"
+            )

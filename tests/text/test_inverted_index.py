@@ -1,0 +1,113 @@
+"""Unit tests for the positional inverted index (§4)."""
+
+import pytest
+
+from repro.text import InvertedIndex, build_index
+
+
+@pytest.fixture()
+def index(paper_db):
+    return build_index(paper_db)
+
+
+class TestBuild:
+    def test_indexes_all_text_columns_by_default(self, index):
+        attrs = index.indexed_attributes
+        assert ("MOVIE", "TITLE") in attrs
+        assert ("DIRECTOR", "DNAME") in attrs
+        # YEAR is INT, not indexed by default
+        assert ("MOVIE", "YEAR") not in attrs
+
+    def test_explicit_attribute_subset(self, paper_db):
+        idx = build_index(paper_db, [("MOVIE", "TITLE"), ("MOVIE", "YEAR")])
+        assert idx.indexed_attributes == {
+            ("MOVIE", "TITLE"),
+            ("MOVIE", "YEAR"),
+        }
+        # non-TEXT columns are indexed via their rendering
+        assert idx.lookup_word("2005")
+
+    def test_vocabulary_and_postings_counts(self, index):
+        assert index.vocabulary_size > 20
+        assert index.postings_count() >= index.vocabulary_size
+
+
+class TestWordLookup:
+    def test_occurrences_grouped_by_attribute(self, index):
+        occs = index.lookup_word("woody")
+        pairs = {(o.relation, o.attribute) for o in occs}
+        assert pairs == {("DIRECTOR", "DNAME"), ("ACTOR", "ANAME")}
+
+    def test_case_insensitive(self, index):
+        assert index.lookup_word("WOODY") == index.lookup_word("woody")
+
+    def test_missing_word(self, index):
+        assert index.lookup_word("zzzz") == []
+
+    def test_contains_word(self, index):
+        assert index.contains_word("Match")
+        assert not index.contains_word("nonexistent")
+
+    def test_tids_are_exact(self, index, paper_db):
+        (occ,) = [
+            o for o in index.lookup_word("comedy") if o.relation == "GENRE"
+        ]
+        genre_rel = paper_db.relation("GENRE")
+        expected = {
+            tid
+            for tid in genre_rel.tids()
+            if genre_rel.fetch(tid)["GENRE"] == "Comedy"
+        }
+        assert set(occ.tids) == expected
+
+
+class TestPhraseLookup:
+    def test_contiguous_phrase_matches(self, index):
+        occs = index.lookup_phrase(["woody", "allen"])
+        assert {o.relation for o in occs} == {"DIRECTOR", "ACTOR"}
+
+    def test_order_matters(self, index):
+        assert index.lookup_phrase(["allen", "woody"]) == []
+
+    def test_gap_breaks_phrase(self, index):
+        # "The Curse of the Jade Scorpion": "curse scorpion" not adjacent
+        assert index.lookup_phrase(["curse", "scorpion"]) == []
+        assert index.lookup_phrase(["jade", "scorpion"])
+
+    def test_single_word_phrase_equals_word(self, index):
+        assert index.lookup_phrase(["woody"]) == index.lookup_word("woody")
+
+    def test_empty_phrase(self, index):
+        assert index.lookup_phrase([]) == []
+
+    def test_lookup_token_string_becomes_phrase(self, index):
+        occs = index.lookup_token("Woody Allen")
+        assert {o.relation for o in occs} == {"DIRECTOR", "ACTOR"}
+
+    def test_lookup_token_sequence(self, index):
+        occs = index.lookup_token(("match", "point"))
+        assert {o.relation for o in occs} == {"MOVIE"}
+
+
+class TestMaintenance:
+    def test_add_and_remove_value(self):
+        idx = InvertedIndex()
+        idx.add_value("R", "A", 1, "hello world")
+        idx.add_value("R", "A", 2, "hello there")
+        assert {t for o in idx.lookup_word("hello") for t in o.tids} == {1, 2}
+        idx.remove_value("R", "A", 1, "hello world")
+        assert {t for o in idx.lookup_word("hello") for t in o.tids} == {2}
+        assert idx.lookup_word("world") == []
+
+    def test_remove_unknown_is_noop(self):
+        idx = InvertedIndex()
+        idx.remove_value("R", "A", 1, "never added")
+        assert idx.vocabulary_size == 0
+
+    def test_repeated_word_positions(self):
+        idx = InvertedIndex()
+        idx.add_value("R", "A", 1, "la la land")
+        occs = idx.lookup_phrase(["la", "la"])
+        assert occs and 1 in occs[0].tids
+        assert idx.lookup_phrase(["la", "land"])
+        assert idx.lookup_phrase(["land", "la"]) == []

@@ -1,0 +1,81 @@
+"""Tests for database/index synchronization."""
+
+import pytest
+
+from repro import PrecisEngine, WeightThreshold
+from repro.text import SynchronizedWriter, build_index
+
+
+@pytest.fixture()
+def setup(paper_graph):
+    from repro.datasets import paper_instance
+
+    db = paper_instance()
+    index = build_index(db)
+    return db, index, SynchronizedWriter(db, index)
+
+
+class TestInsert:
+    def test_new_tuple_immediately_searchable(self, setup, paper_graph):
+        db, index, writer = setup
+        writer.insert(
+            "MOVIE",
+            {"MID": 50, "TITLE": "Sleeper", "YEAR": 1973, "DID": 1},
+        )
+        engine = PrecisEngine(db, graph=paper_graph, index=index)
+        answer = engine.ask("Sleeper", degree=WeightThreshold(0.9))
+        assert answer.found
+        assert any(
+            row["TITLE"] == "Sleeper" for row in answer.rows_of("MOVIE")
+        )
+
+    def test_null_text_not_indexed(self, setup):
+        db, index, writer = setup
+        tid = writer.insert(
+            "MOVIE", {"MID": 51, "TITLE": None, "YEAR": 1999, "DID": 1}
+        )
+        assert tid in db.relation("MOVIE")
+
+
+class TestDelete:
+    def test_deleted_tuple_unsearchable(self, setup):
+        db, index, writer = setup
+        tid = writer.insert(
+            "MOVIE", {"MID": 52, "TITLE": "Zelig", "YEAR": 1983, "DID": 1}
+        )
+        assert index.lookup_word("zelig")
+        writer.delete("MOVIE", tid)
+        assert index.lookup_word("zelig") == []
+        assert tid not in db.relation("MOVIE")
+
+
+class TestUpdate:
+    def test_update_replaces_postings(self, setup):
+        db, index, writer = setup
+        tid = writer.insert(
+            "MOVIE", {"MID": 53, "TITLE": "Interiors", "YEAR": 1978, "DID": 1}
+        )
+        new_tid = writer.update("MOVIE", tid, {"TITLE": "Manhattan"})
+        assert new_tid != tid
+        assert index.lookup_word("interiors") == []
+        (occ,) = index.lookup_word("manhattan")
+        assert occ.tids == {new_tid}
+
+    def test_update_unknown_attribute(self, setup):
+        db, index, writer = setup
+        tid = writer.insert(
+            "MOVIE", {"MID": 54, "TITLE": "Bananas", "YEAR": 1971, "DID": 1}
+        )
+        with pytest.raises(KeyError):
+            writer.update("MOVIE", tid, {"NOPE": 1})
+
+
+class TestRelevanceRanking:
+    def test_ranked_per_occurrence(self, paper_engine):
+        answers = paper_engine.ask_per_occurrence(
+            '"Woody Allen"', degree=WeightThreshold(0.9), rank=True
+        )
+        scores = [a.relevance() for a in answers]
+        assert scores == sorted(scores, reverse=True)
+        # the director facet carries more content (5 movies + genres)
+        assert answers[0].result_schema.origin_relations == ("DIRECTOR",)

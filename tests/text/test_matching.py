@@ -1,0 +1,84 @@
+"""Unit tests for token matching, synonyms and homonyms (§5.1)."""
+
+import pytest
+
+from repro.text import (
+    SynonymMap,
+    build_index,
+    group_homonyms,
+    match_tokens,
+)
+
+
+@pytest.fixture()
+def index(paper_db):
+    return build_index(paper_db)
+
+
+class TestSynonymMap:
+    def test_canonicalize(self):
+        synonyms = SynonymMap()
+        synonyms.add_synonym("W. Allen", "Woody Allen")
+        assert synonyms.canonicalize("w allen") == "woody allen"
+        assert synonyms.canonicalize("W. Allen") == "woody allen"
+
+    def test_unknown_passthrough(self):
+        synonyms = SynonymMap()
+        assert synonyms.canonicalize("Unknown Person") == "unknown person"
+
+    def test_chained_synonyms(self):
+        synonyms = SynonymMap()
+        synonyms.add_synonym("WA", "W Allen")
+        synonyms.add_synonym("W Allen", "Woody Allen")
+        assert synonyms.canonicalize("WA") == "woody allen"
+
+    def test_cycle_terminates(self):
+        synonyms = SynonymMap()
+        synonyms.add_synonym("a", "b")
+        synonyms.add_synonym("b", "a")
+        assert synonyms.canonicalize("a") in {"a", "b"}
+
+    def test_len(self):
+        synonyms = SynonymMap()
+        synonyms.add_synonym("x", "y")
+        assert len(synonyms) == 1
+
+
+class TestMatchTokens:
+    def test_found_and_missing(self, index):
+        matches = match_tokens(index, ["Woody Allen", "zzz-not-there"])
+        assert matches[0].found
+        assert not matches[1].found
+        assert matches[1].occurrences == ()
+
+    def test_relations_property(self, index):
+        (match,) = match_tokens(index, ["Woody Allen"])
+        assert match.relations == ("ACTOR", "DIRECTOR")
+
+    def test_synonyms_applied(self, index):
+        synonyms = SynonymMap()
+        synonyms.add_synonym("the woodman", "Woody Allen")
+        (match,) = match_tokens(index, ["the woodman"], synonyms)
+        assert match.found
+        assert match.token == "woody allen"
+
+    def test_sequence_tokens(self, index):
+        (match,) = match_tokens(index, [("match", "point")])
+        assert match.found
+        assert match.relations == ("MOVIE",)
+
+
+class TestHomonyms:
+    def test_one_entry_per_occurrence(self, index):
+        (match,) = match_tokens(index, ["Woody Allen"])
+        homonyms = group_homonyms(match)
+        assert [(o.relation, o.attribute) for o in homonyms] == [
+            ("ACTOR", "ANAME"),
+            ("DIRECTOR", "DNAME"),
+        ]
+
+    def test_single_occurrence(self, index):
+        (match,) = match_tokens(index, ["Scarlett Johansson"])
+        homonyms = group_homonyms(match)
+        assert len(homonyms) == 1
+        assert homonyms[0].relation == "ACTOR"

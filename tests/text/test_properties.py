@@ -1,0 +1,96 @@
+"""Property-based tests for the text substrate."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import InvertedIndex, normalize, tokenize
+from repro.text.inverted_index import build_index
+from repro.relational import Column, Database, DatabaseSchema, DataType, RelationSchema
+
+words = st.text(alphabet=string.ascii_letters, min_size=1, max_size=8)
+sentences = st.lists(words, min_size=0, max_size=8).map(" ".join)
+
+
+class TestTokenizerProperties:
+    @given(sentences)
+    @settings(max_examples=80, deadline=None)
+    def test_positions_are_sequential(self, text):
+        tokens = tokenize(text)
+        assert [t.position for t in tokens] == list(range(len(tokens)))
+
+    @given(sentences)
+    @settings(max_examples=80, deadline=None)
+    def test_tokens_are_normalized(self, text):
+        for token in tokenize(text):
+            assert token.text == normalize(token.text)
+
+    @given(sentences)
+    @settings(max_examples=50, deadline=None)
+    def test_tokenize_idempotent_on_joined_tokens(self, text):
+        once = [t.text for t in tokenize(text)]
+        twice = [t.text for t in tokenize(" ".join(once))]
+        assert once == twice
+
+
+class TestIndexRoundTrip:
+    @given(st.lists(sentences, min_size=0, max_size=15))
+    @settings(max_examples=40, deadline=None)
+    def test_lookup_returns_exactly_containing_tuples(self, values):
+        """For every word of every value, lookup returns precisely the
+
+        set of tuples whose value contains the word."""
+        schema = DatabaseSchema(
+            [
+                RelationSchema(
+                    "R",
+                    [
+                        Column("K", DataType.INT, nullable=False),
+                        Column("V", DataType.TEXT),
+                    ],
+                    primary_key="K",
+                )
+            ]
+        )
+        db = Database(schema)
+        tids = {}
+        for key, value in enumerate(values):
+            tids[key] = db.insert("R", {"K": key, "V": value})
+        index = build_index(db)
+        vocabulary = {
+            token.text for value in values for token in tokenize(value)
+        }
+        for word in vocabulary:
+            expected = {
+                tids[key]
+                for key, value in enumerate(values)
+                if word in {t.text for t in tokenize(value)}
+            }
+            got = {
+                tid
+                for occ in index.lookup_word(word)
+                for tid in occ.tids
+            }
+            assert got == expected
+
+    @given(st.lists(sentences, min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_add_then_remove_restores_empty(self, values):
+        index = InvertedIndex()
+        for tid, value in enumerate(values):
+            index.add_value("R", "A", tid, value)
+        for tid, value in enumerate(values):
+            index.remove_value("R", "A", tid, value)
+        assert index.vocabulary_size == 0
+        assert index.postings_count() == 0
+
+    @given(sentences)
+    @settings(max_examples=60, deadline=None)
+    def test_full_value_phrase_matches_itself(self, value):
+        tokens = [t.text for t in tokenize(value)]
+        index = InvertedIndex()
+        index.add_value("R", "A", 1, value)
+        if tokens:
+            occs = index.lookup_phrase(tokens)
+            assert occs and 1 in occs[0].tids

@@ -1,0 +1,115 @@
+"""Tests for TF·IDF scoring and IR-ranked DISCOVER search."""
+
+import pytest
+
+from repro.baselines import DiscoverSearch
+from repro.relational import (
+    Column,
+    Database,
+    DatabaseSchema,
+    DataType,
+    RelationSchema,
+)
+from repro.text import build_index
+from repro.text.scoring import TfIdfScorer
+
+
+@pytest.fixture()
+def corpus_db():
+    schema = DatabaseSchema(
+        [
+            RelationSchema(
+                "DOC",
+                [
+                    Column("ID", DataType.INT, nullable=False),
+                    Column("BODY", DataType.TEXT),
+                ],
+                primary_key="ID",
+            )
+        ]
+    )
+    db = Database(schema)
+    db.insert("DOC", {"ID": 1, "BODY": "drama drama drama thriller"})
+    db.insert("DOC", {"ID": 2, "BODY": "drama comedy"})
+    db.insert("DOC", {"ID": 3, "BODY": "comedy comedy western"})
+    db.insert("DOC", {"ID": 4, "BODY": "space western saga"})
+    return db
+
+
+@pytest.fixture()
+def scorer(corpus_db):
+    return TfIdfScorer(build_index(corpus_db))
+
+
+class TestParts:
+    def test_document_count(self, scorer):
+        assert scorer.n_documents == 4
+
+    def test_document_frequency(self, scorer):
+        assert scorer.document_frequency("drama") == 2
+        assert scorer.document_frequency("saga") == 1
+        assert scorer.document_frequency("nothing") == 0
+
+    def test_idf_rare_words_weigh_more(self, scorer):
+        assert scorer.idf("saga") > scorer.idf("drama") > 0
+        assert scorer.idf("nothing") == 0.0
+
+    def test_tf_counts_occurrences(self, scorer):
+        assert scorer.tf("drama", ("DOC", "BODY", 1)) == 3
+        assert scorer.tf("drama", ("DOC", "BODY", 2)) == 1
+        assert scorer.tf("drama", ("DOC", "BODY", 3)) == 0
+
+
+class TestScoreToken:
+    def test_repetition_increases_score(self, scorer):
+        scores = scorer.score_token("drama")
+        assert scores[("DOC", "BODY", 1)] > scores[("DOC", "BODY", 2)]
+
+    def test_only_containing_docs_scored(self, scorer):
+        scores = scorer.score_token("western")
+        assert set(scores) == {("DOC", "BODY", 3), ("DOC", "BODY", 4)}
+
+    def test_phrase_restricts_documents(self, scorer):
+        scores = scorer.score_token("comedy western")
+        assert set(scores) == {("DOC", "BODY", 3)}  # contiguous only
+
+    def test_unknown_token_empty(self, scorer):
+        assert scorer.score_token("xyzzy") == {}
+
+    def test_score_tuple(self, scorer):
+        assert scorer.score_tuple("drama", "DOC", 1) > 0
+        assert scorer.score_tuple("drama", "DOC", 4) == 0.0
+
+
+class TestIrRankedDiscover:
+    def test_ir_ranking_orders_by_relevance(self, paper_db, paper_graph):
+        """With IR ranking, a movie whose title *is* the keyword should
+
+        outrank a movie merely containing it."""
+        search = DiscoverSearch(paper_db, paper_graph, ranking="ir")
+        results = search.search(["match"], limit=None)
+        assert results
+        scores = [r.ir_score for r in results]
+        assert scores == sorted(scores, reverse=True)
+        assert all(s > 0 for s in scores)
+
+    def test_join_ranking_unchanged_by_default(self, paper_db, paper_graph):
+        search = DiscoverSearch(paper_db, paper_graph)
+        results = search.search(["woody", "thriller"])
+        assert all(r.ir_score == 0.0 for r in results)
+
+    def test_unknown_ranking_rejected(self, paper_db, paper_graph):
+        with pytest.raises(ValueError):
+            DiscoverSearch(paper_db, paper_graph, ranking="pagerank")
+
+    def test_ir_beats_joins_on_tf(self, corpus_db):
+        """Two docs both match; the one with higher TF ranks first
+
+        under IR although join counts tie."""
+        from repro.graph import graph_from_schema
+
+        graph = graph_from_schema(corpus_db.schema)
+        search = DiscoverSearch(corpus_db, graph, ranking="ir")
+        results = search.search(["drama"], limit=None)
+        assert results[0].rows["DOC"]["ID"] == 1  # tf = 3
+        assert results[1].rows["DOC"]["ID"] == 2  # tf = 1

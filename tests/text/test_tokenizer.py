@@ -1,0 +1,71 @@
+"""Unit tests for tokenization and query parsing."""
+
+from repro.text import normalize, query_tokens, tokenize
+
+
+class TestNormalize:
+    def test_casefold(self):
+        assert normalize("WOODY") == "woody"
+
+    def test_diacritics_stripped(self):
+        assert normalize("Précis") == "precis"
+
+    def test_already_normal(self):
+        assert normalize("allen") == "allen"
+
+
+class TestTokenize:
+    def test_words_and_positions(self):
+        tokens = tokenize("Woody Allen directs")
+        assert [(t.text, t.position) for t in tokens] == [
+            ("woody", 0),
+            ("allen", 1),
+            ("directs", 2),
+        ]
+
+    def test_punctuation_splits(self):
+        assert [t.text for t in tokenize("Match-Point (2005)")] == [
+            "match",
+            "point",
+            "2005",
+        ]
+
+    def test_apostrophes_kept_inside_words(self):
+        assert [t.text for t in tokenize("O'Brien's movie")] == [
+            "o'brien's",
+            "movie",
+        ]
+
+    def test_empty_and_whitespace(self):
+        assert tokenize("") == []
+        assert tokenize("   \t\n") == []
+
+    def test_numbers_are_tokens(self):
+        assert [t.text for t in tokenize("born 1935")] == ["born", "1935"]
+
+
+class TestQueryTokens:
+    def test_bare_words_split(self):
+        assert query_tokens("woody allen") == [("woody",), ("allen",)]
+
+    def test_quoted_phrase_is_one_token(self):
+        assert query_tokens('"Woody Allen"') == [("woody", "allen")]
+
+    def test_mixed(self):
+        assert query_tokens('"Woody Allen" comedy') == [
+            ("woody", "allen"),
+            ("comedy",),
+        ]
+
+    def test_phrase_then_words_order_preserved(self):
+        assert query_tokens('drama "match point" 2005') == [
+            ("drama",),
+            ("match", "point"),
+            ("2005",),
+        ]
+
+    def test_empty_quotes_ignored(self):
+        assert query_tokens('"" drama') == [("drama",)]
+
+    def test_case_insensitive(self):
+        assert query_tokens('"MATCH Point"') == [("match", "point")]
