@@ -13,6 +13,7 @@ from __future__ import annotations
 import pytest
 
 from repro import MaxTuplesPerRelation, PrecisEngine, WeightThreshold
+from repro.bench import stage_breakdown
 from repro.datasets import generate_movies_database, movies_graph
 
 SCALES = [100, 400, 1600]
@@ -33,12 +34,13 @@ def engines():
     return out
 
 
-def _ask(engine, name):
+def _ask(engine, name, tracer=None):
     return engine.ask(
         f'"{name}"',
         degree=WeightThreshold(0.9),
         cardinality=MaxTuplesPerRelation(5),
         translate=False,
+        tracer=tracer,
     )
 
 
@@ -49,6 +51,15 @@ def test_ask_latency(benchmark, engines, n_movies):
     answer = benchmark(_ask, engine, name)
     assert answer.found
     benchmark.extra_info["db_tuples"] = engine.db.total_tuples()
+    # where the latency goes, not just how much of it there is: best-of-3
+    # per-stage breakdown via the repro.obs tracer
+    stats = stage_breakdown(lambda t: _ask(engine, name, tracer=t))
+    benchmark.extra_info["stage_ms"] = {
+        stage.name: round(stage.duration_ms, 4)
+        for stage in stats.stages
+        if stage.depth == 1
+    }
+    benchmark.extra_info["counters"] = dict(stats.counters)
 
 
 def test_ask_cost_is_size_independent(benchmark, engines):

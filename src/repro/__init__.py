@@ -19,6 +19,7 @@ optionally, a natural-language synthesis. The package layout:
 ``repro.baselines``    DISCOVER- and BANKS-style keyword search comparators
 ``repro.datasets``     the paper's movies schema + synthetic generators
 ``repro.bench``        §6 experiment harness helpers
+``repro.obs``          tracing: stage spans, counters, sinks, stats
 =====================  =====================================================
 
 Quickstart::
@@ -58,6 +59,7 @@ from .core import (
     cardinality_for_response_time,
 )
 from .graph import SchemaGraph, graph_from_schema
+from .obs import NULL_TRACER, InMemorySink, QueryStats, Tracer
 from .personalization import Profile
 from .relational import Database, DatabaseSchema
 
@@ -82,5 +84,9 @@ __all__ = [
     "Profile",
     "Database",
     "DatabaseSchema",
+    "Tracer",
+    "NULL_TRACER",
+    "InMemorySink",
+    "QueryStats",
     "__version__",
 ]

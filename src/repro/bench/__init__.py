@@ -1,6 +1,14 @@
 """Benchmark harness support: §6 workload builders and measurement."""
 
-from .measurement import LinearFit, fit_linear, print_series, time_call
+from .measurement import (
+    LinearFit,
+    fit_linear,
+    print_series,
+    print_stage_breakdown,
+    stage_breakdown,
+    time_call,
+    trace_stages,
+)
 from .workloads import (
     chain_database,
     chain_graph,
@@ -13,6 +21,9 @@ from .workloads import (
 
 __all__ = [
     "time_call",
+    "trace_stages",
+    "stage_breakdown",
+    "print_stage_breakdown",
     "fit_linear",
     "LinearFit",
     "print_series",

@@ -11,9 +11,19 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
-__all__ = ["time_call", "fit_linear", "LinearFit", "print_series"]
+from ..obs import InMemorySink, QueryStats, Tracer, format_stats
+
+__all__ = [
+    "time_call",
+    "trace_stages",
+    "stage_breakdown",
+    "print_stage_breakdown",
+    "fit_linear",
+    "LinearFit",
+    "print_series",
+]
 
 
 def time_call(fn: Callable[[], object], repeat: int = 3) -> float:
@@ -24,6 +34,53 @@ def time_call(fn: Callable[[], object], repeat: int = 3) -> float:
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def trace_stages(
+    fn: Callable[[Tracer], object],
+) -> tuple[object, Optional[QueryStats]]:
+    """Run *fn* under a fresh tracer; return its result + per-stage stats.
+
+    *fn* receives the tracer (pass it to ``engine.ask(..., tracer=t)``
+    or construct the engine with it). Stats come from the last root span
+    the call produced — for one ``ask`` that is the whole query — or
+    None if the call opened no spans.
+
+    >>> answer, stats = trace_stages(lambda t: engine.ask(q, tracer=t))
+    >>> stats.stage("database_generator").duration_ms   # doctest: +SKIP
+    """
+    sink = InMemorySink()
+    tracer = Tracer([sink])
+    result = fn(tracer)
+    if not sink.spans:
+        return result, None
+    return result, QueryStats.from_span(sink.spans[-1])
+
+
+def stage_breakdown(
+    fn: Callable[[Tracer], object], repeat: int = 3
+) -> Optional[QueryStats]:
+    """Per-stage stats of the *fastest* of *repeat* traced runs —
+    the tracing analogue of :func:`time_call`, so benches can report
+    where the best-case latency goes instead of one end-to-end number.
+    """
+    best: Optional[QueryStats] = None
+    for __ in range(repeat):
+        ___, stats = trace_stages(fn)
+        if stats is None:
+            continue
+        if best is None or stats.duration_s < best.duration_s:
+            best = stats
+    return best
+
+
+def print_stage_breakdown(title: str, stats: Optional[QueryStats]) -> None:
+    """Print one run's per-stage table under a series-style header."""
+    print(f"\n== {title} ==")
+    if stats is None:
+        print("(no spans recorded)")
+        return
+    print(format_stats(stats))
 
 
 @dataclass(frozen=True)

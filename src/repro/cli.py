@@ -35,10 +35,12 @@ from .core import (
     answer_ddl,
     emitted_queries,
     render_plan,
+    render_stats,
 )
 from .graph import graph_from_schema, result_schema_to_dot
 from .graph.serialization import load_graph, save_graph
 from .nlg import Translator, generic_spec
+from .obs import InMemorySink, Tracer, format_span_table
 from .relational import create_schema_sql, database_summary
 from .relational.csvio import load_database, save_database
 
@@ -100,6 +102,12 @@ def build_parser() -> argparse.ArgumentParser:
             choices=["auto", "naive", "round_robin"],
             default="auto",
         )
+        cmd.add_argument(
+            "--stats",
+            action="store_true",
+            help="print the per-stage timing + counter table "
+            "(repro.obs tracing)",
+        )
         if name == "estimate":
             cmd.add_argument(
                 "--target-total",
@@ -147,7 +155,9 @@ def _cardinality(args):
     return parts[0] if len(parts) == 1 else CompositeCardinality(*parts)
 
 
-def _load_engine(directory: str) -> PrecisEngine:
+def _load_engine(
+    directory: str, tracer: Optional[Tracer] = None
+) -> PrecisEngine:
     path = Path(directory)
     db = load_database(path, enforce_foreign_keys=False)
     graph_path = path / _GRAPH_FILE
@@ -158,7 +168,29 @@ def _load_engine(directory: str) -> PrecisEngine:
             translator = Translator(generic_spec(graph, headings))
     else:
         graph = graph_from_schema(db.schema)
-    return PrecisEngine(db, graph=graph, translator=translator)
+    return PrecisEngine(db, graph=graph, translator=translator, tracer=tracer)
+
+
+def _tracer_for(args) -> tuple[Optional[Tracer], Optional[InMemorySink]]:
+    """A tracer + capture sink when ``--stats`` was passed, else Nones."""
+    if not getattr(args, "stats", False):
+        return None, None
+    sink = InMemorySink()
+    return Tracer([sink]), sink
+
+
+def _print_stats(answer, sink: InMemorySink, out) -> None:
+    """The ``--stats`` epilogue: index-build time + per-stage table."""
+    print("", file=out)
+    build = sink.find("build_index")
+    if build is not None:
+        print(
+            f"index build: {build.duration_s * 1e3:.3f} ms "
+            f"({build.counter('values_indexed')} values, "
+            f"{build.counter('attributes_indexed')} attributes)",
+            file=out,
+        )
+    print(render_stats(answer), file=out)
 
 
 def _cmd_init_demo(args, out) -> int:
@@ -194,7 +226,8 @@ def _cmd_schema(args, out) -> int:
 
 
 def _cmd_query(args, out) -> int:
-    engine = _load_engine(args.directory)
+    tracer, sink = _tracer_for(args)
+    engine = _load_engine(args.directory, tracer)
     answer = engine.ask(
         args.query,
         degree=_degree(args),
@@ -203,6 +236,8 @@ def _cmd_query(args, out) -> int:
     )
     if not answer.found:
         print(f"no match for {args.query!r}", file=out)
+        if sink is not None:
+            _print_stats(answer, sink, out)
         return 1
     if args.dot:
         print(result_schema_to_dot(answer.result_schema), file=out)
@@ -214,11 +249,14 @@ def _cmd_query(args, out) -> int:
     if args.save:
         save_database(answer.database, args.save)
         print(f"\nanswer database exported to {args.save}", file=out)
+    if sink is not None:
+        _print_stats(answer, sink, out)
     return 0
 
 
 def _cmd_explain(args, out) -> int:
-    engine = _load_engine(args.directory)
+    tracer, sink = _tracer_for(args)
+    engine = _load_engine(args.directory, tracer)
     answer = engine.ask(
         args.query,
         degree=_degree(args),
@@ -234,13 +272,16 @@ def _cmd_explain(args, out) -> int:
     print("-- retrieval queries", file=out)
     for query in emitted_queries(answer):
         print(query + ";", file=out)
+    if sink is not None:
+        _print_stats(answer, sink, out)
     return 0
 
 
 def _cmd_estimate(args, out) -> int:
     from .core import estimate_cardinalities, suggest_cardinality
 
-    engine = _load_engine(args.directory)
+    tracer, sink = _tracer_for(args)
+    engine = _load_engine(args.directory, tracer)
     schema, matches, __ = engine.plan(args.query, _degree(args))
     if schema.is_empty():
         print(f"no match for {args.query!r}", file=out)
@@ -265,6 +306,12 @@ def _cmd_estimate(args, out) -> int:
             f"--per-relation {constraint.c0}",
             file=out,
         )
+    if sink is not None:
+        # plan() emits "match" and "schema" as separate roots (there is
+        # no enclosing ask); print each captured span tree
+        print("", file=out)
+        for root in sink.spans:
+            print(format_span_table(root), file=out)
     return 0
 
 

@@ -28,7 +28,7 @@ from .database_generator import (
 from .diff import AnswerDiff, diff_answers
 from .engine import PrecisEngine
 from .estimator import estimate_cardinalities, estimate_total, suggest_cardinality
-from .explain import answer_ddl, emitted_queries, render_plan
+from .explain import answer_ddl, emitted_queries, render_plan, render_stats
 from .explorer import Explorer
 from .query import PrecisQuery
 from .value_weights import (
@@ -70,6 +70,7 @@ __all__ = [
     "cardinality_for_response_time",
     "emitted_queries",
     "render_plan",
+    "render_stats",
     "answer_ddl",
     "TupleWeigher",
     "AttributeValueWeights",

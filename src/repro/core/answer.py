@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs import QueryStats
 from ..relational.cost import CostSnapshot
 from ..relational.database import Database
 from ..relational.datatypes import render
@@ -37,6 +38,11 @@ class PrecisAnswer:
     matches: list[TokenMatch] = field(default_factory=list)
     narrative: Optional[str] = None
     cost: CostSnapshot = field(default_factory=CostSnapshot)
+    #: per-stage timings + counters of the run that produced this answer
+    #: (``repro.obs``); None unless the engine ran with tracing enabled.
+    #: Deliberately excluded from :meth:`to_dict` so traced and untraced
+    #: answers serialize identically — export via ``stats.to_dict()``.
+    stats: Optional[QueryStats] = None
 
     # ------------------------------------------------------------- queries
 

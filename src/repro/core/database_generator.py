@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional
 
 from ..graph.schema_graph import JoinEdge
+from ..obs import NULL_TRACER, Tracer
 from ..relational.database import Database
 from ..relational.query import RoundRobinScans
 from ..relational.row import Row
@@ -226,6 +227,7 @@ def generate_result_database(
     tuple_weigher: Optional[TupleWeigher] = None,
     join_order: str = JOIN_ORDER_WEIGHT,
     path_scoped: bool = False,
+    tracer: Tracer = NULL_TRACER,
 ) -> tuple[Database, GeneratorReport]:
     """Run the Figure 5 algorithm.
 
@@ -260,6 +262,11 @@ def generate_result_database(
         arrived along a path that actually *continues through that
         edge* in ``G'``; when False (default, the simple reading) every
         tuple of the source relation drives every outgoing edge.
+    tracer:
+        Observability hook (``repro.obs``): the run is wrapped in a
+        ``"database_generator"`` span counting ``seed_tuples``,
+        ``joins_executed``, ``joins_skipped`` and ``tuples_emitted``.
+        No-op by default.
 
     Returns
     -------
@@ -275,6 +282,35 @@ def generate_result_database(
         raise ValueError(
             f"unknown join order {join_order!r}; pick from {_JOIN_ORDERS}"
         )
+    with tracer.span("database_generator"):
+        answer, report = _populate(
+            source,
+            result_schema,
+            seed_tids,
+            cardinality,
+            strategy,
+            tuple_weigher,
+            join_order,
+            path_scoped,
+        )
+        tracer.count("seed_tuples", sum(report.seed_counts.values()))
+        tracer.count("joins_executed", report.joins_executed)
+        tracer.count("joins_skipped", len(report.skipped_edges))
+        tracer.count("tuples_emitted", answer.total_tuples())
+    return answer, report
+
+
+def _populate(
+    source: Database,
+    result_schema: ResultSchema,
+    seed_tids: Mapping[str, Iterable[int]],
+    cardinality: Optional[CardinalityConstraint],
+    strategy: str,
+    tuple_weigher: Optional[TupleWeigher],
+    join_order: str,
+    path_scoped: bool,
+) -> tuple[Database, GeneratorReport]:
+    """The Figure 5 walk proper (validation and tracing live above)."""
     cardinality = cardinality if cardinality is not None else Unlimited()
 
     report = GeneratorReport()

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from ..graph.schema_graph import SchemaGraph, graph_from_schema
+from ..obs import NULL_TRACER, QueryStats, Tracer
 from ..personalization.profile import Profile, ProfileRegistry
 from ..relational.database import Database
 from ..text.inverted_index import InvertedIndex, build_index
@@ -52,6 +53,7 @@ class PrecisEngine:
         default_cardinality: Optional[CardinalityConstraint] = None,
         cache_plans: bool = False,
         drop_stopwords: bool = False,
+        tracer: Optional[Tracer] = None,
     ):
         """Build an engine.
 
@@ -86,10 +88,19 @@ class PrecisEngine:
             Ignore bare single-word stopword tokens ("the", "of") in
             free-form queries. Quoted phrase tokens keep their
             stopwords — ``"Gone with the Wind"`` still phrase-matches.
+        tracer:
+            Observability hook (see :mod:`repro.obs`): stage spans and
+            counters for index building and every query answered through
+            this engine. Defaults to the zero-overhead no-op tracer;
+            per-call ``tracer=`` arguments on :meth:`ask` /
+            :meth:`ask_per_occurrence` / :meth:`plan` override it.
         """
         self.db = db
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.graph = graph if graph is not None else graph_from_schema(db.schema)
-        self.index = index if index is not None else build_index(db)
+        self.index = (
+            index if index is not None else build_index(db, tracer=self.tracer)
+        )
         self.synonyms = synonyms
         self.translator = translator
         self.default_degree = (
@@ -139,6 +150,7 @@ class PrecisEngine:
         degree: Optional[DegreeConstraint] = None,
         profile: Optional[Profile | str] = None,
         weights: Optional[dict[tuple, float]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> tuple[ResultSchema, list[TokenMatch], SchemaGraph]:
         """Steps 1–2: match tokens and generate the result schema only.
 
@@ -146,7 +158,14 @@ class PrecisEngine:
         may be set by the user at query time using an appropriate user
         interface"), applied on top of any profile. Keys are schema-graph
         edge keys: ``("proj", rel, attr)`` / ``("join", src, dst)``.
+
+        *tracer* overrides the engine tracer for this call: a ``"match"``
+        span (``tokens_matched``) and a ``"schema"`` span
+        (``cache_hit``/``cache_miss`` whenever the plan cache was
+        consulted, wrapping the nested ``"schema_generator"`` span on a
+        miss).
         """
+        tracer = tracer if tracer is not None else self.tracer
         if isinstance(query, str):
             query = PrecisQuery.parse(query)
         resolved = self._resolve_profile(profile)
@@ -155,28 +174,39 @@ class PrecisEngine:
             graph = graph.with_weights(weights)
         degree = degree or (resolved.degree if resolved else None) or self.default_degree
 
-        matches = self.match(query)
+        with tracer.span("match"):
+            matches = self.match(query)
+            tracer.count(
+                "tokens_matched", sum(1 for match in matches if match.found)
+            )
         token_relations = []
         for match in matches:
             for occurrence in match.occurrences:
                 if occurrence.relation not in token_relations:
                     token_relations.append(occurrence.relation)
 
-        cacheable = (
-            self._plan_cache is not None
-            and graph is self.graph  # base graph only
-        )
-        if cacheable:
-            try:
-                key = (tuple(token_relations), degree)
-                hash(key)
-            except TypeError:
-                cacheable = False
-        if cacheable and key in self._plan_cache:  # type: ignore[index]
-            return self._plan_cache[key], matches, graph  # type: ignore[index]
-        schema = generate_result_schema(graph, token_relations, degree)
-        if cacheable:
-            self._plan_cache[key] = schema  # type: ignore[index]
+        with tracer.span("schema"):
+            cacheable = (
+                self._plan_cache is not None
+                and graph is self.graph  # base graph only
+            )
+            if cacheable:
+                try:
+                    key = (tuple(token_relations), degree)
+                    hash(key)
+                except TypeError:
+                    cacheable = False
+            if cacheable:
+                hit = key in self._plan_cache  # type: ignore[operator]
+                tracer.count("cache_hit", 1 if hit else 0)
+                tracer.count("cache_miss", 0 if hit else 1)
+                if hit:
+                    return self._plan_cache[key], matches, graph  # type: ignore[index]
+            schema = generate_result_schema(
+                graph, token_relations, degree, tracer=tracer
+            )
+            if cacheable:
+                self._plan_cache[key] = schema  # type: ignore[index]
         return schema, matches, graph
 
     def ask(
@@ -190,6 +220,7 @@ class PrecisEngine:
         weights: Optional[dict[tuple, float]] = None,
         tuple_weigher=None,
         path_scoped: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> PrecisAnswer:
         """Answer a précis query end to end.
 
@@ -197,8 +228,12 @@ class PrecisEngine:
         :meth:`plan`); *tuple_weigher* is an optional
         :class:`~repro.core.value_weights.TupleWeigher` steering which
         tuples survive the cardinality budget (the §7 value-weight
-        extension).
+        extension). With tracing enabled (engine- or call-level
+        *tracer*), the whole run is recorded under an ``"ask"`` root
+        span and the answer carries
+        :attr:`~repro.core.answer.PrecisAnswer.stats`.
         """
+        tracer = tracer if tracer is not None else self.tracer
         if isinstance(query, str):
             query = PrecisQuery.parse(query)
         resolved = self._resolve_profile(profile)
@@ -208,37 +243,52 @@ class PrecisEngine:
             or self.default_cardinality
         )
 
-        schema, matches, __ = self.plan(query, degree, resolved, weights)
-
-        seed_tids: dict[str, set[int]] = {}
-        for match in matches:
-            for occurrence in match.occurrences:
-                seed_tids.setdefault(occurrence.relation, set()).update(
-                    occurrence.tids
-                )
-
-        with self.db.meter.measure() as measured:
-            database, report = generate_result_database(
-                self.db,
-                schema,
-                seed_tids,
-                cardinality,
-                strategy,
-                tuple_weigher=tuple_weigher,
-                path_scoped=path_scoped,
+        with tracer.span("ask") as root:
+            schema, matches, __ = self.plan(
+                query, degree, resolved, weights, tracer=tracer
             )
 
-        answer = PrecisAnswer(
-            query=query,
-            result_schema=schema,
-            database=database,
-            report=report,
-            matches=matches,
-            cost=measured.delta,
-        )
-        if translate and self.translator is not None and answer.found:
-            answer.narrative = self.translator.translate(answer)
+            seed_tids: dict[str, set[int]] = {}
+            for match in matches:
+                for occurrence in match.occurrences:
+                    seed_tids.setdefault(occurrence.relation, set()).update(
+                        occurrence.tids
+                    )
+
+            with self.db.meter.measure() as measured:
+                database, report = generate_result_database(
+                    self.db,
+                    schema,
+                    seed_tids,
+                    cardinality,
+                    strategy,
+                    tuple_weigher=tuple_weigher,
+                    path_scoped=path_scoped,
+                    tracer=tracer,
+                )
+
+            answer = PrecisAnswer(
+                query=query,
+                result_schema=schema,
+                database=database,
+                report=report,
+                matches=matches,
+                cost=measured.delta,
+            )
+            if translate and self.translator is not None and answer.found:
+                with tracer.span("translate"):
+                    answer.narrative = self._run_translator(answer, tracer)
+        if tracer.enabled:
+            answer.stats = QueryStats.from_span(root)
         return answer
+
+    def _run_translator(self, answer: PrecisAnswer, tracer: Tracer):
+        """Call the configured translator, threading the tracer through
+        when it advertises support (``accepts_tracer``) — the engine
+        contract stays "any object with translate(answer) -> str"."""
+        if getattr(self.translator, "accepts_tracer", False):
+            return self.translator.translate(answer, tracer=tracer)
+        return self.translator.translate(answer)
 
     def ask_per_occurrence(
         self,
@@ -249,6 +299,7 @@ class PrecisEngine:
         profile: Optional[Profile | str] = None,
         translate: bool = True,
         rank: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> list[PrecisAnswer]:
         """One answer per distinct token occurrence — the §5.1 homonym
 
@@ -279,28 +330,46 @@ class PrecisEngine:
             or self.default_cardinality
         )
 
+        tracer = tracer if tracer is not None else self.tracer
         answers: list[PrecisAnswer] = []
-        for match in self.match(query):
-            for occurrence in match.occurrences:
-                schema = generate_result_schema(
-                    graph, [occurrence.relation], degree
+        with tracer.span("ask_per_occurrence"):
+            with tracer.span("match"):
+                matches = self.match(query)
+                tracer.count(
+                    "tokens_matched", sum(1 for m in matches if m.found)
                 )
-                seeds = {occurrence.relation: set(occurrence.tids)}
-                with self.db.meter.measure() as measured:
-                    database, report = generate_result_database(
-                        self.db, schema, seeds, cardinality, strategy
-                    )
-                answer = PrecisAnswer(
-                    query=query,
-                    result_schema=schema,
-                    database=database,
-                    report=report,
-                    matches=[TokenMatch(match.token, (occurrence,))],
-                    cost=measured.delta,
-                )
-                if translate and self.translator is not None:
-                    answer.narrative = self.translator.translate(answer)
-                answers.append(answer)
+            for match in matches:
+                for occurrence in match.occurrences:
+                    with tracer.span("occurrence") as occ_span:
+                        schema = generate_result_schema(
+                            graph, [occurrence.relation], degree, tracer=tracer
+                        )
+                        seeds = {occurrence.relation: set(occurrence.tids)}
+                        with self.db.meter.measure() as measured:
+                            database, report = generate_result_database(
+                                self.db,
+                                schema,
+                                seeds,
+                                cardinality,
+                                strategy,
+                                tracer=tracer,
+                            )
+                        answer = PrecisAnswer(
+                            query=query,
+                            result_schema=schema,
+                            database=database,
+                            report=report,
+                            matches=[TokenMatch(match.token, (occurrence,))],
+                            cost=measured.delta,
+                        )
+                        if translate and self.translator is not None:
+                            with tracer.span("translate"):
+                                answer.narrative = self._run_translator(
+                                    answer, tracer
+                                )
+                    if tracer.enabled:
+                        answer.stats = QueryStats.from_span(occ_span)
+                    answers.append(answer)
         if rank:
             answers.sort(key=lambda a: -a.relevance())
         return answers

@@ -17,9 +17,10 @@ from ..core.database_generator import (
     GeneratorReport,
 )
 from ..core.result_schema import ResultSchema
+from ..obs import QueryStats, format_stats
 from ..relational.ddl import create_schema_sql
 
-__all__ = ["emitted_queries", "render_plan", "answer_ddl"]
+__all__ = ["emitted_queries", "render_plan", "render_stats", "answer_ddl"]
 
 
 def _projection_list(schema: ResultSchema, relation: str) -> str:
@@ -111,6 +112,25 @@ def render_plan(answer: PrecisAnswer) -> str:
         f"{answer.cost.index_lookups} index probes"
     )
     return "\n".join(lines)
+
+
+def render_stats(source: PrecisAnswer | QueryStats) -> str:
+    """The per-stage timing + counter table of a traced run.
+
+    Accepts either a :class:`~repro.obs.QueryStats` or a
+    :class:`~repro.core.answer.PrecisAnswer` produced with tracing
+    enabled (``PrecisEngine(..., tracer=Tracer(...))`` or a per-call
+    ``tracer=``); raises ``ValueError`` for an untraced answer, since an
+    untraced run records nothing to render.
+    """
+    stats = source.stats if isinstance(source, PrecisAnswer) else source
+    if stats is None:
+        raise ValueError(
+            "answer carries no stats — run the engine with tracing enabled "
+            "(PrecisEngine(..., tracer=repro.obs.Tracer()) or ask(..., "
+            "tracer=...))"
+        )
+    return format_stats(stats)
 
 
 def answer_ddl(answer: PrecisAnswer) -> str:

@@ -23,6 +23,7 @@ from typing import Iterable, Optional, Sequence
 
 from ..graph.paths import Path
 from ..graph.schema_graph import SchemaGraph
+from ..obs import NULL_TRACER, Tracer
 from .constraints import CompositeDegree, DegreeConstraint, SchemaState
 from .result_schema import ResultSchema
 
@@ -62,6 +63,7 @@ def generate_result_schema(
     token_relations: Sequence[str],
     degree: DegreeConstraint,
     stats: Optional[SchemaGeneratorStats] = None,
+    tracer: Tracer = NULL_TRACER,
 ) -> ResultSchema:
     """Run the Figure 3 algorithm.
 
@@ -76,6 +78,10 @@ def generate_result_schema(
         The degree constraint ``d``.
     stats:
         Optional counter object to fill in.
+    tracer:
+        Observability hook (``repro.obs``): the run is wrapped in a
+        ``"schema_generator"`` span carrying the same counters as
+        *stats* plus ``relations_expanded``. No-op by default.
 
     Returns
     -------
@@ -88,6 +94,23 @@ def generate_result_schema(
         if not graph.has_relation(origin):
             raise ValueError(f"token relation {origin} not in schema graph")
 
+    with tracer.span("schema_generator"):
+        result = _best_first_traversal(graph, origins, degree, stats)
+        tracer.count("relations_expanded", len(result.relations))
+        tracer.count("paths_pruned", stats.paths_pruned)
+        tracer.count("paths_pushed", stats.paths_pushed)
+        tracer.count("paths_popped", stats.paths_popped)
+        tracer.count("paths_admitted", stats.paths_admitted)
+    return result
+
+
+def _best_first_traversal(
+    graph: SchemaGraph,
+    origins: tuple[str, ...],
+    degree: DegreeConstraint,
+    stats: SchemaGeneratorStats,
+) -> ResultSchema:
+    """The Figure 3 loop proper (validation and tracing live above)."""
     result = ResultSchema(origin_relations=origins)
     state = SchemaState()
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from ..obs import NULL_TRACER, Tracer
 from ..relational.database import Database
 from ..relational.row import Row
 from .labels import TranslationSpec
@@ -44,13 +45,21 @@ __all__ = ["Translator"]
 class Translator:
     """Turns :class:`~repro.core.answer.PrecisAnswer` objects into prose."""
 
+    #: tells the engine it may pass ``tracer=`` (see
+    #: :meth:`repro.core.engine.PrecisEngine._run_translator`)
+    accepts_tracer = True
+
     def __init__(self, spec: TranslationSpec):
         self.spec = spec
 
     # ------------------------------------------------------------- top level
 
-    def translate(self, answer) -> str:
-        """One paragraph per token occurrence per seed tuple, in order."""
+    def translate(self, answer, tracer: Tracer = NULL_TRACER) -> str:
+        """One paragraph per token occurrence per seed tuple, in order.
+
+        *tracer* (``repro.obs``, no-op by default) counts
+        ``paragraphs_emitted`` in the caller's current span.
+        """
         paragraphs: list[str] = []
         for match in answer.matches:
             for occurrence in match.occurrences:
@@ -67,6 +76,7 @@ class Translator:
                     )
                     if text:
                         paragraphs.append(text)
+        tracer.count("paragraphs_emitted", len(paragraphs))
         return "\n\n".join(paragraphs)
 
     # ------------------------------------------------------------- traversal

@@ -1,0 +1,45 @@
+"""repro.obs — observability for the précis pipeline.
+
+The measurement substrate every scaling/perf PR builds on: a
+:class:`Tracer` with nestable stage spans (wall-clock start + monotonic
+duration), typed integer counters, and pluggable sinks; plus
+:class:`QueryStats`, the per-query digest the engine hangs on
+:attr:`repro.core.answer.PrecisAnswer.stats`.
+
+The whole subsystem is opt-in: every instrumented call site defaults to
+:data:`NULL_TRACER`, a shared no-op whose cost is one attribute check,
+so untraced runs are byte-identical to the uninstrumented engine.
+
+Quickstart::
+
+    from repro import PrecisEngine
+    from repro.obs import InMemorySink, Tracer
+
+    sink = InMemorySink()
+    engine = PrecisEngine(db, tracer=Tracer([sink]))
+    answer = engine.ask('"Woody Allen"')
+    answer.stats.counter("tuples_emitted")   # == answer.total_tuples()
+    answer.stats.stage("match").duration_ms  # inverted-index time
+
+See ``docs/observability.md`` for the counter glossary and the span
+layout of each pipeline stage.
+"""
+
+from .sinks import InMemorySink, JsonLinesSink, TableSink, format_span_table
+from .stats import COUNTER_GLOSSARY, QueryStats, StageStats, format_stats
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "InMemorySink",
+    "JsonLinesSink",
+    "TableSink",
+    "format_span_table",
+    "QueryStats",
+    "StageStats",
+    "format_stats",
+    "COUNTER_GLOSSARY",
+]

@@ -1,0 +1,127 @@
+"""Trace sinks — where closed root spans go.
+
+A sink is any object with ``emit(span)``. Three are provided:
+
+* :class:`InMemorySink` — keeps spans in a list; the test / programmatic
+  default.
+* :class:`JsonLinesSink` — one JSON object per root span per line, for
+  offline analysis (``jq``-able); accepts an open stream or a path.
+* :class:`TableSink` — renders each root span as an aligned
+  human-readable table (the ``--stats`` CLI view).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Optional, TextIO, Union
+
+from .tracer import Span
+
+__all__ = ["InMemorySink", "JsonLinesSink", "TableSink", "format_span_table"]
+
+
+class InMemorySink:
+    """Collects root spans in order; the default sink for tests."""
+
+    def __init__(self):
+        self.spans: list[Span] = []
+
+    def emit(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+    @property
+    def last(self) -> Optional[Span]:
+        return self.spans[-1] if self.spans else None
+
+    def find(self, name: str) -> Optional[Span]:
+        """First span named *name*, searching every root depth-first."""
+        for root in self.spans:
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def counter_total(self, name: str) -> int:
+        """Sum of counter *name* across every recorded root span."""
+        return sum(root.total_counters().get(name, 0) for root in self.spans)
+
+    def __len__(self):
+        return len(self.spans)
+
+    def __repr__(self):
+        return f"InMemorySink({len(self.spans)} spans)"
+
+
+class JsonLinesSink:
+    """Writes one sorted-key JSON line per root span.
+
+    Accepts an already-open text stream (kept open) or a filesystem
+    path (opened for append; call :meth:`close` or use as a context
+    manager).
+    """
+
+    def __init__(self, target: Union[TextIO, str, Path]):
+        if isinstance(target, (str, Path)):
+            self._stream: TextIO = open(target, "a", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+
+    def emit(self, span: Span) -> None:
+        self._stream.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonLinesSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+
+def format_span_table(span: Span) -> str:
+    """An aligned stage/time/counter table for one span tree."""
+    rows: list[tuple[str, str, str]] = []
+    for node, depth in span.walk():
+        counters = " ".join(
+            f"{key}={value}" for key, value in sorted(node.counters.items())
+        )
+        rows.append(
+            ("  " * depth + node.name, f"{node.duration_s * 1e3:.3f} ms", counters)
+        )
+    header = ("stage", "time", "counters")
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows)) for i in range(3)
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip()]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    totals = span.total_counters()
+    if totals:
+        lines.append(
+            "totals: "
+            + " ".join(f"{k}={v}" for k, v in sorted(totals.items()))
+        )
+    return "\n".join(lines)
+
+
+class TableSink:
+    """Prints each root span as a human-readable table."""
+
+    def __init__(self, stream: Optional[TextIO] = None):
+        self._stream = stream
+
+    def emit(self, span: Span) -> None:
+        stream = self._stream if self._stream is not None else sys.stdout
+        print(format_span_table(span), file=stream)
+        print("", file=stream)

@@ -1,0 +1,148 @@
+"""Per-query statistics distilled from a span tree.
+
+:class:`QueryStats` is the programmatic face of one traced query — the
+object hung on :attr:`repro.core.answer.PrecisAnswer.stats`: a flat,
+ordered list of :class:`StageStats` (one per span, with nesting depth),
+the root duration, and the counter totals aggregated over the whole
+tree. :func:`format_stats` renders it as the table the CLI's
+``--stats`` flag prints.
+
+:data:`COUNTER_GLOSSARY` is the canonical counter vocabulary; the
+engine only ever emits these names (plus the odd extra documented at
+its call site), so dashboards and tests can key on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from .tracer import Span
+
+__all__ = ["StageStats", "QueryStats", "format_stats", "COUNTER_GLOSSARY"]
+
+
+#: canonical counter names -> meaning (see docs/observability.md)
+COUNTER_GLOSSARY: dict[str, str] = {
+    "tokens_matched": "query tokens that matched at least one tuple",
+    "relations_expanded": "relations admitted into the result schema G'",
+    "paths_pruned": "candidate paths cut by a terminal degree failure",
+    "paths_pushed": "paths pushed onto the schema generator's queue",
+    "paths_popped": "paths popped off the schema generator's queue",
+    "paths_admitted": "projection paths admitted into G'",
+    "seed_tuples": "tuples seeded from the inverted-index matches",
+    "joins_executed": "G' join edges executed by the database generator",
+    "joins_skipped": "G' join edges skipped (no driving values / budget)",
+    "tuples_emitted": "tuples deposited into the answer database",
+    "cache_hit": "plan-cache hits (1 per ask served from cache)",
+    "cache_miss": "plan-cache misses (schema was generated anew)",
+    "paragraphs_emitted": "narrative paragraphs produced by the translator",
+    "attributes_indexed": "(relation, attribute) pairs indexed",
+    "values_indexed": "non-NULL attribute values added to the index",
+}
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """One pipeline stage: its own wall time and its own counters."""
+
+    name: str
+    depth: int
+    duration_s: float
+    counters: Mapping[str, int] = field(default_factory=dict)
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_s * 1e3
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """Everything one traced query run measured."""
+
+    stages: tuple[StageStats, ...]
+    duration_s: float
+    counters: Mapping[str, int]
+
+    @classmethod
+    def from_span(cls, root: Span) -> "QueryStats":
+        stages = tuple(
+            StageStats(
+                name=span.name,
+                depth=depth,
+                duration_s=span.duration_s,
+                counters=dict(span.counters),
+            )
+            for span, depth in root.walk()
+        )
+        return cls(
+            stages=stages,
+            duration_s=root.duration_s,
+            counters=root.total_counters(),
+        )
+
+    # ------------------------------------------------------------- queries
+
+    def counter(self, name: str, default: int = 0) -> int:
+        """Aggregated value of one counter across all stages."""
+        return self.counters.get(name, default)
+
+    def stage(self, name: str) -> Optional[StageStats]:
+        """First stage with that name, in pipeline order."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        return None
+
+    def stage_names(self) -> tuple[str, ...]:
+        return tuple(stage.name for stage in self.stages)
+
+    def to_dict(self) -> dict:
+        return {
+            "duration_s": self.duration_s,
+            "counters": dict(self.counters),
+            "stages": [
+                {
+                    "name": stage.name,
+                    "depth": stage.depth,
+                    "duration_s": stage.duration_s,
+                    "counters": dict(stage.counters),
+                }
+                for stage in self.stages
+            ],
+        }
+
+    def __repr__(self):
+        return (
+            f"QueryStats({len(self.stages)} stages, "
+            f"{self.duration_s * 1e3:.3f}ms, {len(self.counters)} counters)"
+        )
+
+
+def format_stats(stats: QueryStats) -> str:
+    """The per-stage timing + counter table (the ``--stats`` view)."""
+    rows: list[tuple[str, str, str]] = []
+    for stage in stats.stages:
+        counters = " ".join(
+            f"{key}={value}" for key, value in sorted(stage.counters.items())
+        )
+        rows.append(
+            (
+                "  " * stage.depth + stage.name,
+                f"{stage.duration_ms:.3f} ms",
+                counters,
+            )
+        )
+    header = ("stage", "time", "counters")
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows)) for i in range(3)
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip()]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    if stats.counters:
+        lines.append(
+            "totals: "
+            + " ".join(f"{k}={v}" for k, v in sorted(stats.counters.items()))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,246 @@
+"""Stage spans and the tracer that records them.
+
+A :class:`Span` is one timed region of pipeline work — "match",
+"schema_generator", "database_generator", "translate", "build_index" —
+carrying a wall-clock start, a monotonic duration, a dict of typed
+integer counters, and nested child spans. A :class:`Tracer` maintains
+the currently open span stack and delivers every *root* span, once
+closed, to its sinks (see :mod:`repro.obs.sinks`).
+
+The default tracer everywhere in the engine is :data:`NULL_TRACER`,
+whose ``span()`` hands back one shared no-op context manager and whose
+``count()``/``gauge()`` return immediately — tracing off costs one
+attribute check per call site and allocates nothing, so the pipeline's
+behaviour (and the answers it produces) are byte-identical with and
+without instrumentation.
+
+Counter semantics: ``count`` *adds* to the innermost open span,
+``gauge`` *sets*. Counts issued while no span is open are dropped (the
+null path behaves identically). Counter values are plain ints; the
+canonical names are listed in
+:data:`repro.obs.stats.COUNTER_GLOSSARY`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One timed, counted region of work, possibly with children."""
+
+    __slots__ = (
+        "name",
+        "wall_start",
+        "counters",
+        "children",
+        "_mono_start",
+        "_mono_end",
+    )
+
+    def __init__(self, name: str):
+        self.name = name
+        self.wall_start: float = 0.0
+        self.counters: dict[str, int] = {}
+        self.children: list["Span"] = []
+        self._mono_start: float = 0.0
+        self._mono_end: Optional[float] = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    def _start(self) -> None:
+        self.wall_start = time.time()
+        self._mono_start = time.perf_counter()
+
+    def _finish(self) -> None:
+        self._mono_end = time.perf_counter()
+
+    @property
+    def finished(self) -> bool:
+        return self._mono_end is not None
+
+    @property
+    def duration_s(self) -> float:
+        """Monotonic duration in seconds (0.0 while the span is open)."""
+        if self._mono_end is None:
+            return 0.0
+        return self._mono_end - self._mono_start
+
+    # ------------------------------------------------------------- queries
+
+    def counter(self, name: str, default: int = 0) -> int:
+        return self.counters.get(name, default)
+
+    def walk(self) -> Iterable[tuple["Span", int]]:
+        """Depth-first (span, depth) pairs, self first."""
+        stack: list[tuple[Span, int]] = [(self, 0)]
+        while stack:
+            span, depth = stack.pop()
+            yield span, depth
+            for child in reversed(span.children):
+                stack.append((child, depth + 1))
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span named *name* in depth-first order (self included)."""
+        for span, __ in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def total_counters(self) -> dict[str, int]:
+        """Counters aggregated over this span and all descendants."""
+        totals: dict[str, int] = {}
+        for span, __ in self.walk():
+            for key, value in span.counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def to_dict(self) -> dict:
+        """JSON-compatible snapshot (durations in seconds)."""
+        return {
+            "name": self.name,
+            "wall_start": self.wall_start,
+            "duration_s": self.duration_s,
+            "counters": dict(self.counters),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self):
+        return (
+            f"Span({self.name!r}, {self.duration_s * 1e3:.3f}ms, "
+            f"{len(self.counters)} counters, {len(self.children)} children)"
+        )
+
+
+class _SpanContext:
+    """Context manager opening one span on a tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str):
+        self._tracer = tracer
+        self._span = Span(name)
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        self._span._start()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb):
+        self._span._finish()
+        self._tracer._pop(self._span)
+        return False
+
+
+class _NullSpanContext:
+    """Shared no-op context manager; yields one shared dummy span."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self):
+        self._span = Span("<null>")
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class Tracer:
+    """Records nested stage spans and forwards closed roots to sinks.
+
+    >>> from repro.obs import Tracer, InMemorySink
+    >>> sink = InMemorySink()
+    >>> tracer = Tracer([sink])
+    >>> with tracer.span("outer"):
+    ...     tracer.count("things", 2)
+    ...     with tracer.span("inner"):
+    ...         tracer.count("things", 1)
+    >>> sink.spans[0].total_counters()["things"]
+    3
+    """
+
+    def __init__(self, sinks: Optional[Iterable] = None, enabled: bool = True):
+        self.sinks = list(sinks) if sinks is not None else []
+        self.enabled = enabled
+        self._stack: list[Span] = []
+
+    # ------------------------------------------------------------- recording
+
+    def span(self, name: str):
+        """Open a nested stage span: ``with tracer.span("match") as s:``."""
+        if not self.enabled:
+            return _NULL_SPAN_CONTEXT
+        return _SpanContext(self, name)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to counter *name* of the innermost open span."""
+        if not self.enabled or not self._stack:
+            return
+        counters = self._stack[-1].counters
+        counters[name] = counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: int) -> None:
+        """Set counter *name* of the innermost open span to *value*."""
+        if not self.enabled or not self._stack:
+            return
+        self._stack[-1].counters[name] = value
+
+    # ------------------------------------------------------------- stack
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # tolerate a corrupted stack (an exception unwound past a span)
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        if not self._stack:
+            for sink in self.sinks:
+                sink.emit(span)
+
+    def __repr__(self):
+        state = "enabled" if self.enabled else "disabled"
+        return f"Tracer({state}, {len(self.sinks)} sinks, depth={len(self._stack)})"
+
+
+class NullTracer(Tracer):
+    """The no-op tracer threaded through the engine by default.
+
+    Immutable-by-convention singleton (:data:`NULL_TRACER`): never give
+    it sinks; ``enabled`` stays False.
+    """
+
+    def __init__(self):
+        super().__init__(sinks=None, enabled=False)
+
+    def span(self, name: str):
+        return _NULL_SPAN_CONTEXT
+
+    def count(self, name: str, amount: int = 1) -> None:
+        return None
+
+    def gauge(self, name: str, value: int) -> None:
+        return None
+
+
+#: shared process-wide no-op tracer — the default for every instrumented
+#: call site; recording nothing, it keeps traced and untraced runs
+#: behaviourally identical.
+NULL_TRACER = NullTracer()

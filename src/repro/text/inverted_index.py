@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
+from ..obs import NULL_TRACER, Tracer
 from ..relational.database import Database
 from ..relational.datatypes import DataType, render
 from .tokenizer import normalize, tokenize
@@ -61,6 +62,7 @@ class InvertedIndex:
         self,
         db: Database,
         attributes: Optional[Iterable[tuple[str, str]]] = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> "InvertedIndex":
         """Index *db* and return self.
 
@@ -68,6 +70,10 @@ class InvertedIndex:
         omitted, every TEXT column of every relation is indexed. Non-TEXT
         columns may be listed explicitly — their values are indexed by
         their text rendering (useful for, e.g., years).
+
+        *tracer* (``repro.obs``, no-op by default) wraps the build in a
+        ``"build_index"`` span counting ``attributes_indexed`` and
+        ``values_indexed``.
         """
         if attributes is None:
             pairs = [
@@ -78,16 +84,21 @@ class InvertedIndex:
             ]
         else:
             pairs = list(attributes)
-        for relation, attribute in pairs:
-            rel = db.relation(relation)
-            rel.schema.column(attribute)  # validate
-            self._indexed_attributes.add((relation, attribute))
-            pos = rel.schema.position(attribute)
-            for tid in rel.tids():
-                # direct storage access: indexing is not a metered query
-                value = rel.fetch(tid)[pos]
-                if value is not None:
-                    self.add_value(relation, attribute, tid, render(value))
+        with tracer.span("build_index"):
+            values_indexed = 0
+            for relation, attribute in pairs:
+                rel = db.relation(relation)
+                rel.schema.column(attribute)  # validate
+                self._indexed_attributes.add((relation, attribute))
+                pos = rel.schema.position(attribute)
+                for tid in rel.tids():
+                    # direct storage access: indexing is not a metered query
+                    value = rel.fetch(tid)[pos]
+                    if value is not None:
+                        self.add_value(relation, attribute, tid, render(value))
+                        values_indexed += 1
+            tracer.count("attributes_indexed", len(pairs))
+            tracer.count("values_indexed", values_indexed)
         return self
 
     def add_value(
@@ -217,6 +228,7 @@ class InvertedIndex:
 def build_index(
     db: Database,
     attributes: Optional[Iterable[tuple[str, str]]] = None,
+    tracer: Tracer = NULL_TRACER,
 ) -> InvertedIndex:
     """Convenience: ``InvertedIndex().index_database(db, attributes)``."""
-    return InvertedIndex().index_database(db, attributes)
+    return InvertedIndex().index_database(db, attributes, tracer=tracer)

@@ -16,6 +16,7 @@ from repro.datasets import (
     university_schema,
 )
 from repro.nlg import Translator
+from repro.obs import InMemorySink, Tracer
 from repro.relational import (
     Column,
     Database,
@@ -24,6 +25,26 @@ from repro.relational import (
     ForeignKey,
     RelationSchema,
 )
+
+
+@pytest.fixture()
+def mem_sink():
+    """A fresh in-memory trace sink per test.
+
+    Deliberately function-scoped: tracer state (open-span stacks,
+    recorded roots) must never leak between tests. The session-scoped
+    engines below are safe to share because they run with the default
+    NULL_TRACER, which records nothing; any test that wants tracing
+    builds its own engine (or passes ``tracer=`` per call) against this
+    sink.
+    """
+    return InMemorySink()
+
+
+@pytest.fixture()
+def tracer(mem_sink):
+    """A fresh enabled tracer wired to :func:`mem_sink`."""
+    return Tracer([mem_sink])
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,101 @@
+"""Sink output formats: in-memory, line-JSON, human-readable table."""
+
+import io
+import json
+
+from repro.obs import (
+    InMemorySink,
+    JsonLinesSink,
+    TableSink,
+    Tracer,
+    format_span_table,
+    format_stats,
+    QueryStats,
+)
+
+
+def _sample_tree(tracer):
+    with tracer.span("ask"):
+        with tracer.span("match"):
+            tracer.count("tokens_matched", 1)
+        with tracer.span("database_generator"):
+            tracer.count("tuples_emitted", 10)
+            tracer.count("joins_executed", 3)
+
+
+class TestInMemorySink:
+    def test_collects_clears_and_finds(self, tracer, mem_sink):
+        _sample_tree(tracer)
+        assert len(mem_sink) == 1
+        assert mem_sink.last.name == "ask"
+        assert mem_sink.find("match").counter("tokens_matched") == 1
+        assert mem_sink.find("nope") is None
+        mem_sink.clear()
+        assert mem_sink.spans == [] and mem_sink.last is None
+
+    def test_counter_total_across_roots(self, tracer, mem_sink):
+        _sample_tree(tracer)
+        _sample_tree(tracer)
+        assert mem_sink.counter_total("tuples_emitted") == 20
+
+
+class TestJsonLinesSink:
+    def test_one_valid_json_object_per_root(self):
+        stream = io.StringIO()
+        tracer = Tracer([JsonLinesSink(stream)])
+        _sample_tree(tracer)
+        _sample_tree(tracer)
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            record = json.loads(line)
+            assert record["name"] == "ask"
+            assert record["duration_s"] >= 0
+            children = {c["name"]: c for c in record["children"]}
+            assert children["match"]["counters"] == {"tokens_matched": 1}
+            assert (
+                children["database_generator"]["counters"]["tuples_emitted"]
+                == 10
+            )
+
+    def test_path_target_appends_and_closes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonLinesSink(path) as sink:
+            tracer = Tracer([sink])
+            _sample_tree(tracer)
+        with JsonLinesSink(path) as sink:
+            tracer = Tracer([sink])
+            _sample_tree(tracer)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["name"] == "ask" for line in lines)
+
+
+class TestTableOutput:
+    def test_table_sink_prints_every_stage(self):
+        stream = io.StringIO()
+        tracer = Tracer([TableSink(stream)])
+        _sample_tree(tracer)
+        text = stream.getvalue()
+        assert "stage" in text and "time" in text and "counters" in text
+        assert "ask" in text
+        assert "  match" in text  # indented child
+        assert "tuples_emitted=10" in text
+        assert "totals:" in text
+
+    def test_format_span_table_alignment(self, tracer, mem_sink):
+        _sample_tree(tracer)
+        lines = format_span_table(mem_sink.last).splitlines()
+        header = lines[0]
+        assert header.index("time") > header.index("stage")
+        # every row starts its time column at the same offset
+        offset = header.index("time")
+        for line in lines[1:-1]:
+            assert line[offset - 2 : offset] == "  "
+
+    def test_format_stats_matches_span_table_content(self, tracer, mem_sink):
+        _sample_tree(tracer)
+        stats_text = format_stats(QueryStats.from_span(mem_sink.last))
+        assert "joins_executed=3" in stats_text
+        assert "totals:" in stats_text
+        assert "tokens_matched=1" in stats_text

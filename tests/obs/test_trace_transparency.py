@@ -1,0 +1,140 @@
+"""Property: tracing is observationally free.
+
+``ask`` with tracing enabled must return a byte-identical answer to
+``ask`` with tracing disabled — across random queries, degree
+constraints, cardinality constraints and strategies. This is the
+guarantee that lets the tracer default into every pipeline stage
+without a correctness risk (`stats` itself is deliberately excluded
+from the serialized answer, see ``PrecisAnswer.stats``).
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    CompositeCardinality,
+    CompositeDegree,
+    InMemorySink,
+    MaxPathLength,
+    MaxTotalTuples,
+    MaxTuplesPerRelation,
+    PrecisEngine,
+    TopRProjections,
+    Tracer,
+    Unlimited,
+    WeightThreshold,
+)
+from repro.datasets import (
+    movies_graph,
+    movies_translation_spec,
+    paper_instance,
+)
+from repro.nlg import Translator
+from repro.relational.datatypes import DataType
+
+
+def _vocabulary(db):
+    """Every word + full value appearing in a TEXT column, plus misses."""
+    words: set[str] = set()
+    for rs in db.schema:
+        text_cols = [c.name for c in rs.columns if c.dtype is DataType.TEXT]
+        if not text_cols:
+            continue
+        for row in db.relation(rs.name).scan(text_cols):
+            for value in row.as_dict().values():
+                if value is None:
+                    continue
+                words.add(f'"{value}"')  # phrase token
+                words.update(str(value).split())
+    words.add("zzz-definitely-absent")
+    return sorted(words)
+
+
+# module-level engine: safe to share because it always runs with the
+# default NULL_TRACER; the traced twin run passes a per-call tracer with
+# a test-local sink (see tests/conftest.py::mem_sink for the policy)
+_DB = paper_instance()
+_ENGINE = PrecisEngine(
+    _DB,
+    graph=movies_graph(),
+    translator=Translator(movies_translation_spec()),
+)
+_VOCAB = _vocabulary(_DB)
+
+degrees = st.one_of(
+    st.sampled_from([0.1, 0.3, 0.5, 0.7, 0.9, 1.0]).map(WeightThreshold),
+    st.integers(1, 6).map(TopRProjections),
+    st.integers(1, 4).map(MaxPathLength),
+    st.tuples(
+        st.sampled_from([0.3, 0.7, 0.9]), st.integers(1, 4)
+    ).map(lambda t: CompositeDegree(WeightThreshold(t[0]), MaxPathLength(t[1]))),
+)
+
+cardinalities = st.one_of(
+    st.just(Unlimited()),
+    st.integers(1, 5).map(MaxTuplesPerRelation),
+    st.integers(1, 20).map(MaxTotalTuples),
+    st.tuples(st.integers(1, 5), st.integers(2, 15)).map(
+        lambda t: CompositeCardinality(
+            MaxTuplesPerRelation(t[0]), MaxTotalTuples(t[1])
+        )
+    ),
+)
+
+queries = st.lists(st.sampled_from(_VOCAB), min_size=1, max_size=3).map(
+    " ".join
+)
+
+
+def _snapshot(answer) -> bytes:
+    payload = {
+        "dict": answer.to_dict(),
+        "describe": answer.describe(),
+        "relevance": answer.relevance(),
+        "dangling": answer.dangling_tuples(),
+    }
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    query=queries,
+    degree=degrees,
+    cardinality=cardinalities,
+    strategy=st.sampled_from(["auto", "naive", "round_robin"]),
+)
+def test_traced_answer_is_byte_identical(query, degree, cardinality, strategy):
+    untraced = _ENGINE.ask(
+        query, degree=degree, cardinality=cardinality, strategy=strategy
+    )
+    sink = InMemorySink()
+    traced = _ENGINE.ask(
+        query,
+        degree=degree,
+        cardinality=cardinality,
+        strategy=strategy,
+        tracer=Tracer([sink]),
+    )
+    assert untraced.stats is None
+    assert traced.stats is not None
+    assert sink.find("ask") is not None
+    assert _snapshot(untraced) == _snapshot(traced)
+    # and the traced run left no residue: a third untraced ask matches too
+    again = _ENGINE.ask(
+        query, degree=degree, cardinality=cardinality, strategy=strategy
+    )
+    assert again.stats is None
+    assert _snapshot(again) == _snapshot(untraced)
+
+
+@settings(max_examples=15, deadline=None)
+@given(query=queries, cardinality=cardinalities)
+def test_traced_per_occurrence_is_byte_identical(query, cardinality):
+    untraced = _ENGINE.ask_per_occurrence(query, cardinality=cardinality)
+    traced = _ENGINE.ask_per_occurrence(
+        query, cardinality=cardinality, tracer=Tracer([InMemorySink()])
+    )
+    assert len(untraced) == len(traced)
+    for a, b in zip(untraced, traced):
+        assert _snapshot(a) == _snapshot(b)

@@ -114,6 +114,62 @@ class TestQuery:
         assert code == 0
 
 
+class TestStatsFlag:
+    def test_query_stats_prints_stage_table(self, demo_dir):
+        code, out = _run(
+            [
+                "query", str(demo_dir), '"Woody Allen"',
+                "--degree-weight", "0.9", "--per-relation", "3", "--stats",
+            ]
+        )
+        assert code == 0
+        assert "Match Point" in out  # the answer itself still prints
+        assert "index build:" in out
+        assert "stage" in out and "time" in out and "counters" in out
+        for stage in ("ask", "match", "schema", "database_generator"):
+            assert stage in out
+        assert "tokens_matched=1" in out
+        assert "tuples_emitted=" in out
+        assert "totals:" in out
+
+    def test_query_without_stats_prints_no_table(self, demo_dir):
+        code, out = _run(
+            ["query", str(demo_dir), '"Woody Allen"', "--degree-weight", "0.9"]
+        )
+        assert code == 0
+        assert "tuples_emitted=" not in out
+        assert "index build:" not in out
+
+    def test_explain_stats(self, demo_dir):
+        code, out = _run(
+            [
+                "explain", str(demo_dir), '"Woody Allen"',
+                "--degree-weight", "0.9", "--stats",
+            ]
+        )
+        assert code == 0
+        assert "précis plan" in out
+        assert "database_generator" in out
+        assert "totals:" in out
+
+    def test_estimate_stats(self, demo_dir):
+        code, out = _run(
+            [
+                "estimate", str(demo_dir), '"Woody Allen"',
+                "--degree-weight", "0.9", "--stats",
+            ]
+        )
+        assert code == 0
+        assert "schema_generator" in out
+        assert "tokens_matched=1" in out
+
+    def test_no_match_still_prints_stats(self, demo_dir):
+        code, out = _run(["query", str(demo_dir), "zzznope", "--stats"])
+        assert code == 1
+        assert "no match" in out
+        assert "tokens_matched=0" in out
+
+
 class TestExplain:
     def test_plan_ddl_and_sql(self, demo_dir):
         code, out = _run(
