@@ -2,7 +2,7 @@
 
 Usage::
 
-    python benchmarks/run_experiments.py
+    python benchmarks/run_experiments.py [--backend memory|sqlite] [fig7 ...]
 
 Prints, for each figure of the paper's evaluation, the x-axis, the
 wall-clock time per point (this machine) and the deterministic modeled
@@ -13,8 +13,8 @@ timing; this script exists to produce compact, diffable tables.
 
 from __future__ import annotations
 
+import argparse
 import random
-import sys
 import time
 
 from repro.bench import (
@@ -82,9 +82,10 @@ def figure_7():
 
 
 class _Chain:
-    def __init__(self, n):
+    def __init__(self, n, backend=None):
         self.db = chain_database(
-            n, roots=100, fanout=3, seed=0, max_tuples_per_relation=3000
+            n, roots=100, fanout=3, seed=0,
+            max_tuples_per_relation=3000, backend=backend,
         )
         self.schema = generate_result_schema(
             chain_graph(n), ["R1"], WeightThreshold(0.9)
@@ -103,9 +104,9 @@ class _Chain:
             )
 
 
-def figure_8():
+def figure_8(backend=None):
     """Result Database Generator vs c_R (n_R = 4, NaïveQ)."""
-    chain = _Chain(4)
+    chain = _Chain(4, backend)
     rows = []
     for c_r in (10, 30, 50, 70, 90):
         seconds = _time(lambda: chain.run(c_r, STRATEGY_NAIVE))
@@ -123,11 +124,11 @@ def figure_8():
     print(f"   linear fit of modeled cost: r^2 = {fit.r_squared:.4f}")
 
 
-def figure_9():
+def figure_9(backend=None):
     """NaïveQ vs RoundRobin vs n_R (c_R = 50)."""
     rows = []
     for n_r in range(1, 9):
-        chain = _Chain(n_r)
+        chain = _Chain(n_r, backend)
         t_naive = _time(lambda: chain.run(50, STRATEGY_NAIVE))
         t_rr = _time(lambda: chain.run(50, STRATEGY_ROUND_ROBIN))
         with chain.db.meter.measure() as m_naive:
@@ -153,11 +154,11 @@ def figure_9():
         print(f"   {label} modeled cost linear fit: r^2 = {fit.r_squared:.4f}")
 
 
-def formula_2():
+def formula_2(backend=None):
     """Cost model check: measured vs c_R * n_R * (IndexTime+TupleTime)."""
     rows = []
     for n_r, c_r in ((2, 20), (4, 30), (4, 60), (6, 40), (8, 50)):
-        chain = _Chain(n_r)
+        chain = _Chain(n_r, backend)
         with chain.db.meter.measure() as measured:
             generate_result_database(
                 chain.db, chain.schema, chain.seed_sets[0],
@@ -175,13 +176,13 @@ def formula_2():
     )
 
 
-def ablation_strategies():
+def ablation_strategies(backend=None):
     """Coverage under skew: the §5.2 motivation for RoundRobin."""
     from repro.bench import chain_graph, chain_schema
     from repro.relational import Database
 
     schema = chain_schema(2)
-    db = Database(schema)
+    db = Database(schema, backend=backend)
     n_parents, heavy = 20, 50
     for pid in range(1, n_parents + 1):
         db.insert("R1", {"ID": pid, "VAL": f"parent {pid}"})
@@ -214,13 +215,13 @@ def ablation_strategies():
     )
 
 
-def ablation_join_order():
+def ablation_join_order(backend=None):
     """Budget-weighted relevance: heaviest-first vs FIFO (§5.2)."""
     from repro.core import JOIN_ORDER_FIFO, JOIN_ORDER_WEIGHT, MaxTotalTuples
     from repro.datasets import generate_movies_database, movies_graph
     from repro.graph import random_weight_assignment
 
-    db = generate_movies_database(n_movies=150, seed=5)
+    db = generate_movies_database(n_movies=150, seed=5, backend=backend)
     seeds = {
         "MOVIE": set(list(db.relation("MOVIE").tids())[:2]),
         "ACTOR": set(list(db.relation("ACTOR").tids())[:2]),
@@ -258,6 +259,8 @@ def ablation_join_order():
 
 
 def main(argv=None):
+    from repro.storage import BACKEND_NAMES
+
     figures = {
         "fig7": figure_7,
         "fig8": figure_8,
@@ -266,9 +269,24 @@ def main(argv=None):
         "strategies": ablation_strategies,
         "joinorder": ablation_join_order,
     }
-    wanted = (argv or sys.argv)[1:] or list(figures)
-    for name in wanted:
-        figures[name]()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "figures", nargs="*", choices=[[], *figures], metavar="figure",
+        help=f"which tables to print (default: all of {', '.join(figures)})",
+    )
+    parser.add_argument(
+        "--backend", choices=list(BACKEND_NAMES), default="memory",
+        help="storage backend the workload databases are built on",
+    )
+    args = parser.parse_args(argv)
+    backend = args.backend
+    print(f"(storage backend: {backend})")
+    for name in args.figures or list(figures):
+        fn = figures[name]
+        if name == "fig7":
+            fn()  # graph-only: no database involved
+        else:
+            fn(backend=backend)
 
 
 if __name__ == "__main__":

@@ -15,15 +15,18 @@ import pytest
 from repro import MaxTuplesPerRelation, PrecisEngine, WeightThreshold
 from repro.bench import stage_breakdown
 from repro.datasets import generate_movies_database, movies_graph
+from repro.storage import BACKEND_NAMES
 
 SCALES = [100, 400, 1600]
 
 
-@pytest.fixture(scope="module")
-def engines():
+@pytest.fixture(scope="module", params=BACKEND_NAMES)
+def engines(request):
     out = {}
     for n in SCALES:
-        db = generate_movies_database(n_movies=n, seed=9)
+        db = generate_movies_database(
+            n_movies=n, seed=9, backend=request.param
+        )
         engine = PrecisEngine(db, graph=movies_graph())
         # a director that exists at every scale (generator is seeded,
         # but names differ per scale — pick per engine)
@@ -31,6 +34,7 @@ def engines():
             row["DNAME"] for row in db.relation("DIRECTOR").scan(["DNAME"])
         )
         out[n] = (engine, name)
+    out["backend"] = request.param
     return out
 
 
@@ -51,6 +55,7 @@ def test_ask_latency(benchmark, engines, n_movies):
     answer = benchmark(_ask, engine, name)
     assert answer.found
     benchmark.extra_info["db_tuples"] = engine.db.total_tuples()
+    benchmark.extra_info["backend"] = engines["backend"]
     # where the latency goes, not just how much of it there is: best-of-3
     # per-stage breakdown via the repro.obs tracer
     stats = stage_breakdown(lambda t: _ask(engine, name, tracer=t))
@@ -67,6 +72,8 @@ def test_ask_cost_is_size_independent(benchmark, engines):
 
     answer is capped, and all access paths are indexed."""
     benchmark.group = "end-to-end ask() vs database size (capped answer)"
+
+    benchmark.extra_info["backend"] = engines["backend"]
 
     def sweep():
         series = []

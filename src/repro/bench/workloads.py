@@ -158,6 +158,7 @@ def chain_database(
     fanout: int = 4,
     seed: int = 0,
     max_tuples_per_relation: Optional[int] = 20000,
+    backend=None,
 ) -> Database:
     """Populate a chain: ``roots`` tuples in R1, each tuple of ``R_i``
 
@@ -195,7 +196,7 @@ def chain_database(
             next_id += 1
         data[f"R{i}"] = rows
         parents = ids
-    return Database.from_rows(schema, data)
+    return Database.from_rows(schema, data, backend=backend)
 
 
 def random_schema_graph(

@@ -43,6 +43,7 @@ from .nlg import Translator, generic_spec
 from .obs import InMemorySink, Tracer, format_span_table
 from .relational import create_schema_sql, database_summary
 from .relational.csvio import load_database, save_database
+from .storage import BACKEND_NAMES, resolve_backend
 
 __all__ = ["main", "build_parser"]
 
@@ -108,6 +109,19 @@ def build_parser() -> argparse.ArgumentParser:
             help="print the per-stage timing + counter table "
             "(repro.obs tracing)",
         )
+        cmd.add_argument(
+            "--backend",
+            choices=list(BACKEND_NAMES),
+            default="memory",
+            help="storage backend for the loaded database",
+        )
+        cmd.add_argument(
+            "--db-path",
+            metavar="FILE",
+            help="SQLite database file (implies --backend sqlite); "
+            "tables are rebuilt from the CSV directory on each run "
+            "and left on disk for inspection",
+        )
         if name == "estimate":
             cmd.add_argument(
                 "--target-total",
@@ -155,11 +169,24 @@ def _cardinality(args):
     return parts[0] if len(parts) == 1 else CompositeCardinality(*parts)
 
 
+def _backend_for(args):
+    """Resolve --backend/--db-path into a StorageBackend (or None)."""
+    backend = getattr(args, "backend", None)
+    db_path = getattr(args, "db_path", None)
+    if db_path is not None and backend in (None, "memory"):
+        backend = "sqlite"
+    if backend in (None, "memory") and db_path is None:
+        return None
+    return resolve_backend(backend, path=db_path)
+
+
 def _load_engine(
-    directory: str, tracer: Optional[Tracer] = None
+    directory: str,
+    tracer: Optional[Tracer] = None,
+    backend=None,
 ) -> PrecisEngine:
     path = Path(directory)
-    db = load_database(path, enforce_foreign_keys=False)
+    db = load_database(path, enforce_foreign_keys=False, backend=backend)
     graph_path = path / _GRAPH_FILE
     translator = None
     if graph_path.exists():
@@ -227,7 +254,7 @@ def _cmd_schema(args, out) -> int:
 
 def _cmd_query(args, out) -> int:
     tracer, sink = _tracer_for(args)
-    engine = _load_engine(args.directory, tracer)
+    engine = _load_engine(args.directory, tracer, backend=_backend_for(args))
     answer = engine.ask(
         args.query,
         degree=_degree(args),
@@ -256,7 +283,7 @@ def _cmd_query(args, out) -> int:
 
 def _cmd_explain(args, out) -> int:
     tracer, sink = _tracer_for(args)
-    engine = _load_engine(args.directory, tracer)
+    engine = _load_engine(args.directory, tracer, backend=_backend_for(args))
     answer = engine.ask(
         args.query,
         degree=_degree(args),
@@ -281,7 +308,7 @@ def _cmd_estimate(args, out) -> int:
     from .core import estimate_cardinalities, suggest_cardinality
 
     tracer, sink = _tracer_for(args)
-    engine = _load_engine(args.directory, tracer)
+    engine = _load_engine(args.directory, tracer, backend=_backend_for(args))
     schema, matches, __ = engine.plan(args.query, _degree(args))
     if schema.is_empty():
         print(f"no match for {args.query!r}", file=out)

@@ -392,11 +392,12 @@ class PrecisEngine:
         for match in self.match(query):
             for occurrence in match.occurrences:
                 relation = self.db.relation(occurrence.relation)
-                values = []
-                for tid in sorted(occurrence.tids)[:samples]:
-                    value = relation.fetch(tid, [occurrence.attribute])[0]
-                    if value is not None:
-                        values.append(str(value))
+                rows = relation.fetch_many(
+                    sorted(occurrence.tids)[:samples], [occurrence.attribute]
+                )
+                values = [
+                    str(row[0]) for row in rows if row[0] is not None
+                ]
                 options.append(
                     {
                         "token": match.token,

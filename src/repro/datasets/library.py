@@ -238,7 +238,7 @@ _NAME_PARTS = (
 
 
 def generate_library_database(
-    n_items: int = 150, seed: int = 0
+    n_items: int = 150, seed: int = 0, backend=None
 ) -> Database:
     """Deterministic synthetic library instance."""
     rng = random.Random(seed)
@@ -308,4 +308,5 @@ def generate_library_database(
             "SUBJECT": subjects,
             "SHOWN_AT": shown_at,
         },
+        backend=backend,
     )

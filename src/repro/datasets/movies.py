@@ -199,7 +199,7 @@ def movies_graph() -> SchemaGraph:
     return graph
 
 
-def paper_instance() -> Database:
+def paper_instance(backend=None) -> Database:
     """The Woody Allen micro-database of Figure 6 / §5.3."""
     data = {
         "DIRECTOR": [
@@ -280,7 +280,7 @@ def paper_instance() -> Database:
             {"TID": 2, "MID": 1, "DATE": "2005-11-12"},
         ],
     }
-    return Database.from_rows(movies_schema(), data)
+    return Database.from_rows(movies_schema(), data, backend=backend)
 
 
 def movies_translation_spec() -> TranslationSpec:
@@ -404,6 +404,7 @@ def generate_movies_database(
     cast_per_movie: tuple[int, int] = (2, 5),
     plays_per_movie: tuple[int, int] = (0, 3),
     enforce_foreign_keys: bool = True,
+    backend=None,
 ) -> Database:
     """A deterministic synthetic IMDB-like instance of the movies schema.
 
@@ -490,4 +491,5 @@ def generate_movies_database(
             "PLAY": plays,
         },
         enforce_foreign_keys=enforce_foreign_keys,
+        backend=backend,
     )

@@ -144,7 +144,7 @@ _SURNAMES = (
 
 
 def generate_university_database(
-    n_students: int = 100, n_courses: int = 20, seed: int = 0
+    n_students: int = 100, n_courses: int = 20, seed: int = 0, backend=None
 ) -> Database:
     """Deterministic synthetic university instance."""
     rng = random.Random(seed)
@@ -219,6 +219,7 @@ def generate_university_database(
             "STUDENT": students,
             "ENROLLED": enrolled,
         },
+        backend=backend,
     )
 
 

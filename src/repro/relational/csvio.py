@@ -4,6 +4,13 @@ Round-trips a :class:`~repro.relational.database.Database` through a
 directory of one CSV file per relation plus a ``_schema.json`` manifest.
 Useful for inspecting précis answers, for shipping the extracted test
 databases of the §1 enterprise use case, and for the examples.
+
+NULL handling: SQL NULL is written as the ``\\N`` marker (the MySQL
+convention), so a NULL TEXT value and an empty string survive the round
+trip as distinct values. A literal ``\\N`` string is escaped to
+``\\\\N``. For files written before the marker existed, an empty field
+in a non-TEXT column still loads as NULL (nothing else it could be);
+an empty field in a TEXT column loads as the empty string.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ import json
 from pathlib import Path
 from typing import Union
 
+from ..storage.base import StorageBackend
 from .database import Database
 from .datatypes import DataType, coerce, render
 from .errors import SchemaError
@@ -21,6 +29,25 @@ from .schema import Column, DatabaseSchema, ForeignKey, RelationSchema
 __all__ = ["save_database", "load_database", "schema_to_dict", "schema_from_dict"]
 
 _MANIFEST = "_schema.json"
+_NULL = "\\N"
+_ESCAPED_NULL = "\\\\N"
+
+
+def _to_field(value) -> str:
+    if value is None:
+        return _NULL
+    text = render(value)
+    return _ESCAPED_NULL if text == _NULL else text
+
+
+def _from_field(text: str, dtype: DataType):
+    if text == _NULL:
+        return None
+    if text == _ESCAPED_NULL:
+        return _NULL
+    if text == "" and dtype is not DataType.TEXT:
+        return None  # legacy files: NULL was the empty field
+    return coerce(text, dtype)
 
 
 def schema_to_dict(schema: DatabaseSchema) -> dict:
@@ -93,8 +120,8 @@ def save_database(db: Database, directory: Union[str, Path]) -> Path:
         with open(path / f"{rel.name}.csv", "w", newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow(names)
-            for row in rel.scan():
-                writer.writerow([render(v) for v in row.values])
+            for _tid, stored in rel.store.scan():  # unmetered: export
+                writer.writerow([_to_field(v) for v in stored])
     return path
 
 
@@ -102,6 +129,7 @@ def load_database(
     directory: Union[str, Path],
     enforce_foreign_keys: bool = True,
     create_indexes: bool = True,
+    backend: Union[str, StorageBackend, None] = None,
 ) -> Database:
     """Load a database previously written by :func:`save_database`."""
     path = Path(directory)
@@ -124,9 +152,7 @@ def load_database(
                     values: list = [None] * len(rs)
                     for pos, text in zip(order, record):
                         col = rs.columns[pos]
-                        values[pos] = (
-                            None if text == "" else coerce(text, col.dtype)
-                        )
+                        values[pos] = _from_field(text, col.dtype)
                     rows.append(values)
         data[rs.name] = rows
     return Database.from_rows(
@@ -134,4 +160,5 @@ def load_database(
         data,
         enforce_foreign_keys=enforce_foreign_keys,
         create_indexes=create_indexes,
+        backend=backend,
     )

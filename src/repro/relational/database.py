@@ -1,17 +1,27 @@
 """The database object: named relations + cross-relation integrity.
 
 A :class:`Database` ties together a :class:`DatabaseSchema`, one
-:class:`Relation` store per relation schema, a shared :class:`CostMeter`,
-and foreign-key enforcement. It is the object both the précis engine and
-the baselines operate on, and also the *type of a précis answer* — the
-paper's central point is that a query produces "a whole new database,
-with its own schema, constraints, and contents".
+:class:`Relation` façade per relation schema (each backed by a
+:class:`~repro.storage.base.TupleStore` from the database's storage
+backend), a shared :class:`CostMeter`, and foreign-key enforcement. It
+is the object both the précis engine and the baselines operate on, and
+also the *type of a précis answer* — the paper's central point is that a
+query produces "a whole new database, with its own schema, constraints,
+and contents".
+
+Storage backends are pluggable (see :mod:`repro.storage`): ``backend=``
+accepts a name (``"memory"``, ``"sqlite"``, ``"sqlite:/path/to.db"``)
+or a :class:`~repro.storage.base.StorageBackend` instance. The default
+is the in-memory reference store.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence, Union
 
+from ..storage.base import StorageBackend
+from ..storage.registry import resolve_backend
 from .cost import CostMeter, CostParameters
 from .errors import ForeignKeyViolation, SchemaError
 from .relation import Relation
@@ -28,13 +38,24 @@ class Database:
         schema: DatabaseSchema,
         cost_params: Optional[CostParameters] = None,
         enforce_foreign_keys: bool = True,
+        backend: Union[str, StorageBackend, None] = None,
     ):
         self.schema = schema
         self.meter = CostMeter(cost_params)
         self.enforce_foreign_keys = enforce_foreign_keys
+        self.backend = resolve_backend(backend)
         self._relations: dict[str, Relation] = {
-            rs.name: Relation(rs, self.meter) for rs in schema
+            rs.name: Relation(rs, self.meter, self.backend.create_store(rs))
+            for rs in schema
         }
+
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name
+
+    def close(self) -> None:
+        """Release backend resources (e.g. the SQLite connection)."""
+        self.backend.close()
 
     # ------------------------------------------------------------------ access
 
@@ -204,15 +225,17 @@ class Database:
         data: Mapping[str, Iterable[Mapping[str, Any] | Sequence[Any]]],
         enforce_foreign_keys: bool = True,
         create_indexes: bool = True,
+        backend: Union[str, StorageBackend, None] = None,
     ) -> "Database":
         """Build and populate a database in one call.
 
         *data* maps relation name → iterable of rows. Relations are loaded
         in an order that respects foreign-key dependencies when possible
         (parents first); cycles fall back to declaration order with
-        enforcement deferred until the end.
+        enforcement deferred until the end. *backend* selects the storage
+        backend exactly as in the constructor.
         """
-        db = cls(schema, enforce_foreign_keys=False)
+        db = cls(schema, enforce_foreign_keys=False, backend=backend)
         order = _topological_load_order(schema)
         for name in order:
             if name in data:
@@ -223,6 +246,32 @@ class Database:
         if enforce_foreign_keys:
             db.check_integrity()
         return db
+
+    # ------------------------------------------------------------------ csv io
+
+    def to_csv_dir(self, directory: Union[str, Path]) -> None:
+        """Export schema + contents as a CSV directory (see ``csvio``)."""
+        from .csvio import save_database
+
+        save_database(self, directory)
+
+    @classmethod
+    def from_csv_dir(
+        cls,
+        directory: Union[str, Path],
+        enforce_foreign_keys: bool = True,
+        create_indexes: bool = True,
+        backend: Union[str, StorageBackend, None] = None,
+    ) -> "Database":
+        """Load a database saved with :meth:`to_csv_dir`."""
+        from .csvio import load_database
+
+        return load_database(
+            directory,
+            enforce_foreign_keys=enforce_foreign_keys,
+            create_indexes=create_indexes,
+            backend=backend,
+        )
 
 
 def _topological_load_order(schema: DatabaseSchema) -> list[str]:

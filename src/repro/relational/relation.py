@@ -1,17 +1,26 @@
-"""Tuple storage for a single relation.
+"""The relation façade: validation + cost accounting over a TupleStore.
 
-A :class:`Relation` stores tuples addressed by an engine-assigned integer
-tuple id (*tid*) — the analogue of Oracle's ROWID that the paper's
-generators use to re-fetch tuples found through the inverted index. It
-enforces NOT NULL and primary-key uniqueness locally; referential
-integrity spans relations and lives in
-:class:`~repro.relational.database.Database`.
+A :class:`Relation` exposes tuples addressed by an engine-assigned
+integer tuple id (*tid*) — the analogue of Oracle's ROWID that the
+paper's generators use to re-fetch tuples found through the inverted
+index. The actual storage lives behind the
+:class:`~repro.storage.base.TupleStore` protocol (dict-based
+``MemoryStore`` by default, SQLite optional); the façade owns what must
+be backend-independent:
+
+* input normalization — type coercion, NOT NULL and primary-key
+  validation (referential integrity spans relations and lives in
+  :class:`~repro.relational.database.Database`);
+* :class:`~repro.relational.row.Row` construction and projection;
+* **all** :class:`~repro.relational.cost.CostMeter` charging, so the
+  modeled cost of a run is identical on every backend.
 
 Cost charging policy (see :mod:`repro.relational.cost`):
 
 * ``fetch`` / ``fetch_many`` charge one *tuple read* per tuple returned;
 * ``lookup`` / ``lookup_in`` charge one *index lookup* per probe value
-  when an index exists, or one *scan step* per tuple visited otherwise;
+  when an index exists, or one *scan step* per stored tuple otherwise
+  (an unindexed probe is a full scan on any backend);
 * ``scan`` charges one scan step per tuple visited.
 
 This makes the modeled cost of one indexed retrieval exactly
@@ -22,6 +31,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence
 
+from ..storage.base import TupleStore
 from .cost import CostMeter
 from .datatypes import coerce
 from .errors import (
@@ -31,23 +41,37 @@ from .errors import (
     TypeMismatchError,
     UnknownTupleError,
 )
-from .index import HashIndex, SortedIndex
 from .row import Row
 from .schema import RelationSchema
 
 __all__ = ["Relation"]
 
+#: tids per get_many batch when a fetch limit may stop the read early
+_FETCH_CHUNK = 512
+
 
 class Relation:
     """A populated relation following a :class:`RelationSchema`."""
 
-    def __init__(self, schema: RelationSchema, meter: Optional[CostMeter] = None):
+    def __init__(
+        self,
+        schema: RelationSchema,
+        meter: Optional[CostMeter] = None,
+        store: Optional[TupleStore] = None,
+    ):
         self.schema = schema
         self.meter = meter or CostMeter()
-        self._tuples: dict[int, tuple] = {}
-        self._next_tid = 1
-        self._pk_index: dict[tuple, int] = {}
-        self._indexes: dict[str, HashIndex | SortedIndex] = {}
+        #: the storage engine behind this relation. Direct access is
+        #: *unmetered* — reserved for maintenance work that the paper's
+        #: cost model excludes (index building, exports); queries must
+        #: go through the façade methods.
+        if store is None:
+            # deferred import: repro.storage and repro.relational are
+            # mutually referential and must load in either order
+            from ..storage.memory import MemoryStore
+
+            store = MemoryStore(schema)
+        self.store: TupleStore = store
 
     # ------------------------------------------------------------------ basics
 
@@ -56,13 +80,13 @@ class Relation:
         return self.schema.name
 
     def __len__(self) -> int:
-        return len(self._tuples)
+        return len(self.store)
 
     def tids(self) -> Iterator[int]:
-        return iter(self._tuples)
+        return self.store.tids()
 
     def __contains__(self, tid: int) -> bool:
-        return tid in self._tuples
+        return tid in self.store
 
     def __repr__(self):
         return f"Relation({self.name}, {len(self)} tuples)"
@@ -107,20 +131,13 @@ class Relation:
         primary key.
         """
         stored = self._normalize(values)
-        pk_value = None
         if self.schema.primary_key:
             pk_pos = self.schema.positions(self.schema.primary_key)
             pk_value = tuple(stored[p] for p in pk_pos)
-            if pk_value in self._pk_index:
+            # unmetered pre-check: loading is not part of Formula (2)
+            if self.store.lookup_pk(pk_value) is not None:
                 raise PrimaryKeyViolation(self.name, pk_value)
-        tid = self._next_tid
-        self._next_tid += 1
-        self._tuples[tid] = stored
-        if pk_value is not None:
-            self._pk_index[pk_value] = tid
-        for attr, index in self._indexes.items():
-            index.insert(stored[self.schema.position(attr)], tid)
-        return tid
+        return self.store.insert(stored)
 
     def insert_many(
         self, rows: Iterable[Mapping[str, Any] | Sequence[Any]]
@@ -128,64 +145,48 @@ class Relation:
         return [self.insert(row) for row in rows]
 
     def delete(self, tid: int) -> None:
-        stored = self._tuples.pop(tid, None)
-        if stored is None:
-            raise UnknownTupleError(self.name, tid)
-        if self.schema.primary_key:
-            pk_pos = self.schema.positions(self.schema.primary_key)
-            self._pk_index.pop(tuple(stored[p] for p in pk_pos), None)
-        for attr, index in self._indexes.items():
-            index.remove(stored[self.schema.position(attr)], tid)
+        self.store.delete(tid)
 
     def clear(self) -> None:
-        self._tuples.clear()
-        self._pk_index.clear()
-        for index in self._indexes.values():
-            index.clear()
+        self.store.clear()
 
     # ------------------------------------------------------------------ indexes
 
     def create_index(self, attribute: str, kind: str = "hash") -> None:
         """Build (or rebuild) a secondary index on *attribute*."""
         self.schema.column(attribute)  # validates existence
-        if kind == "hash":
-            index: HashIndex | SortedIndex = HashIndex(self.name, attribute)
-        elif kind == "sorted":
-            index = SortedIndex(self.name, attribute)
-        else:
+        if kind not in ("hash", "sorted"):
             raise SchemaError(f"unknown index kind {kind!r}")
-        pos = self.schema.position(attribute)
-        for tid, stored in self._tuples.items():
-            index.insert(stored[pos], tid)
-        self._indexes[attribute] = index
+        self.store.create_index(attribute, kind)
 
     def has_index(self, attribute: str) -> bool:
-        return attribute in self._indexes
+        return self.store.has_index(attribute)
 
-    def index_on(self, attribute: str) -> HashIndex | SortedIndex:
-        try:
-            return self._indexes[attribute]
-        except KeyError:
-            raise SchemaError(
-                f"no index on {self.name}.{attribute}"
-            ) from None
+    def index_on(self, attribute: str):
+        """The backend's index handle (an object with a ``kind``)."""
+        return self.store.index_on(attribute)
 
     @property
     def indexed_attributes(self) -> tuple[str, ...]:
-        return tuple(self._indexes)
+        return self.store.indexed_attributes
 
     # ------------------------------------------------------------------ reads
 
-    def fetch(self, tid: int, attributes: Optional[Sequence[str]] = None) -> Row:
-        """Read one tuple by id, optionally projected."""
-        stored = self._tuples.get(tid)
-        if stored is None:
-            raise UnknownTupleError(self.name, tid)
-        self.meter.charge_tuple_read()
+    def _row(
+        self, tid: int, stored: tuple, attributes: Optional[Sequence[str]]
+    ) -> Row:
         if attributes is None:
             return Row(self.name, tid, self.schema.attribute_names, stored)
         pos = self.schema.positions(attributes)
         return Row(self.name, tid, attributes, tuple(stored[p] for p in pos))
+
+    def fetch(self, tid: int, attributes: Optional[Sequence[str]] = None) -> Row:
+        """Read one tuple by id, optionally projected."""
+        stored = self.store.get(tid)
+        if stored is None:
+            raise UnknownTupleError(self.name, tid)
+        self.meter.charge_tuple_read()
+        return self._row(tid, stored, attributes)
 
     def fetch_many(
         self,
@@ -197,15 +198,25 @@ class Relation:
 
         deleted between index probe and fetch). ``limit`` truncates the
         result to an arbitrary prefix — the engine's equivalent of the
-        ``RowNum`` trick the paper uses for NaïveQ.
+        ``RowNum`` trick the paper uses for NaïveQ. Reads are batched
+        through the store (one ``IN``-query per chunk on SQLite) rather
+        than issued per tid.
         """
+        tid_list = list(tids)
         out: list[Row] = []
-        for tid in tids:
+        for start in range(0, len(tid_list), _FETCH_CHUNK):
             if limit is not None and len(out) >= limit:
                 break
-            if tid not in self._tuples:
-                continue
-            out.append(self.fetch(tid, attributes))
+            chunk = tid_list[start : start + _FETCH_CHUNK]
+            found = self.store.get_many(chunk)
+            for tid in chunk:
+                if limit is not None and len(out) >= limit:
+                    break
+                stored = found.get(tid)
+                if stored is None:
+                    continue
+                self.meter.charge_tuple_read()
+                out.append(self._row(tid, stored, attributes))
         return out
 
     def scan(
@@ -216,7 +227,7 @@ class Relation:
             self.schema.attribute_names if attributes is None else tuple(attributes)
         )
         pos = self.schema.positions(names)
-        for tid, stored in self._tuples.items():
+        for tid, stored in self.store.scan():
             self.meter.charge_scan_step()
             yield Row(self.name, tid, names, tuple(stored[p] for p in pos))
 
@@ -224,33 +235,22 @@ class Relation:
 
     def lookup(self, attribute: str, value: Any) -> set[int]:
         """Tids whose *attribute* equals *value* (index probe or scan)."""
-        index = self._indexes.get(attribute)
-        if index is not None:
+        self.schema.position(attribute)  # validates existence
+        if self.store.has_index(attribute):
             self.meter.charge_index_lookup()
-            return set(index.lookup(value))
-        pos = self.schema.position(attribute)
-        out = set()
-        for tid, stored in self._tuples.items():
-            self.meter.charge_scan_step()
-            if stored[pos] == value:
-                out.add(tid)
-        return out
+        else:
+            self.meter.charge_scan_step(len(self.store))
+        return self.store.lookup(attribute, value)
 
     def lookup_in(self, attribute: str, values: Iterable[Any]) -> set[int]:
         """Tids whose *attribute* is in *values* (the IN-list probe)."""
         values = list(values)
-        index = self._indexes.get(attribute)
-        if index is not None:
+        self.schema.position(attribute)  # validates existence
+        if self.store.has_index(attribute):
             self.meter.charge_index_lookup(len(values))
-            return index.lookup_many(values)
-        pos = self.schema.position(attribute)
-        wanted = set(values)
-        out = set()
-        for tid, stored in self._tuples.items():
-            self.meter.charge_scan_step()
-            if stored[pos] in wanted:
-                out.add(tid)
-        return out
+        else:
+            self.meter.charge_scan_step(len(self.store))
+        return self.store.lookup_in(attribute, values)
 
     def lookup_pk(self, key: Any | tuple) -> Optional[int]:
         """Tid of the tuple with the given primary-key value, if any."""
@@ -259,16 +259,11 @@ class Relation:
         if not isinstance(key, tuple):
             key = (key,)
         self.meter.charge_index_lookup()
-        return self._pk_index.get(key)
+        if len(key) != len(self.schema.primary_key):
+            return None  # arity mismatch can never match a stored key
+        return self.store.lookup_pk(key)
 
     def distinct_values(self, attribute: str) -> set[Any]:
         """All distinct values of *attribute* (NULL excluded)."""
-        index = self._indexes.get(attribute)
-        if index is not None:
-            return {v for v in index.distinct_values() if v is not None}
-        pos = self.schema.position(attribute)
-        return {
-            stored[pos]
-            for stored in self._tuples.values()
-            if stored[pos] is not None
-        }
+        self.schema.position(attribute)  # validates existence
+        return self.store.distinct_values(attribute)

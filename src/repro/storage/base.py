@@ -1,0 +1,175 @@
+"""The storage protocol: what the précis pipeline needs from a backend.
+
+The paper's engine treats the source database as an abstract tuple and
+index service: seed lookups through the inverted index, tid fetches
+(``σ_Tids(R)[π(R)]``), IN-list probes for the executed join edges, and
+per-driving-tuple scans for RoundRobin (§5.2). :class:`TupleStore`
+captures exactly those primitives, so the relational layer can run over
+any engine that can insert, delete, fetch-by-id, scan in id order and
+probe by attribute value.
+
+Division of labour
+------------------
+
+* :class:`~repro.relational.relation.Relation` (the façade) owns
+  validation — type coercion, NOT NULL, primary-key uniqueness — plus
+  :class:`~repro.relational.row.Row` construction and **all**
+  :class:`~repro.relational.cost.CostMeter` charging. Stores never touch
+  the meter; the modeled cost of a query is therefore identical across
+  backends by construction.
+* A :class:`TupleStore` works in *storage tuples*: full-width tuples of
+  canonical Python values in schema order (what
+  ``Relation._normalize`` produces). It assigns monotonically increasing
+  integer tuple ids starting at 1 (never reused, even across
+  :meth:`TupleStore.clear`), keeps the primary-key mapping, and maintains
+  any secondary indexes created through :meth:`TupleStore.create_index`.
+* A :class:`StorageBackend` is the per-database factory: one store per
+  relation schema, sharing whatever resources the backend needs (the
+  SQLite backend shares one connection across all relations of a
+  database).
+
+Equality semantics
+------------------
+
+``lookup``/``lookup_in``/``lookup_pk``/``distinct_values`` must match
+the in-memory reference semantics: Python ``==`` between the canonical
+stored value and the probe (so ``2005.0`` matches an INT ``2005``, and a
+``None`` probe matches NULLs), and *no* cross-type coercion beyond that
+(a string probe never matches an INT or DATE column). Backends that
+store values in a foreign representation (SQLite stores dates as ISO
+text) must guard their probes accordingly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional, Sequence
+
+if TYPE_CHECKING:  # import cycle: relational.relation builds on this module
+    from ..relational.schema import RelationSchema
+
+__all__ = ["TupleStore", "StorageBackend"]
+
+
+class TupleStore(abc.ABC):
+    """Tid-addressed tuple storage for one relation.
+
+    Concrete stores receive the :class:`RelationSchema` at construction
+    and expose it as :attr:`schema`.
+    """
+
+    schema: RelationSchema
+
+    # ------------------------------------------------------------- writes
+
+    @abc.abstractmethod
+    def insert(self, stored: tuple) -> int:
+        """Store one full-width canonical tuple; return its new tid.
+
+        The façade has already validated types, NOT NULL and primary-key
+        uniqueness; stores may additionally enforce the primary key (and
+        raise :class:`~repro.relational.errors.PrimaryKeyViolation`) as a
+        defence in depth.
+        """
+
+    @abc.abstractmethod
+    def delete(self, tid: int) -> None:
+        """Remove one tuple; raise
+        :class:`~repro.relational.errors.UnknownTupleError` if absent."""
+
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Remove every tuple (indexes stay defined; tids are not reused)."""
+
+    # ------------------------------------------------------------- reads
+
+    @abc.abstractmethod
+    def get(self, tid: int) -> Optional[tuple]:
+        """The full-width stored tuple for *tid*, or None if absent."""
+
+    @abc.abstractmethod
+    def get_many(self, tids: Sequence[int]) -> dict[int, tuple]:
+        """Batch :meth:`get`: tid → stored tuple, absent tids omitted."""
+
+    @abc.abstractmethod
+    def scan(self) -> Iterator[tuple[int, tuple]]:
+        """Yield ``(tid, stored)`` pairs in ascending tid order."""
+
+    @abc.abstractmethod
+    def tids(self) -> Iterator[int]:
+        """All tids in ascending order."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int: ...
+
+    def __contains__(self, tid: int) -> bool:
+        return self.get(tid) is not None
+
+    # ------------------------------------------------------------- probes
+
+    @abc.abstractmethod
+    def lookup(self, attribute: str, value: Any) -> set[int]:
+        """Tids whose *attribute* equals *value* (None matches NULLs)."""
+
+    @abc.abstractmethod
+    def lookup_in(self, attribute: str, values: Iterable[Any]) -> set[int]:
+        """Tids whose *attribute* equals any of *values* (IN-list probe)."""
+
+    @abc.abstractmethod
+    def lookup_pk(self, key: tuple) -> Optional[int]:
+        """Tid of the tuple whose primary key equals *key* (a tuple of
+        values in primary-key column order), or None."""
+
+    @abc.abstractmethod
+    def distinct_values(self, attribute: str) -> set[Any]:
+        """All distinct non-NULL values of *attribute*."""
+
+    # ------------------------------------------------------------- indexes
+
+    @abc.abstractmethod
+    def create_index(self, attribute: str, kind: str = "hash") -> None:
+        """Build (or rebuild) a secondary index on *attribute*.
+
+        *kind* is ``"hash"`` or ``"sorted"``; backends without distinct
+        physical structures (SQLite b-trees serve both) record the kind
+        and provide equivalent probe behavior.
+        """
+
+    @abc.abstractmethod
+    def has_index(self, attribute: str) -> bool: ...
+
+    @abc.abstractmethod
+    def index_on(self, attribute: str):
+        """The index handle for *attribute* — any object with a ``kind``
+        attribute; raise :class:`~repro.relational.errors.SchemaError`
+        when no index exists."""
+
+    @property
+    @abc.abstractmethod
+    def indexed_attributes(self) -> tuple[str, ...]: ...
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Release per-store resources (no-op by default)."""
+
+
+class StorageBackend(abc.ABC):
+    """Factory for the stores of one database.
+
+    ``Database`` asks its backend for one store per relation schema and
+    calls :meth:`close` when the database is closed. Backends own any
+    shared resources (files, connections).
+    """
+
+    #: short machine-readable backend name ("memory", "sqlite", ...)
+    name: str = "?"
+
+    @abc.abstractmethod
+    def create_store(self, schema: RelationSchema) -> TupleStore: ...
+
+    def close(self) -> None:
+        """Release backend resources (no-op by default)."""
+
+    def __repr__(self):
+        return f"{type(self).__name__}()"

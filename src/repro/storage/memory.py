@@ -1,0 +1,172 @@
+"""The in-memory reference store — the seed engine's dict storage, extracted.
+
+Tuples live in an insertion-ordered ``dict[tid, tuple]`` (tid order ==
+insertion order == ascending, since tids are assigned monotonically),
+the primary key in a ``dict[pk tuple, tid]``, and secondary indexes as
+:class:`~repro.relational.index.HashIndex` /
+:class:`~repro.relational.index.SortedIndex` objects maintained on every
+insert and delete. This is the semantics reference every other backend
+is property-tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+from ..relational.errors import PrimaryKeyViolation, SchemaError, UnknownTupleError
+from ..relational.index import HashIndex, SortedIndex
+from ..relational.schema import RelationSchema
+from .base import StorageBackend, TupleStore
+
+__all__ = ["MemoryStore", "MemoryBackend"]
+
+
+class MemoryStore(TupleStore):
+    """Dict-backed tuple storage (the engine's original behavior)."""
+
+    def __init__(self, schema: RelationSchema):
+        self.schema = schema
+        self._tuples: dict[int, tuple] = {}
+        self._next_tid = 1
+        self._pk_positions = (
+            schema.positions(schema.primary_key) if schema.primary_key else ()
+        )
+        self._pk_index: dict[tuple, int] = {}
+        self._indexes: dict[str, HashIndex | SortedIndex] = {}
+
+    # ------------------------------------------------------------- writes
+
+    def _pk_of(self, stored: tuple) -> Optional[tuple]:
+        if not self._pk_positions:
+            return None
+        return tuple(stored[p] for p in self._pk_positions)
+
+    def insert(self, stored: tuple) -> int:
+        pk_value = self._pk_of(stored)
+        if pk_value is not None and pk_value in self._pk_index:
+            raise PrimaryKeyViolation(self.schema.name, pk_value)
+        tid = self._next_tid
+        self._next_tid += 1
+        self._tuples[tid] = stored
+        if pk_value is not None:
+            self._pk_index[pk_value] = tid
+        for attr, index in self._indexes.items():
+            index.insert(stored[self.schema.position(attr)], tid)
+        return tid
+
+    def delete(self, tid: int) -> None:
+        stored = self._tuples.pop(tid, None)
+        if stored is None:
+            raise UnknownTupleError(self.schema.name, tid)
+        pk_value = self._pk_of(stored)
+        if pk_value is not None:
+            self._pk_index.pop(pk_value, None)
+        for attr, index in self._indexes.items():
+            index.remove(stored[self.schema.position(attr)], tid)
+
+    def clear(self) -> None:
+        self._tuples.clear()
+        self._pk_index.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    # ------------------------------------------------------------- reads
+
+    def get(self, tid: int) -> Optional[tuple]:
+        return self._tuples.get(tid)
+
+    def get_many(self, tids: Sequence[int]) -> dict[int, tuple]:
+        tuples = self._tuples
+        return {tid: tuples[tid] for tid in tids if tid in tuples}
+
+    def scan(self) -> Iterator[tuple[int, tuple]]:
+        return iter(self._tuples.items())
+
+    def tids(self) -> Iterator[int]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._tuples
+
+    # ------------------------------------------------------------- probes
+
+    def lookup(self, attribute: str, value: Any) -> set[int]:
+        index = self._indexes.get(attribute)
+        if index is not None:
+            return set(index.lookup(value))
+        pos = self.schema.position(attribute)
+        return {
+            tid for tid, stored in self._tuples.items() if stored[pos] == value
+        }
+
+    def lookup_in(self, attribute: str, values: Iterable[Any]) -> set[int]:
+        index = self._indexes.get(attribute)
+        if index is not None:
+            return index.lookup_many(values)
+        pos = self.schema.position(attribute)
+        wanted = set(values)
+        return {
+            tid
+            for tid, stored in self._tuples.items()
+            if stored[pos] in wanted
+        }
+
+    def lookup_pk(self, key: tuple) -> Optional[int]:
+        return self._pk_index.get(key)
+
+    def distinct_values(self, attribute: str) -> set[Any]:
+        index = self._indexes.get(attribute)
+        if index is not None:
+            return {v for v in index.distinct_values() if v is not None}
+        pos = self.schema.position(attribute)
+        return {
+            stored[pos]
+            for stored in self._tuples.values()
+            if stored[pos] is not None
+        }
+
+    # ------------------------------------------------------------- indexes
+
+    def create_index(self, attribute: str, kind: str = "hash") -> None:
+        if kind == "hash":
+            index: HashIndex | SortedIndex = HashIndex(
+                self.schema.name, attribute
+            )
+        elif kind == "sorted":
+            index = SortedIndex(self.schema.name, attribute)
+        else:
+            raise SchemaError(f"unknown index kind {kind!r}")
+        pos = self.schema.position(attribute)
+        for tid, stored in self._tuples.items():
+            index.insert(stored[pos], tid)
+        self._indexes[attribute] = index
+
+    def has_index(self, attribute: str) -> bool:
+        return attribute in self._indexes
+
+    def index_on(self, attribute: str) -> HashIndex | SortedIndex:
+        try:
+            return self._indexes[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"no index on {self.schema.name}.{attribute}"
+            ) from None
+
+    @property
+    def indexed_attributes(self) -> tuple[str, ...]:
+        return tuple(self._indexes)
+
+    def __repr__(self):
+        return f"MemoryStore({self.schema.name}, {len(self)} tuples)"
+
+
+class MemoryBackend(StorageBackend):
+    """One :class:`MemoryStore` per relation; no shared state."""
+
+    name = "memory"
+
+    def create_store(self, schema: RelationSchema) -> MemoryStore:
+        return MemoryStore(schema)

@@ -1,0 +1,87 @@
+"""Backend registry: names → :class:`StorageBackend` factories.
+
+Lives in its own module (not the package ``__init__``) so that
+:mod:`repro.relational.database` can import :func:`resolve_backend`
+without forcing the whole storage package — the two packages are
+mutually referential and must bootstrap in either import order. The
+built-in factories import their backend classes lazily for the same
+reason.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Union
+
+from .base import StorageBackend
+
+__all__ = ["BACKEND_NAMES", "register_backend", "resolve_backend"]
+
+
+def _memory_factory(path=None) -> StorageBackend:
+    from .memory import MemoryBackend
+
+    return MemoryBackend()
+
+
+def _sqlite_factory(path=None) -> StorageBackend:
+    from .sqlite import SQLiteBackend
+
+    return SQLiteBackend(path)
+
+
+#: name -> factory; the optional ``path`` keyword is forwarded when given
+_REGISTRY: dict[str, Callable[..., StorageBackend]] = {
+    "memory": _memory_factory,
+    "sqlite": _sqlite_factory,
+}
+
+#: the built-in backend names, for CLI choices and test parametrization
+BACKEND_NAMES = ("memory", "sqlite")
+
+
+def register_backend(name: str, factory: Callable[..., StorageBackend]) -> None:
+    """Register a third-party backend under *name*.
+
+    *factory* is called as ``factory(path=...)`` where *path* is the
+    optional location argument (None for ephemeral stores).
+    """
+    _REGISTRY[name] = factory
+
+
+def resolve_backend(
+    spec: Union[str, StorageBackend, None] = None,
+    path: Union[str, Path, None] = None,
+) -> StorageBackend:
+    """Turn a backend specification into a :class:`StorageBackend`.
+
+    *spec* may be None (→ memory, or sqlite when *path* is given), a
+    registered name (``"memory"``, ``"sqlite"``), or an already-built
+    :class:`StorageBackend` instance (returned as-is; *path* must then
+    be None). A ``"sqlite:"``-prefixed spec carries the file path
+    inline: ``"sqlite:/tmp/precis.db"``.
+    """
+    if spec is None:
+        spec = "memory" if path is None else "sqlite"
+    if isinstance(spec, StorageBackend):
+        if path is not None:
+            raise ValueError("path= cannot be combined with a backend instance")
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"backend must be a name or StorageBackend, got {type(spec).__name__}"
+        )
+    name = spec
+    if ":" in spec:
+        name, _, inline_path = spec.partition(":")
+        if path is not None and inline_path:
+            raise ValueError("path given both inline and as argument")
+        path = path or (inline_path or None)
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown storage backend {name!r} (known: {known})"
+        ) from None
+    return factory(path=path)

@@ -1,6 +1,15 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Storage backends: the session-scoped dataset fixtures honour the
+``REPRO_TEST_BACKEND`` environment variable (default ``memory``) so CI
+can run the whole suite once per backend, while the function-scoped
+``backend`` fixture parametrizes the relational-layer tests over every
+built-in backend in a single run.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -25,6 +34,16 @@ from repro.relational import (
     ForeignKey,
     RelationSchema,
 )
+from repro.storage import BACKEND_NAMES
+
+#: backend for the session-scoped databases (CI matrix dimension)
+SESSION_BACKEND = os.environ.get("REPRO_TEST_BACKEND", "memory")
+
+
+@pytest.fixture(params=BACKEND_NAMES)
+def backend(request):
+    """Every built-in storage backend name, one test run per backend."""
+    return request.param
 
 
 @pytest.fixture()
@@ -50,7 +69,7 @@ def tracer(mem_sink):
 @pytest.fixture(scope="session")
 def paper_db():
     """The Woody Allen micro-instance (session-scoped: read-only tests)."""
-    return paper_instance()
+    return paper_instance(backend=SESSION_BACKEND)
 
 
 @pytest.fixture(scope="session")
@@ -70,12 +89,16 @@ def paper_engine(paper_db, paper_graph):
 @pytest.fixture(scope="session")
 def synthetic_movies():
     """A mid-size deterministic synthetic movies database."""
-    return generate_movies_database(n_movies=120, seed=7)
+    return generate_movies_database(
+        n_movies=120, seed=7, backend=SESSION_BACKEND
+    )
 
 
 @pytest.fixture(scope="session")
 def university_db():
-    return generate_university_database(n_students=60, n_courses=12, seed=3)
+    return generate_university_database(
+        n_students=60, n_courses=12, seed=3, backend=SESSION_BACKEND
+    )
 
 
 @pytest.fixture(scope="session")
@@ -111,8 +134,8 @@ def tiny_schema():
 
 
 @pytest.fixture()
-def tiny_db(tiny_schema):
-    db = Database(tiny_schema)
+def tiny_db(tiny_schema, backend):
+    db = Database(tiny_schema, backend=backend)
     db.insert("PARENT", {"PID": 1, "NAME": "alpha"})
     db.insert("PARENT", {"PID": 2, "NAME": "beta"})
     db.insert("CHILD", {"CID": 10, "PID": 1, "LABEL": "a1"})

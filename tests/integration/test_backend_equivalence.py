@@ -1,0 +1,197 @@
+"""Cross-backend equivalence: the pinning property of the storage layer.
+
+Same rows + same query ⇒ the same PrecisAnswer on every backend —
+identical result-database tuples (including tids), identical narrative,
+and identical *modeled* cost (all CostMeter charging lives in the
+Relation façade, so the cost model cannot see the backend). Runs the
+full matrix of three datasets × both retrieval strategies, plus a
+Hypothesis property test over randomly generated parent/child data.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MaxTuplesPerRelation, PrecisEngine, WeightThreshold
+from repro.core import STRATEGY_NAIVE, STRATEGY_ROUND_ROBIN
+from repro.datasets import (
+    generate_library_database,
+    generate_movies_database,
+    generate_university_database,
+    library_graph,
+    movies_graph,
+    movies_translation_spec,
+    paper_instance,
+    university_graph,
+)
+from repro.nlg import Translator
+from repro.relational import (
+    Column,
+    Database,
+    DataType,
+    DatabaseSchema,
+    ForeignKey,
+    RelationSchema,
+)
+
+DATASETS = {
+    "movies": (
+        lambda backend: generate_movies_database(
+            n_movies=60, seed=13, backend=backend
+        ),
+        movies_graph,
+        ("MOVIE", "TITLE"),
+    ),
+    "university": (
+        lambda backend: generate_university_database(
+            n_students=40, n_courses=10, seed=13, backend=backend
+        ),
+        university_graph,
+        ("COURSE", "CNAME"),
+    ),
+    "library": (
+        lambda backend: generate_library_database(
+            n_items=60, seed=13, backend=backend
+        ),
+        library_graph,
+        ("ITEM", "TITLE"),
+    ),
+}
+
+
+def _contents(db: Database) -> dict[str, list[tuple]]:
+    """Full contents keyed by relation, as (tid, values) in tid order."""
+    return {
+        rel.name: [(row.tid, tuple(row.values)) for row in rel.scan()]
+        for rel in db
+    }
+
+
+@pytest.fixture(params=sorted(DATASETS), scope="module")
+def pair(request):
+    """The same dataset built on both backends, plus graph and a token."""
+    build, graph_fn, (relation, attribute) = DATASETS[request.param]
+    mem = build("memory")
+    sq = build("sqlite")
+    token = next(
+        row[attribute] for row in mem.relation(relation).scan([attribute])
+    )
+    yield mem, sq, graph_fn(), token
+    sq.close()
+
+
+def test_source_databases_identical(pair):
+    mem, sq, __, ___ = pair
+    assert _contents(mem) == _contents(sq)
+
+
+@pytest.mark.parametrize("strategy", [STRATEGY_NAIVE, STRATEGY_ROUND_ROBIN])
+def test_answers_identical_across_backends(pair, strategy):
+    mem, sq, graph, token = pair
+    answers = []
+    for db in (mem, sq):
+        engine = PrecisEngine(db, graph=graph)
+        answers.append(
+            engine.ask(
+                f'"{token}"',
+                degree=WeightThreshold(0.85),
+                cardinality=MaxTuplesPerRelation(4),
+                strategy=strategy,
+            )
+        )
+    mem_answer, sq_answer = answers
+    assert mem_answer.found and sq_answer.found
+    assert _contents(mem_answer.database) == _contents(sq_answer.database)
+    # the cost model charges at the façade: backend cannot change it
+    assert mem_answer.cost == sq_answer.cost
+
+
+@pytest.mark.parametrize("strategy", [STRATEGY_NAIVE, STRATEGY_ROUND_ROBIN])
+def test_paper_narrative_identical_across_backends(strategy):
+    narratives = []
+    for backend in ("memory", "sqlite"):
+        db = paper_instance(backend=backend)
+        engine = PrecisEngine(
+            db,
+            graph=movies_graph(),
+            translator=Translator(movies_translation_spec()),
+        )
+        answer = engine.ask(
+            '"Woody Allen"', degree=WeightThreshold(0.9), strategy=strategy
+        )
+        assert answer.narrative
+        narratives.append(answer.narrative)
+        db.close()
+    assert narratives[0] == narratives[1]
+
+
+# ----------------------------------------------------------------- property
+
+
+def _pc_schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        [
+            RelationSchema(
+                "P",
+                [
+                    Column("PID", DataType.INT, nullable=False),
+                    Column("TAG", DataType.TEXT),
+                ],
+                primary_key="PID",
+            ),
+            RelationSchema(
+                "C",
+                [
+                    Column("CID", DataType.INT, nullable=False),
+                    Column("PID", DataType.INT),
+                    Column("NOTE", DataType.TEXT),
+                ],
+                primary_key="CID",
+            ),
+        ],
+        [ForeignKey("C", "PID", "P", "PID")],
+    )
+
+
+_tags = st.sampled_from(["red fox", "blue jay", "red deer", None, ""])
+
+
+@given(
+    parents=st.lists(_tags, min_size=1, max_size=8),
+    children=st.lists(
+        st.tuples(st.integers(min_value=1, max_value=8), _tags),
+        max_size=16,
+    ),
+    probe=st.sampled_from(["red", "blue", "fox", "deer"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_same_rows_same_answer(parents, children, probe):
+    data = {
+        "P": [
+            {"PID": i + 1, "TAG": tag} for i, tag in enumerate(parents)
+        ],
+        "C": [
+            {"CID": j + 1, "PID": min(pid, len(parents)), "NOTE": note}
+            for j, (pid, note) in enumerate(children)
+        ],
+    }
+    results = []
+    for backend in ("memory", "sqlite"):
+        db = Database.from_rows(_pc_schema(), data, backend=backend)
+        engine = PrecisEngine(db)
+        answer = engine.ask(
+            probe,
+            degree=WeightThreshold(0.0),
+            cardinality=MaxTuplesPerRelation(3),
+        )
+        results.append(
+            (
+                answer.found,
+                _contents(answer.database) if answer.found else None,
+                answer.cost,
+            )
+        )
+        db.close()
+    assert results[0] == results[1]

@@ -47,6 +47,39 @@ class TestDatabaseRoundtrip:
         assert rows[0]["PID"] is None
         assert rows[0]["LABEL"] is None
 
+    def test_empty_text_distinct_from_null(self, tiny_db, tmp_path):
+        """The dtype round-trip fix: '' and NULL are different TEXT values."""
+        tiny_db.insert("CHILD", {"CID": 90, "PID": 1, "LABEL": ""})
+        tiny_db.insert("CHILD", {"CID": 91, "PID": 1, "LABEL": None})
+        back = load_database(save_database(tiny_db, tmp_path / "e"))
+        rows = {
+            row["CID"]: row["LABEL"]
+            for row in back.relation("CHILD").scan()
+        }
+        assert rows[90] == ""
+        assert rows[91] is None
+
+    def test_literal_null_marker_text_survives(self, tiny_db, tmp_path):
+        tiny_db.insert("CHILD", {"CID": 92, "PID": 1, "LABEL": "\\N"})
+        back = load_database(save_database(tiny_db, tmp_path / "m"))
+        rows = {
+            row["CID"]: row["LABEL"]
+            for row in back.relation("CHILD").scan()
+        }
+        assert rows[92] == "\\N"
+
+    def test_database_methods_roundtrip(self, tiny_db, tmp_path, backend):
+        tiny_db.to_csv_dir(tmp_path / "d")
+        back = Database.from_csv_dir(tmp_path / "d", backend=backend)
+        assert back.backend_name == backend
+        assert back.cardinalities() == tiny_db.cardinalities()
+        originals = sorted(
+            row.values for row in tiny_db.relation("CHILD").scan()
+        )
+        loaded = sorted(row.values for row in back.relation("CHILD").scan())
+        assert originals == loaded
+        back.close()
+
     def test_missing_manifest(self, tmp_path):
         with pytest.raises(SchemaError):
             load_database(tmp_path)

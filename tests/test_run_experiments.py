@@ -35,5 +35,15 @@ def test_strategies_table_runs(capsys):
 
 def test_main_dispatch(capsys):
     module = _load()
-    module.main(["prog", "strategies"])
-    assert "Ablation" in capsys.readouterr().out
+    module.main(["strategies"])
+    out = capsys.readouterr().out
+    assert "Ablation" in out
+    assert "backend: memory" in out
+
+
+def test_main_dispatch_sqlite_backend(capsys):
+    module = _load()
+    module.main(["--backend", "sqlite", "strategies"])
+    out = capsys.readouterr().out
+    assert "Ablation" in out
+    assert "backend: sqlite" in out
