@@ -258,6 +258,52 @@ def ablation_join_order(backend=None):
     )
 
 
+def ablation_cache(backend=None):
+    """Warm vs cold repeated asks under each cache configuration."""
+    from repro.cache import CacheConfig
+    from repro.core import PrecisEngine
+    from repro.datasets import generate_movies_database, movies_graph
+
+    db = generate_movies_database(n_movies=300, seed=7, backend=backend)
+    graph = movies_graph()
+    queries = [
+        "midnight",
+        "drama",
+        "crimson harbor",
+        "garcia",
+        "thriller",
+    ]
+    configs = [
+        ("off", None),
+        ("plans", CacheConfig(plans=True, answers=False)),
+        ("plans+answers", CacheConfig(plans=True, answers=True)),
+    ]
+    rows = []
+    for label, config in configs:
+        engine = PrecisEngine(db, graph=graph, cache=config)
+        for query in queries:  # cold pass fills the caches
+            engine.ask(query, cardinality=MaxTuplesPerRelation(10))
+
+        def warm():
+            for query in queries:
+                engine.ask(query, cardinality=MaxTuplesPerRelation(10))
+
+        seconds = _time(warm)
+        stats = engine.cache_stats()
+        hits = sum(layer["hits"] for layer in stats.values())
+        misses = sum(layer["misses"] for layer in stats.values())
+        rows.append([label, seconds / len(queries) * 1e3, hits, misses])
+    baseline = rows[0][1]
+    for row in rows:
+        row.append(baseline / row[1])
+    print_series(
+        "Ablation — repeated asks per cache configuration "
+        "(300-movie db, warm passes)",
+        ["cache", "ms/ask", "hits", "misses", "speedup"],
+        rows,
+    )
+
+
 def main(argv=None):
     from repro.storage import BACKEND_NAMES
 
@@ -268,6 +314,7 @@ def main(argv=None):
         "formula2": formula_2,
         "strategies": ablation_strategies,
         "joinorder": ablation_join_order,
+        "cache": ablation_cache,
     }
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(

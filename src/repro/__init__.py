@@ -20,6 +20,7 @@ optionally, a natural-language synthesis. The package layout:
 ``repro.datasets``     the paper's movies schema + synthetic generators
 ``repro.bench``        §6 experiment harness helpers
 ``repro.obs``          tracing: stage spans, counters, sinks, stats
+``repro.cache``        versioned, invalidation-aware plan/answer caching
 =====================  =====================================================
 
 Quickstart::
@@ -43,6 +44,7 @@ Quickstart::
     print(answer.narrative)
 """
 
+from .cache import CacheConfig, EngineCache
 from .core import (
     CompositeCardinality,
     CompositeDegree,
@@ -84,6 +86,8 @@ __all__ = [
     "Profile",
     "Database",
     "DatabaseSchema",
+    "CacheConfig",
+    "EngineCache",
     "Tracer",
     "NULL_TRACER",
     "InMemorySink",

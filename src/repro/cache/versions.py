@@ -1,0 +1,56 @@
+"""Cache validity tokens composed from engine-state epochs.
+
+Coherence contract
+------------------
+
+Every state a cached plan or answer depends on exposes a monotonically
+increasing counter:
+
+* :attr:`repro.relational.database.Database.data_epoch` — bumped by
+  every tuple insert / delete / in-place update reaching any relation
+  of the database (the :class:`~repro.relational.relation.Relation`
+  façade notifies its owner on each write);
+* :attr:`repro.text.inverted_index.InvertedIndex.epoch` — bumped by
+  ``add_value`` / ``remove_value`` (and therefore by every
+  :class:`~repro.text.maintenance.SynchronizedWriter` write);
+* :attr:`repro.graph.schema_graph.SchemaGraph.version` — bumped by
+  every structural or weight mutation of the graph.
+
+A *validity token* is the tuple of the counters a cached artifact read
+from. Cache entries store the token they were computed under; a lookup
+presents the current token, and any difference makes the entry stale
+(see :meth:`repro.cache.lru.LRUCache.get`). Staleness is therefore
+impossible to miss by construction: there is no invalidation message to
+lose — mutation changes the token, and the next lookup discards the
+entry.
+
+Result-schema plans depend only on the graph; full answers additionally
+depend on the database contents and the inverted index.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+__all__ = ["plan_token", "answer_token"]
+
+
+def _counter(obj, attribute: str) -> int:
+    """Read a counter, tolerating objects predating the epoch contract
+    (a third-party graph/index without the attribute never invalidates
+    — callers decide whether that is acceptable)."""
+    return getattr(obj, attribute, 0) if obj is not None else 0
+
+
+def plan_token(graph) -> Hashable:
+    """Validity token for a cached result schema: the graph version."""
+    return (_counter(graph, "version"),)
+
+
+def answer_token(db, index, graph) -> Hashable:
+    """Validity token for a cached answer: (data, index, graph) epochs."""
+    return (
+        _counter(db, "data_epoch"),
+        _counter(index, "epoch"),
+        _counter(graph, "version"),
+    )

@@ -41,6 +41,7 @@ from .graph import graph_from_schema, result_schema_to_dot
 from .graph.serialization import load_graph, save_graph
 from .nlg import Translator, generic_spec
 from .obs import InMemorySink, Tracer, format_span_table
+from .cache import CacheConfig
 from .relational import create_schema_sql, database_summary
 from .relational.csvio import load_database, save_database
 from .storage import BACKEND_NAMES, resolve_backend
@@ -108,6 +109,19 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="print the per-stage timing + counter table "
             "(repro.obs tracing)",
+        )
+        cmd.add_argument(
+            "--cache",
+            action="store_true",
+            help="enable the versioned plan + answer caches (repro.cache); "
+            "entries are invalidated automatically when the database, "
+            "index or graph changes",
+        )
+        cmd.add_argument(
+            "--cache-size",
+            type=int,
+            metavar="N",
+            help="max entries per cache layer (implies --cache)",
         )
         cmd.add_argument(
             "--backend",
@@ -180,10 +194,23 @@ def _backend_for(args):
     return resolve_backend(backend, path=db_path)
 
 
+def _cache_for(args) -> Optional[CacheConfig]:
+    """Resolve --cache/--cache-size into a CacheConfig (or None)."""
+    size = getattr(args, "cache_size", None)
+    if not getattr(args, "cache", False) and size is None:
+        return None
+    if size is None:
+        return CacheConfig(plans=True, answers=True)
+    return CacheConfig(
+        plans=True, answers=True, plan_entries=size, answer_entries=size
+    )
+
+
 def _load_engine(
     directory: str,
     tracer: Optional[Tracer] = None,
     backend=None,
+    cache: Optional[CacheConfig] = None,
 ) -> PrecisEngine:
     path = Path(directory)
     db = load_database(path, enforce_foreign_keys=False, backend=backend)
@@ -195,7 +222,9 @@ def _load_engine(
             translator = Translator(generic_spec(graph, headings))
     else:
         graph = graph_from_schema(db.schema)
-    return PrecisEngine(db, graph=graph, translator=translator, tracer=tracer)
+    return PrecisEngine(
+        db, graph=graph, translator=translator, cache=cache, tracer=tracer
+    )
 
 
 def _tracer_for(args) -> tuple[Optional[Tracer], Optional[InMemorySink]]:
@@ -206,8 +235,9 @@ def _tracer_for(args) -> tuple[Optional[Tracer], Optional[InMemorySink]]:
     return Tracer([sink]), sink
 
 
-def _print_stats(answer, sink: InMemorySink, out) -> None:
-    """The ``--stats`` epilogue: index-build time + per-stage table."""
+def _print_stats(answer, sink: InMemorySink, out, engine=None) -> None:
+    """The ``--stats`` epilogue: index-build time + per-stage table,
+    plus per-layer cache counters when caching is enabled."""
     print("", file=out)
     build = sink.find("build_index")
     if build is not None:
@@ -218,6 +248,10 @@ def _print_stats(answer, sink: InMemorySink, out) -> None:
             file=out,
         )
     print(render_stats(answer), file=out)
+    if engine is not None and engine.cache is not None:
+        for layer, counters in engine.cache_stats().items():
+            body = " ".join(f"{k}={v}" for k, v in counters.items())
+            print(f"cache[{layer}]: {body}", file=out)
 
 
 def _cmd_init_demo(args, out) -> int:
@@ -254,7 +288,12 @@ def _cmd_schema(args, out) -> int:
 
 def _cmd_query(args, out) -> int:
     tracer, sink = _tracer_for(args)
-    engine = _load_engine(args.directory, tracer, backend=_backend_for(args))
+    engine = _load_engine(
+        args.directory,
+        tracer,
+        backend=_backend_for(args),
+        cache=_cache_for(args),
+    )
     answer = engine.ask(
         args.query,
         degree=_degree(args),
@@ -264,7 +303,7 @@ def _cmd_query(args, out) -> int:
     if not answer.found:
         print(f"no match for {args.query!r}", file=out)
         if sink is not None:
-            _print_stats(answer, sink, out)
+            _print_stats(answer, sink, out, engine)
         return 1
     if args.dot:
         print(result_schema_to_dot(answer.result_schema), file=out)
@@ -277,13 +316,18 @@ def _cmd_query(args, out) -> int:
         save_database(answer.database, args.save)
         print(f"\nanswer database exported to {args.save}", file=out)
     if sink is not None:
-        _print_stats(answer, sink, out)
+        _print_stats(answer, sink, out, engine)
     return 0
 
 
 def _cmd_explain(args, out) -> int:
     tracer, sink = _tracer_for(args)
-    engine = _load_engine(args.directory, tracer, backend=_backend_for(args))
+    engine = _load_engine(
+        args.directory,
+        tracer,
+        backend=_backend_for(args),
+        cache=_cache_for(args),
+    )
     answer = engine.ask(
         args.query,
         degree=_degree(args),
@@ -300,7 +344,7 @@ def _cmd_explain(args, out) -> int:
     for query in emitted_queries(answer):
         print(query + ";", file=out)
     if sink is not None:
-        _print_stats(answer, sink, out)
+        _print_stats(answer, sink, out, engine)
     return 0
 
 
@@ -308,7 +352,12 @@ def _cmd_estimate(args, out) -> int:
     from .core import estimate_cardinalities, suggest_cardinality
 
     tracer, sink = _tracer_for(args)
-    engine = _load_engine(args.directory, tracer, backend=_backend_for(args))
+    engine = _load_engine(
+        args.directory,
+        tracer,
+        backend=_backend_for(args),
+        cache=_cache_for(args),
+    )
     schema, matches, __ = engine.plan(args.query, _degree(args))
     if schema.is_empty():
         print(f"no match for {args.query!r}", file=out)
@@ -339,6 +388,10 @@ def _cmd_estimate(args, out) -> int:
         print("", file=out)
         for root in sink.spans:
             print(format_span_table(root), file=out)
+        if engine.cache is not None:
+            for layer, counters in engine.cache_stats().items():
+                body = " ".join(f"{k}={v}" for k, v in counters.items())
+                print(f"cache[{layer}]: {body}", file=out)
     return 0
 
 

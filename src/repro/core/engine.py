@@ -16,8 +16,17 @@ a :class:`~repro.core.answer.PrecisAnswer`.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Union
 
+from ..cache import (
+    MISSING,
+    CacheConfig,
+    EngineCache,
+    answer_key,
+    answer_token,
+    plan_key,
+    plan_token,
+)
 from ..graph.schema_graph import SchemaGraph, graph_from_schema
 from ..obs import NULL_TRACER, QueryStats, Tracer
 from ..personalization.profile import Profile, ProfileRegistry
@@ -51,6 +60,7 @@ class PrecisEngine:
         translator=None,
         default_degree: Optional[DegreeConstraint] = None,
         default_cardinality: Optional[CardinalityConstraint] = None,
+        cache: Union[CacheConfig, EngineCache, bool, None] = None,
         cache_plans: bool = False,
         drop_stopwords: bool = False,
         tracer: Optional[Tracer] = None,
@@ -77,13 +87,27 @@ class PrecisEngine:
             Constraints used when a query supplies none. The engine
             default is the paper's running-example degree (projection
             weight ≥ 0.9) and no cardinality bound.
+        cache:
+            The versioned caching subsystem (:mod:`repro.cache`).
+            Accepts a :class:`~repro.cache.CacheConfig`, a pre-built
+            :class:`~repro.cache.EngineCache`, ``True`` (plan + answer
+            caching at default bounds), or ``None``/``False`` (no
+            caching — the default). The **plan cache** memoizes result
+            schemas keyed by canonical (sorted token relations, degree)
+            for queries over the engine's *base* graph; the opt-in
+            **answer cache** short-circuits :meth:`ask` entirely for
+            repeated query signatures. Both are coherent under live
+            mutation by construction: every entry carries the epoch
+            token — :attr:`Database.data_epoch` /
+            :attr:`InvertedIndex.epoch` / :attr:`SchemaGraph.version` —
+            it was computed under, and a lookup whose current token
+            differs discards the entry (counted as an invalidation).
+            Mutate through the database/:class:`SynchronizedWriter`/
+            graph APIs and cached state can never go stale.
         cache_plans:
-            Memoize result schemas keyed by (token relations, degree
-            constraint) for queries over the engine's *base* graph
-            (profile- or weight-overridden runs bypass the cache).
-            Schema generation is cheap (Figure 7) but repeated queries
-            over big graphs still benefit; the cache is never coherent
-            with graph mutation, so mutate via ``with_weights`` copies.
+            Legacy switch equivalent to
+            ``cache=CacheConfig(plans=True, answers=False)``; ignored
+            when *cache* is given.
         drop_stopwords:
             Ignore bare single-word stopword tokens ("the", "of") in
             free-form queries. Quoted phrase tokens keep their
@@ -111,9 +135,27 @@ class PrecisEngine:
         )
         self.drop_stopwords = drop_stopwords
         self.profiles = ProfileRegistry()
-        self._plan_cache: Optional[dict[tuple, ResultSchema]] = (
-            {} if cache_plans else None
-        )
+        self.cache = self._resolve_cache(cache, cache_plans)
+
+    @staticmethod
+    def _resolve_cache(
+        cache: Union[CacheConfig, EngineCache, bool, None],
+        cache_plans: bool,
+    ) -> Optional[EngineCache]:
+        if isinstance(cache, EngineCache):
+            return cache
+        if isinstance(cache, CacheConfig):
+            return EngineCache(cache)
+        if cache is True:
+            return EngineCache(CacheConfig(plans=True, answers=True))
+        if cache is None and cache_plans:
+            return EngineCache(CacheConfig(plans=True, answers=False))
+        return None
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Per-layer hit/miss/eviction/invalidation counters (empty
+        dict when caching is off)."""
+        return self.cache.stats() if self.cache is not None else {}
 
     # --------------------------------------------------------------- profiles
 
@@ -186,27 +228,36 @@ class PrecisEngine:
                     token_relations.append(occurrence.relation)
 
         with tracer.span("schema"):
+            plans = self.cache.plans if self.cache is not None else None
             cacheable = (
-                self._plan_cache is not None
-                and graph is self.graph  # base graph only
+                plans is not None and graph is self.graph  # base graph only
             )
             if cacheable:
                 try:
-                    key = (tuple(token_relations), degree)
-                    hash(key)
+                    # canonical key: the schema is a function of the
+                    # relation *set*, so token discovery order must not
+                    # split entries
+                    key = plan_key(token_relations, degree)
                 except TypeError:
                     cacheable = False
             if cacheable:
-                hit = key in self._plan_cache  # type: ignore[operator]
+                token = plan_token(graph)
+                invalidated = plans.stats.invalidations
+                cached = plans.get(key, token)
+                tracer.count(
+                    "cache_invalidation",
+                    plans.stats.invalidations - invalidated,
+                )
+                hit = cached is not MISSING
                 tracer.count("cache_hit", 1 if hit else 0)
                 tracer.count("cache_miss", 0 if hit else 1)
                 if hit:
-                    return self._plan_cache[key], matches, graph  # type: ignore[index]
+                    return cached, matches, graph
             schema = generate_result_schema(
                 graph, token_relations, degree, tracer=tracer
             )
             if cacheable:
-                self._plan_cache[key] = schema  # type: ignore[index]
+                plans.put(key, schema, token)
         return schema, matches, graph
 
     def ask(
@@ -232,52 +283,101 @@ class PrecisEngine:
         *tracer*), the whole run is recorded under an ``"ask"`` root
         span and the answer carries
         :attr:`~repro.core.answer.PrecisAnswer.stats`.
+
+        With the answer cache enabled (``cache=True`` or
+        ``CacheConfig(answers=True)``), a repeated query signature —
+        same tokens, constraints, strategy, profile contents, weight
+        overrides and flags — returns the cached
+        :class:`~repro.core.answer.PrecisAnswer` object without
+        re-running the pipeline, provided the database, index and graph
+        epochs still match the entry's validity token. Calls with a
+        *tuple_weigher* (an opaque callable) are never cached.
         """
         tracer = tracer if tracer is not None else self.tracer
         if isinstance(query, str):
             query = PrecisQuery.parse(query)
         resolved = self._resolve_profile(profile)
+        degree = (
+            degree
+            or (resolved.degree if resolved else None)
+            or self.default_degree
+        )
         cardinality = (
             cardinality
             or (resolved.cardinality if resolved else None)
             or self.default_cardinality
         )
 
-        with tracer.span("ask") as root:
-            schema, matches, __ = self.plan(
-                query, degree, resolved, weights, tracer=tracer
-            )
-
-            seed_tids: dict[str, set[int]] = {}
-            for match in matches:
-                for occurrence in match.occurrences:
-                    seed_tids.setdefault(occurrence.relation, set()).update(
-                        occurrence.tids
-                    )
-
-            with self.db.meter.measure() as measured:
-                database, report = generate_result_database(
-                    self.db,
-                    schema,
-                    seed_tids,
+        answer_lru = self.cache.answers if self.cache is not None else None
+        cache_key = None
+        if answer_lru is not None and tuple_weigher is None:
+            try:
+                cache_key = answer_key(
+                    query,
+                    degree,
                     cardinality,
                     strategy,
-                    tuple_weigher=tuple_weigher,
-                    path_scoped=path_scoped,
-                    tracer=tracer,
+                    resolved,
+                    weights,
+                    translate,
+                    path_scoped,
+                )
+            except TypeError:  # unhashable constraint/override
+                cache_key = None
+
+        with tracer.span("ask") as root:
+            hit = False
+            if cache_key is not None:
+                token = answer_token(self.db, self.index, self.graph)
+                with tracer.span("cache"):
+                    invalidated = answer_lru.stats.invalidations
+                    cached = answer_lru.get(cache_key, token)
+                    tracer.count(
+                        "cache_invalidation",
+                        answer_lru.stats.invalidations - invalidated,
+                    )
+                    hit = cached is not MISSING
+                    tracer.count("answer_cache_hit", 1 if hit else 0)
+                    tracer.count("answer_cache_miss", 0 if hit else 1)
+            if hit:
+                answer = cached
+            else:
+                schema, matches, __ = self.plan(
+                    query, degree, resolved, weights, tracer=tracer
                 )
 
-            answer = PrecisAnswer(
-                query=query,
-                result_schema=schema,
-                database=database,
-                report=report,
-                matches=matches,
-                cost=measured.delta,
-            )
-            if translate and self.translator is not None and answer.found:
-                with tracer.span("translate"):
-                    answer.narrative = self._run_translator(answer, tracer)
+                seed_tids: dict[str, set[int]] = {}
+                for match in matches:
+                    for occurrence in match.occurrences:
+                        seed_tids.setdefault(
+                            occurrence.relation, set()
+                        ).update(occurrence.tids)
+
+                with self.db.meter.measure() as measured:
+                    database, report = generate_result_database(
+                        self.db,
+                        schema,
+                        seed_tids,
+                        cardinality,
+                        strategy,
+                        tuple_weigher=tuple_weigher,
+                        path_scoped=path_scoped,
+                        tracer=tracer,
+                    )
+
+                answer = PrecisAnswer(
+                    query=query,
+                    result_schema=schema,
+                    database=database,
+                    report=report,
+                    matches=matches,
+                    cost=measured.delta,
+                )
+                if translate and self.translator is not None and answer.found:
+                    with tracer.span("translate"):
+                        answer.narrative = self._run_translator(answer, tracer)
+                if cache_key is not None:
+                    answer_lru.put(cache_key, answer, token)
         if tracer.enabled:
             answer.stats = QueryStats.from_span(root)
         return answer
@@ -298,6 +398,7 @@ class PrecisEngine:
         strategy: str = STRATEGY_AUTO,
         profile: Optional[Profile | str] = None,
         translate: bool = True,
+        weights: Optional[dict[tuple, float]] = None,
         rank: bool = False,
         tracer: Optional[Tracer] = None,
     ) -> list[PrecisAnswer]:
@@ -310,6 +411,10 @@ class PrecisEngine:
         relation only, its own result database seeded by that
         occurrence's tuples only, and its own narrative.
 
+        *weights* are query-time edge-weight overrides exactly as in
+        :meth:`plan`/:meth:`ask`, applied on top of any profile before
+        the per-occurrence schemas are generated.
+
         For a query whose tokens each match one place, this returns a
         single answer equivalent to :meth:`ask`. With ``rank=True`` the
         answers come sorted by decreasing
@@ -319,6 +424,8 @@ class PrecisEngine:
             query = PrecisQuery.parse(query)
         resolved = self._resolve_profile(profile)
         graph = resolved.personalize(self.graph) if resolved else self.graph
+        if weights:
+            graph = graph.with_weights(weights)
         degree = (
             degree
             or (resolved.degree if resolved else None)
@@ -385,6 +492,11 @@ class PrecisEngine:
         the number of matching tuples and up to *samples* sample values
         of the matched attribute; feed the chosen option's relation back
         through :meth:`ask_per_occurrence` (or filter its output).
+
+        Tuples whose matched attribute is NULL (or that were deleted
+        since matching) don't count toward the *samples* budget: the
+        scan keeps fetching further tids until it has *samples* non-null
+        values or runs out of matches.
         """
         if isinstance(query, str):
             query = PrecisQuery.parse(query)
@@ -392,12 +504,21 @@ class PrecisEngine:
         for match in self.match(query):
             for occurrence in match.occurrences:
                 relation = self.db.relation(occurrence.relation)
-                rows = relation.fetch_many(
-                    sorted(occurrence.tids)[:samples], [occurrence.attribute]
-                )
-                values = [
-                    str(row[0]) for row in rows if row[0] is not None
-                ]
+                candidates = sorted(occurrence.tids)
+                values: list[str] = []
+                chunk = max(samples, 8)
+                for start in range(0, len(candidates), chunk):
+                    rows = relation.fetch_many(
+                        candidates[start : start + chunk],
+                        [occurrence.attribute],
+                    )
+                    for row in rows:
+                        if row[0] is not None:
+                            values.append(str(row[0]))
+                            if len(values) >= samples:
+                                break
+                    if len(values) >= samples:
+                        break
                 options.append(
                     {
                         "token": match.token,

@@ -89,12 +89,25 @@ class SchemaGraph:
         self._relations: dict[str, list[str]] = {}
         self._projections: dict[tuple[str, str], ProjectionEdge] = {}
         self._joins: dict[tuple[str, str], JoinEdge] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter — the graph's cache-validity token.
+
+        Bumped by every structural addition and every weight change, so
+        two reads returning the same version saw an identical graph.
+        ``copy()``/``with_weights()`` produce *new* graph objects whose
+        counters restart; versions are only comparable on one object.
+        """
+        return self._version
 
     # --------------------------------------------------------------- building
 
     def add_relation(self, name: str, attributes: Iterable[str] = ()) -> None:
         if name in self._relations:
             raise GraphError(f"relation {name} already in graph")
+        self._version += 1
         self._relations[name] = []
         for attribute in attributes:
             self.add_attribute(name, attribute)
@@ -106,6 +119,7 @@ class SchemaGraph:
         self._require_relation(relation)
         if attribute in self._relations[relation]:
             raise GraphError(f"attribute {relation}.{attribute} already in graph")
+        self._version += 1
         self._relations[relation].append(attribute)
         self._projections[(relation, attribute)] = ProjectionEdge(
             relation, attribute, _check_weight(weight)
@@ -115,6 +129,7 @@ class SchemaGraph:
         self, relation: str, attribute: str, weight: float
     ) -> None:
         edge = self.projection_edge(relation, attribute)
+        self._version += 1
         self._projections[(relation, attribute)] = ProjectionEdge(
             edge.relation, edge.attribute, _check_weight(weight)
         )
@@ -142,6 +157,7 @@ class SchemaGraph:
         key = (source, target)
         if key in self._joins:
             raise GraphError(f"join edge {source} → {target} already exists")
+        self._version += 1
         self._joins[key] = JoinEdge(
             source, target, source_attribute, target_attribute, _check_weight(weight)
         )
@@ -169,6 +185,7 @@ class SchemaGraph:
 
     def set_join_weight(self, source: str, target: str, weight: float) -> None:
         edge = self.join_edge(source, target)
+        self._version += 1
         self._joins[(source, target)] = JoinEdge(
             edge.source,
             edge.target,

@@ -34,8 +34,11 @@ COUNTER_GLOSSARY: dict[str, str] = {
     "joins_executed": "G' join edges executed by the database generator",
     "joins_skipped": "G' join edges skipped (no driving values / budget)",
     "tuples_emitted": "tuples deposited into the answer database",
-    "cache_hit": "plan-cache hits (1 per ask served from cache)",
+    "cache_hit": "plan-cache hits (result schema served from cache)",
     "cache_miss": "plan-cache misses (schema was generated anew)",
+    "answer_cache_hit": "answer-cache hits (whole ask short-circuited)",
+    "answer_cache_miss": "answer-cache misses (pipeline ran in full)",
+    "cache_invalidation": "cache entries discarded for a stale epoch token",
     "paragraphs_emitted": "narrative paragraphs produced by the translator",
     "attributes_indexed": "(relation, attribute) pairs indexed",
     "values_indexed": "non-NULL attribute values added to the index",

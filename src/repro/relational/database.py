@@ -44,14 +44,32 @@ class Database:
         self.meter = CostMeter(cost_params)
         self.enforce_foreign_keys = enforce_foreign_keys
         self.backend = resolve_backend(backend)
+        self._data_epoch = 0
         self._relations: dict[str, Relation] = {
-            rs.name: Relation(rs, self.meter, self.backend.create_store(rs))
+            rs.name: Relation(
+                rs,
+                self.meter,
+                self.backend.create_store(rs),
+                on_mutate=self._bump_data_epoch,
+            )
             for rs in schema
         }
 
     @property
     def backend_name(self) -> str:
         return self.backend.name
+
+    @property
+    def data_epoch(self) -> int:
+        """Monotonic mutation counter — the database's cache-validity
+        token (see :mod:`repro.cache.versions`). Every insert, delete,
+        in-place update or clear reaching any relation of this database
+        bumps it, whether issued through the database or directly
+        through a :class:`Relation` façade."""
+        return self._data_epoch
+
+    def _bump_data_epoch(self) -> None:
+        self._data_epoch += 1
 
     def close(self) -> None:
         """Release backend resources (e.g. the SQLite connection)."""
@@ -149,6 +167,45 @@ class Database:
                         )
         rel.delete(tid)
         return removed + 1
+
+    def update(
+        self, relation: str, tid: int, changes: Mapping[str, Any]
+    ) -> int:
+        """Replace attribute values of one tuple in place; returns the
+        (unchanged) tid.
+
+        Unlike delete + re-insert, the tuple keeps its tid, so inbound
+        foreign-key references stay valid. With enforcement on, two
+        checks protect integrity: the new values must satisfy the
+        relation's *outbound* foreign keys, and an attribute targeted by
+        an *inbound* foreign key may not change value while child tuples
+        still reference the old value (there is no cascade for updates).
+        On violation the tuple is restored and
+        :class:`ForeignKeyViolation` raised.
+        """
+        rel = self.relation(relation)
+        old = rel.fetch(tid).as_dict()
+        rel.update(tid, changes)
+        if not self.enforce_foreign_keys:
+            return tid
+        try:
+            new = rel.fetch(tid).as_dict()
+            for fk in self.schema.foreign_keys_into(relation):
+                old_value = old[fk.target_column]
+                if old_value is None or old_value == new[fk.target_column]:
+                    continue
+                children = self.relation(fk.source).lookup(fk.column, old_value)
+                if children:
+                    raise ForeignKeyViolation(
+                        f"{relation}#{tid}.{fk.target_column}={old_value!r} "
+                        f"is referenced by {len(children)} tuple(s) of "
+                        f"{fk.source} and cannot change value"
+                    )
+            self._check_outbound_fks(relation, tid)
+        except ForeignKeyViolation:
+            rel.update(tid, old)
+            raise
+        return tid
 
     def _check_outbound_fks(self, relation: str, tid: int) -> None:
         row = self.relation(relation).fetch(tid)

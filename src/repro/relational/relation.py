@@ -29,7 +29,7 @@ This makes the modeled cost of one indexed retrieval exactly
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
 from ..storage.base import TupleStore
 from .cost import CostMeter
@@ -58,9 +58,15 @@ class Relation:
         schema: RelationSchema,
         meter: Optional[CostMeter] = None,
         store: Optional[TupleStore] = None,
+        on_mutate: Optional[Callable[[], None]] = None,
     ):
         self.schema = schema
         self.meter = meter or CostMeter()
+        #: called after every successful write (insert/delete/update/
+        #: clear) — the Database hooks its data-epoch bump here so cache
+        #: validity tokens see mutations no matter which façade method
+        #: performed them
+        self.on_mutate = on_mutate
         #: the storage engine behind this relation. Direct access is
         #: *unmetered* — reserved for maintenance work that the paper's
         #: cost model excludes (index building, exports); queries must
@@ -137,18 +143,59 @@ class Relation:
             # unmetered pre-check: loading is not part of Formula (2)
             if self.store.lookup_pk(pk_value) is not None:
                 raise PrimaryKeyViolation(self.name, pk_value)
-        return self.store.insert(stored)
+        tid = self.store.insert(stored)
+        if self.on_mutate is not None:
+            self.on_mutate()
+        return tid
 
     def insert_many(
         self, rows: Iterable[Mapping[str, Any] | Sequence[Any]]
     ) -> list[int]:
         return [self.insert(row) for row in rows]
 
+    def update(self, tid: int, changes: Mapping[str, Any]) -> None:
+        """Replace attribute values of one tuple *in place* (same tid).
+
+        *changes* maps attribute names to new values; unmentioned
+        attributes keep their current values. The merged tuple passes
+        the same validation as an insert (type coercion, NOT NULL,
+        primary-key uniqueness against every *other* tuple). Raises
+        :class:`UnknownTupleError` when *tid* is absent. Referential
+        integrity spans relations and lives in
+        :meth:`~repro.relational.database.Database.update`.
+        """
+        current = self.store.get(tid)
+        if current is None:
+            raise UnknownTupleError(self.name, tid)
+        unknown = set(changes) - set(self.schema.attribute_names)
+        if unknown:
+            raise SchemaError(
+                f"unknown attributes for {self.name}: {sorted(unknown)}"
+            )
+        merged = {
+            col.name: changes.get(col.name, current[pos])
+            for pos, col in enumerate(self.schema.columns)
+        }
+        stored = self._normalize(merged)
+        if self.schema.primary_key:
+            pk_pos = self.schema.positions(self.schema.primary_key)
+            pk_value = tuple(stored[p] for p in pk_pos)
+            owner = self.store.lookup_pk(pk_value)
+            if owner is not None and owner != tid:
+                raise PrimaryKeyViolation(self.name, pk_value)
+        self.store.update(tid, stored)
+        if self.on_mutate is not None:
+            self.on_mutate()
+
     def delete(self, tid: int) -> None:
         self.store.delete(tid)
+        if self.on_mutate is not None:
+            self.on_mutate()
 
     def clear(self) -> None:
         self.store.clear()
+        if self.on_mutate is not None:
+            self.on_mutate()
 
     # ------------------------------------------------------------------ indexes
 

@@ -73,6 +73,18 @@ class TupleStore(abc.ABC):
         """
 
     @abc.abstractmethod
+    def update(self, tid: int, stored: tuple) -> None:
+        """Replace the full-width canonical tuple at *tid* **in place**:
+        the tid is preserved, so references held elsewhere (inbound
+        foreign keys, inverted-index postings) stay addressable. Raise
+        :class:`~repro.relational.errors.UnknownTupleError` if absent.
+        The façade has already validated the new tuple (including
+        primary-key uniqueness against other tuples); stores may enforce
+        the primary key again as a defence in depth and must keep the
+        pk mapping and any secondary indexes coherent.
+        """
+
+    @abc.abstractmethod
     def delete(self, tid: int) -> None:
         """Remove one tuple; raise
         :class:`~repro.relational.errors.UnknownTupleError` if absent."""

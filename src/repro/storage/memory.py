@@ -54,6 +54,28 @@ class MemoryStore(TupleStore):
             index.insert(stored[self.schema.position(attr)], tid)
         return tid
 
+    def update(self, tid: int, stored: tuple) -> None:
+        old = self._tuples.get(tid)
+        if old is None:
+            raise UnknownTupleError(self.schema.name, tid)
+        new_pk = self._pk_of(stored)
+        if new_pk is not None:
+            owner = self._pk_index.get(new_pk)
+            if owner is not None and owner != tid:
+                raise PrimaryKeyViolation(self.schema.name, new_pk)
+        old_pk = self._pk_of(old)
+        if old_pk is not None and old_pk != new_pk:
+            self._pk_index.pop(old_pk, None)
+        if new_pk is not None:
+            self._pk_index[new_pk] = tid
+        # replace in place: dict ordering (== tid order) is unaffected
+        self._tuples[tid] = stored
+        for attr, index in self._indexes.items():
+            pos = self.schema.position(attr)
+            if old[pos] != stored[pos]:
+                index.remove(old[pos], tid)
+                index.insert(stored[pos], tid)
+
     def delete(self, tid: int) -> None:
         stored = self._tuples.pop(tid, None)
         if stored is None:

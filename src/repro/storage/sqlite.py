@@ -208,6 +208,28 @@ class SQLiteStore(TupleStore):
             ) from None
         return int(cursor.lastrowid)
 
+    def update(self, tid: int, stored: tuple) -> None:
+        assignments = ", ".join(
+            f"{_quote(c.name)} = ?" for c in self.schema.columns
+        )
+        params = [
+            _to_sql(value, dtype) for value, dtype in zip(stored, self._dtypes)
+        ]
+        params.append(tid)
+        try:
+            cursor = self._conn.execute(
+                f"UPDATE {self._table} SET {assignments} "
+                f"WHERE {_quote(_TID)} = ?",
+                params,
+            )
+        except sqlite3.IntegrityError:
+            pk_pos = self.schema.positions(self.schema.primary_key)
+            raise PrimaryKeyViolation(
+                self.schema.name, tuple(stored[p] for p in pk_pos)
+            ) from None
+        if cursor.rowcount == 0:
+            raise UnknownTupleError(self.schema.name, tid)
+
     def delete(self, tid: int) -> None:
         cursor = self._conn.execute(
             f"DELETE FROM {self._table} WHERE {_quote(_TID)} = ?", (tid,)

@@ -55,6 +55,15 @@ class InvertedIndex:
         self._postings: _Postings = {}
         self._indexed_attributes: set[tuple[str, str]] = set()
         self._documents = 0
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic maintenance counter — the index's cache-validity
+        token (see :mod:`repro.cache.versions`). Bumped by every
+        :meth:`add_value` / :meth:`remove_value`, including the ones a
+        bulk :meth:`index_database` issues."""
+        return self._epoch
 
     # ------------------------------------------------------------- building
 
@@ -112,6 +121,7 @@ class InvertedIndex:
         self, relation: str, attribute: str, tid: int, text: str
     ) -> None:
         """Index one attribute value."""
+        self._epoch += 1
         self._indexed_attributes.add((relation, attribute))
         key = (relation, attribute)
         tokens = tokenize(text)
@@ -126,6 +136,7 @@ class InvertedIndex:
         self, relation: str, attribute: str, tid: int, text: str
     ) -> None:
         """Remove a previously indexed value (must pass the same text)."""
+        self._epoch += 1
         key = (relation, attribute)
         tokens = tokenize(text)
         if tokens:

@@ -74,16 +74,43 @@ class SynchronizedWriter:
         tid: int,
         changes: Mapping[str, Any],
     ) -> int:
-        """Replace attribute values of one tuple (delete + re-insert;
+        """Replace attribute values of one tuple **in place**; returns
+        the (unchanged) tid.
 
-        the tuple receives a fresh tid, which is returned)."""
-        row = self.db.relation(relation).fetch(tid)
-        values = row.as_dict()
-        unknown = set(changes) - set(values)
+        The tuple keeps its tid — inbound foreign-key references stay
+        valid and the inverted index swaps only the postings of the
+        changed values. (Earlier versions deleted and re-inserted,
+        which assigned a fresh tid and dangled — or spuriously
+        rejected — child rows referencing the old tuple.) On a failed
+        update (unknown attribute, constraint or foreign-key violation)
+        both the database and the index are left untouched.
+        """
+        rel = self.db.relation(relation)
+        row = rel.fetch(tid)
+        unknown = set(changes) - set(row.as_dict())
         if unknown:
             raise KeyError(
                 f"unknown attributes for {relation}: {sorted(unknown)}"
             )
-        values.update(changes)
-        self.delete(relation, tid)
-        return self.insert(relation, values)
+        attributes = self._indexed_attributes(relation)
+        old_values = {a: row.get(a) for a in attributes}
+        for attribute, value in old_values.items():
+            if value is not None:
+                self.index.remove_value(
+                    relation, attribute, tid, render(value)
+                )
+        try:
+            self.db.update(relation, tid, changes)
+        except Exception:
+            for attribute, value in old_values.items():
+                if value is not None:
+                    self.index.add_value(
+                        relation, attribute, tid, render(value)
+                    )
+            raise
+        new_row = rel.fetch(tid)
+        for attribute in attributes:
+            value = new_row.get(attribute)
+            if value is not None:
+                self.index.add_value(relation, attribute, tid, render(value))
+        return tid

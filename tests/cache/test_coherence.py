@@ -1,0 +1,213 @@
+"""The coherence suite: cached answers == uncached answers, always.
+
+The whole point of the versioned cache: an engine with caching on must
+be *observationally identical* to one with caching off, under any
+interleaving of queries and mutations. Two engines share one database,
+index and graph; every mutation flows through the
+:class:`~repro.text.maintenance.SynchronizedWriter`; after every step
+both engines answer the same query and the answers must match exactly.
+Runs over three datasets × both storage backends, plus a Hypothesis
+property over random mutation interleavings.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MaxTuplesPerRelation, PrecisEngine, WeightThreshold
+from repro.datasets import (
+    generate_movies_database,
+    generate_university_database,
+    movies_graph,
+    paper_instance,
+    university_graph,
+)
+from repro.text import SynchronizedWriter, build_index
+
+D = WeightThreshold(0.85)
+C = MaxTuplesPerRelation(5)
+BACKENDS = ("memory", "sqlite")
+
+
+def _snapshot(answer):
+    return answer.to_dict()
+
+
+class Harness:
+    """One shared db/index/graph, one cached and one uncached engine."""
+
+    def __init__(self, db, graph):
+        self.db = db
+        self.index = build_index(db)
+        self.writer = SynchronizedWriter(db, self.index)
+        self.cached = PrecisEngine(db, graph=graph, index=self.index, cache=True)
+        self.uncached = PrecisEngine(db, graph=graph, index=self.index)
+
+    def check(self, query):
+        hot = self.cached.ask(query, degree=D, cardinality=C)
+        cold = self.uncached.ask(query, degree=D, cardinality=C)
+        assert _snapshot(hot) == _snapshot(cold), (
+            f"cached and uncached answers diverged for {query!r}"
+        )
+        return hot
+
+
+# ------------------------------------------------------- scripted datasets
+
+# each script: (build_db, build_graph, query, [mutation steps])
+SCRIPTS = {
+    "paper": (
+        lambda backend: paper_instance(backend=backend),
+        movies_graph,
+        '"Woody Allen"',
+        [
+            lambda w: w.insert(
+                "MOVIE",
+                {"MID": 70, "TITLE": "Cache Test", "YEAR": 2024, "DID": 1},
+            ),
+            lambda w: w.update("MOVIE", 1, {"TITLE": "Renamed Point"}),
+            lambda w: w.insert("GENRE", {"MID": 1, "GENRE": "Noir"}),
+            lambda w: w.delete(
+                "MOVIE", w.db.relation("MOVIE").store.lookup_pk((70,))
+            ),
+        ],
+    ),
+    "movies": (
+        lambda backend: generate_movies_database(
+            n_movies=40, seed=13, backend=backend
+        ),
+        movies_graph,
+        "midnight",
+        [
+            lambda w: w.insert(
+                "MOVIE",
+                {
+                    "MID": 9001,
+                    "TITLE": "Midnight Cache",
+                    "YEAR": 2024,
+                    "DID": 1,
+                },
+            ),
+            lambda w: w.update(
+                "MOVIE",
+                w.db.relation("MOVIE").store.lookup_pk((9001,)),
+                {"TITLE": "Midnight Cache Revisited"},
+            ),
+            lambda w: w.delete(
+                "MOVIE", w.db.relation("MOVIE").store.lookup_pk((9001,))
+            ),
+        ],
+    ),
+    "university": (
+        lambda backend: generate_university_database(
+            n_students=30, n_courses=8, seed=13, backend=backend
+        ),
+        university_graph,
+        "logic",
+        [
+            lambda w: w.insert(
+                "COURSE",
+                {
+                    "CID": 900,
+                    "CNAME": "Logic of Caching",
+                    "CREDITS": 5,
+                    "DEPTID": 4,
+                },
+            ),
+            lambda w: w.update(
+                "COURSE",
+                w.db.relation("COURSE").store.lookup_pk((900,)),
+                {"CNAME": "Advanced Logic of Caching"},
+            ),
+            lambda w: w.delete(
+                "COURSE", w.db.relation("COURSE").store.lookup_pk((900,))
+            ),
+        ],
+    ),
+}
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("dataset", sorted(SCRIPTS))
+def test_cached_equals_uncached_under_mutation(dataset, backend):
+    build, graph_fn, query, steps = SCRIPTS[dataset]
+    db = build(backend)
+    try:
+        harness = Harness(db, graph_fn())
+        harness.check(query)
+        harness.check(query)  # warm hit, same answer
+        for step in steps:
+            step(harness.writer)
+            harness.check(query)
+            harness.check(query)
+    finally:
+        db.close()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_repeated_alternating_queries(backend):
+    """Cache entries for several queries stay coherent side by side."""
+    db = paper_instance(backend=backend)
+    try:
+        harness = Harness(db, movies_graph())
+        queries = ['"Woody Allen"', '"Match Point"', "drama"]
+        for query in queries:
+            harness.check(query)
+        harness.writer.insert(
+            "MOVIE", {"MID": 71, "TITLE": "Side Effect", "YEAR": 2023, "DID": 2}
+        )
+        for query in queries:
+            harness.check(query)
+        stats = harness.cached.cache_stats()["answers"]
+        assert stats["invalidations"] >= len(queries)
+    finally:
+        db.close()
+
+
+# ------------------------------------------------------------- property
+
+
+_titles = st.sampled_from(
+    ["red fox", "blue jay", "red deer", "silver owl", "red owl"]
+)
+_ops = st.sampled_from(["insert", "update", "delete", "ask", "reweight"])
+
+
+@given(
+    script=st.lists(st.tuples(_ops, _titles), min_size=1, max_size=12),
+    probe=st.sampled_from(["red", "blue", "owl"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_random_interleavings(script, probe):
+    """Any interleaving of writer mutations, graph reweights and asks
+    keeps the cached engine exactly equivalent to the uncached one."""
+    db = paper_instance()
+    graph = movies_graph()
+    harness = Harness(db, graph)
+    next_mid = 500
+    live: list[int] = []
+    for op, title in script:
+        if op == "insert":
+            harness.writer.insert(
+                "MOVIE",
+                {"MID": next_mid, "TITLE": title, "YEAR": 2020, "DID": 1},
+            )
+            live.append(next_mid)
+            next_mid += 1
+        elif op == "update" and live:
+            tid = db.relation("MOVIE").store.lookup_pk((live[-1],))
+            harness.writer.update("MOVIE", tid, {"TITLE": title + " redux"})
+        elif op == "delete" and live:
+            mid = live.pop()
+            tid = db.relation("MOVIE").store.lookup_pk((mid,))
+            harness.writer.delete("MOVIE", tid)
+        elif op == "reweight":
+            graph.set_join_weight(
+                "MOVIE", "GENRE", 0.2 if len(live) % 2 else 0.95
+            )
+        harness.check(probe)
+    # final sanity: the cache actually served something from memory
+    stats = harness.cached.cache_stats()["answers"]
+    assert stats["hits"] + stats["misses"] > 0

@@ -1,0 +1,107 @@
+"""Epoch counters and validity tokens — the coherence contract."""
+
+from repro.cache import answer_token, plan_token
+from repro.datasets import movies_graph, paper_instance
+from repro.graph import graph_from_schema
+from repro.text import SynchronizedWriter, build_index
+
+
+class TestDatabaseEpoch:
+    def test_insert_delete_update_bump(self):
+        db = paper_instance()
+        epoch = db.data_epoch
+        tid = db.insert(
+            "MOVIE", {"MID": 90, "TITLE": "Epoch", "YEAR": 2020, "DID": 1}
+        )
+        assert db.data_epoch == epoch + 1
+        db.update("MOVIE", tid, {"YEAR": 2021})
+        assert db.data_epoch == epoch + 2
+        db.delete("MOVIE", tid)
+        assert db.data_epoch == epoch + 3
+
+    def test_direct_relation_write_bumps(self):
+        """Writes bypassing the Database facade still notify it."""
+        db = paper_instance()
+        epoch = db.data_epoch
+        db.relation("GENRE").insert({"MID": 1, "GENRE": "Noir"})
+        assert db.data_epoch == epoch + 1
+
+    def test_reads_do_not_bump(self):
+        db = paper_instance()
+        epoch = db.data_epoch
+        list(db.relation("MOVIE").scan())
+        db.relation("MOVIE").fetch(1)
+        assert db.data_epoch == epoch
+
+
+class TestIndexEpoch:
+    def test_add_and_remove_bump(self):
+        db = paper_instance()
+        index = build_index(db)
+        epoch = index.epoch
+        index.add_value("MOVIE", "TITLE", 99, "Fresh Title")
+        assert index.epoch == epoch + 1
+        index.remove_value("MOVIE", "TITLE", 99, "Fresh Title")
+        assert index.epoch == epoch + 2
+
+    def test_writer_bumps_both(self):
+        db = paper_instance()
+        index = build_index(db)
+        writer = SynchronizedWriter(db, index)
+        db_epoch, ix_epoch = db.data_epoch, index.epoch
+        writer.insert(
+            "MOVIE", {"MID": 91, "TITLE": "Sync", "YEAR": 2020, "DID": 1}
+        )
+        assert db.data_epoch > db_epoch
+        assert index.epoch > ix_epoch
+
+
+class TestGraphVersion:
+    def test_weight_mutations_bump(self):
+        graph = movies_graph()
+        version = graph.version
+        graph.set_join_weight("MOVIE", "GENRE", 0.5)
+        assert graph.version == version + 1
+        graph.set_projection_weight("MOVIE", "TITLE", 0.5)
+        assert graph.version == version + 2
+
+    def test_structural_mutations_bump(self):
+        db = paper_instance()
+        graph = graph_from_schema(db.schema)
+        version = graph.version
+        graph.add_attribute("MOVIE", "RUNTIME", 0.3)
+        assert graph.version > version
+
+
+class TestTokens:
+    def test_plan_token_tracks_graph_only(self):
+        db = paper_instance()
+        graph = movies_graph()
+        token = plan_token(graph)
+        db.insert(
+            "MOVIE", {"MID": 92, "TITLE": "Elsewhere", "YEAR": 2020, "DID": 1}
+        )
+        assert plan_token(graph) == token  # data changes don't touch plans
+        graph.set_join_weight("MOVIE", "GENRE", 0.7)
+        assert plan_token(graph) != token
+
+    def test_answer_token_tracks_all_three(self):
+        db = paper_instance()
+        index = build_index(db)
+        graph = movies_graph()
+        base = answer_token(db, index, graph)
+        db.insert(
+            "MOVIE", {"MID": 93, "TITLE": "Tripwire", "YEAR": 2020, "DID": 1}
+        )
+        after_db = answer_token(db, index, graph)
+        assert after_db != base
+        index.add_value("MOVIE", "TITLE", 999, "Tripwire")
+        after_index = answer_token(db, index, graph)
+        assert after_index != after_db
+        graph.set_join_weight("MOVIE", "GENRE", 0.6)
+        assert answer_token(db, index, graph) != after_index
+
+    def test_foreign_objects_tokenize_to_zero(self):
+        """Objects without epoch counters never invalidate (documented)."""
+        assert plan_token(object()) == (0,)
+        assert answer_token(None, None, None) == (0, 0, 0)

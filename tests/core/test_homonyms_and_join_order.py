@@ -70,6 +70,41 @@ class TestAskPerOccurrence:
         for answer in answers:
             assert all(n <= 2 for n in answer.cardinalities().values())
 
+    def test_query_time_weights_apply(self, paper_engine):
+        """§3.1 query-time overrides work per occurrence too: muting
+        the MOVIE→GENRE edge drops GENRE from every facet's schema."""
+        base = paper_engine.ask_per_occurrence(
+            '"Woody Allen"', degree=WeightThreshold(0.9)
+        )
+        assert any(
+            "GENRE" in a.result_schema.relations for a in base
+        )
+        muted = paper_engine.ask_per_occurrence(
+            '"Woody Allen"',
+            degree=WeightThreshold(0.9),
+            weights={("join", "MOVIE", "GENRE"): 0.1},
+        )
+        assert len(muted) == len(base)
+        assert all(
+            "GENRE" not in a.result_schema.relations for a in muted
+        )
+
+    def test_weights_layer_over_profile(self, paper_engine):
+        from repro import Profile
+
+        profile = Profile("genre-fan").set_join_weight(
+            "MOVIE", "GENRE", 1.0
+        )
+        answers = paper_engine.ask_per_occurrence(
+            '"Woody Allen"',
+            degree=WeightThreshold(0.9),
+            profile=profile,
+            weights={("join", "MOVIE", "GENRE"): 0.1},  # override wins
+        )
+        assert all(
+            "GENRE" not in a.result_schema.relations for a in answers
+        )
+
 
 def _fork_fixture():
     """A: 1 seed tuple; A→B (w 0.6) admitted before A→C (w 0.9).

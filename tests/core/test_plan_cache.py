@@ -67,3 +67,33 @@ class TestPlanCache:
         answer = engine.ask('"Woody Allen"', degree=WeightThreshold(0.9))
         again = engine.ask('"Woody Allen"', degree=WeightThreshold(0.9))
         assert answer.cardinalities() == again.cardinalities()
+
+    def test_token_order_shares_one_entry(self, engine):
+        """Regression: the old cache keyed on token *discovery order*,
+
+        so reordering the tokens of a query re-planned the identical
+        relation set. The canonical key sorts the relations."""
+        first, __, ___ = engine.plan("allen drama", WeightThreshold(0.9))
+        second, __, ___ = engine.plan("drama allen", WeightThreshold(0.9))
+        assert second is first
+        stats = engine.cache.stats()["plans"]
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_graph_mutation_invalidates_entry(self, engine):
+        first, __, ___ = engine.plan('"Woody Allen"', WeightThreshold(0.9))
+        assert "GENRE" in first.relations
+        engine.graph.set_join_weight("MOVIE", "GENRE", 0.1)
+        second, __, ___ = engine.plan('"Woody Allen"', WeightThreshold(0.9))
+        assert second is not first
+        assert "GENRE" not in second.relations
+        assert engine.cache.stats()["plans"]["invalidations"] == 1
+
+    def test_data_mutation_does_not_invalidate_plans(self, engine):
+        """Plans depend on the graph only — tuple churn keeps them hot."""
+        first, __, ___ = engine.plan('"Woody Allen"', WeightThreshold(0.9))
+        engine.db.insert(
+            "MOVIE", {"MID": 95, "TITLE": "Churn", "YEAR": 2024, "DID": 1}
+        )
+        second, __, ___ = engine.plan('"Woody Allen"', WeightThreshold(0.9))
+        assert second is first

@@ -106,3 +106,73 @@ class TestDisambiguation:
 
     def test_no_matches_no_options(self, paper_engine):
         assert paper_engine.disambiguate('"zz none"') == []
+
+    def test_samples_skip_nulled_values(self):
+        """Regression: the old implementation sliced the first *samples*
+
+        tids and then dropped NULLs, returning fewer samples than
+        requested even when later matches carried values. The scan must
+        keep going until the budget is filled."""
+        from repro import PrecisEngine
+        from repro.relational import (
+            Column,
+            Database,
+            DatabaseSchema,
+            DataType,
+            RelationSchema,
+        )
+
+        schema = DatabaseSchema(
+            [
+                RelationSchema(
+                    "R",
+                    [
+                        Column("ID", DataType.INT, nullable=False),
+                        Column("NAME", DataType.TEXT),
+                    ],
+                    primary_key="ID",
+                )
+            ]
+        )
+        db = Database(schema)
+        for i in range(1, 13):
+            db.insert("R", {"ID": i, "NAME": f"zebra {i}"})
+        engine = PrecisEngine(db)  # index built over the full contents
+        # NULL out the first 9 names *behind the index's back*: the
+        # postings still point at those tids, but their values are gone
+        for tid in range(1, 10):
+            db.update("R", tid, {"NAME": None})
+        (option,) = engine.disambiguate("zebra", samples=3)
+        assert option["matches"] == 12
+        assert option["samples"] == ["zebra 10", "zebra 11", "zebra 12"]
+
+    def test_samples_exhausted_when_everything_is_null(self):
+        from repro import PrecisEngine
+        from repro.relational import (
+            Column,
+            Database,
+            DatabaseSchema,
+            DataType,
+            RelationSchema,
+        )
+
+        schema = DatabaseSchema(
+            [
+                RelationSchema(
+                    "R",
+                    [
+                        Column("ID", DataType.INT, nullable=False),
+                        Column("NAME", DataType.TEXT),
+                    ],
+                    primary_key="ID",
+                )
+            ]
+        )
+        db = Database(schema)
+        for i in range(1, 5):
+            db.insert("R", {"ID": i, "NAME": "yak herd"})
+        engine = PrecisEngine(db)
+        for tid in range(1, 5):
+            db.update("R", tid, {"NAME": None})
+        (option,) = engine.disambiguate("yak", samples=3)
+        assert option["samples"] == []

@@ -1,0 +1,108 @@
+"""In-place updates through the Relation façade and the Database.
+
+The tid-preservation contract (the fix for the delete-and-reinsert
+update): an update never re-assigns the tuple's tid, merges partial
+changes over current values, and — at the database level — protects
+both outbound and inbound foreign keys, restoring the tuple on
+violation. Runs on every backend via the ``tiny_db`` fixture.
+"""
+
+import pytest
+
+from repro.relational.errors import (
+    ForeignKeyViolation,
+    PrimaryKeyViolation,
+    SchemaError,
+    UnknownTupleError,
+)
+
+
+class TestRelationUpdate:
+    def test_partial_update_merges(self, tiny_db):
+        rel = tiny_db.relation("PARENT")
+        rel.update(1, {"NAME": "renamed"})
+        row = rel.fetch(1)
+        assert row["NAME"] == "renamed"
+        assert row["PID"] == 1  # untouched column survives
+
+    def test_tid_and_scan_order_preserved(self, tiny_db):
+        rel = tiny_db.relation("CHILD")
+        tids_before = list(rel.tids())
+        rel.update(tids_before[0], {"LABEL": "swapped"})
+        assert list(rel.tids()) == tids_before
+
+    def test_values_are_normalized(self, tiny_db):
+        rel = tiny_db.relation("PARENT")
+        rel.update(1, {"PID": 7.0})  # float into INT column
+        assert rel.fetch(1)["PID"] == 7
+
+    def test_unknown_attribute_rejected(self, tiny_db):
+        with pytest.raises(SchemaError):
+            tiny_db.relation("PARENT").update(1, {"NOPE": 1})
+
+    def test_unknown_tid_rejected(self, tiny_db):
+        with pytest.raises(UnknownTupleError):
+            tiny_db.relation("PARENT").update(99, {"NAME": "x"})
+
+    def test_pk_collision_rejected(self, tiny_db):
+        rel = tiny_db.relation("PARENT")
+        with pytest.raises(PrimaryKeyViolation):
+            rel.update(1, {"PID": 2})
+        assert rel.fetch(1)["PID"] == 1
+
+    def test_update_to_same_pk_allowed(self, tiny_db):
+        rel = tiny_db.relation("PARENT")
+        rel.update(1, {"PID": 1, "NAME": "same pk"})
+        assert rel.fetch(1)["NAME"] == "same pk"
+
+
+class TestDatabaseUpdate:
+    def test_returns_unchanged_tid(self, tiny_db):
+        assert tiny_db.update("CHILD", 1, {"LABEL": "x"}) == 1
+
+    def test_outbound_fk_enforced_with_rollback(self, tiny_db):
+        with pytest.raises(ForeignKeyViolation):
+            tiny_db.update("CHILD", 1, {"PID": 99})
+        assert tiny_db.relation("CHILD").fetch(1)["PID"] == 1
+
+    def test_outbound_fk_may_move_to_other_parent(self, tiny_db):
+        tiny_db.update("CHILD", 1, {"PID": 2})
+        assert tiny_db.relation("CHILD").fetch(1)["PID"] == 2
+
+    def test_outbound_fk_may_become_null(self, tiny_db):
+        tiny_db.update("CHILD", 1, {"PID": None})
+        assert tiny_db.relation("CHILD").fetch(1)["PID"] is None
+
+    def test_referenced_key_cannot_change_under_children(self, tiny_db):
+        with pytest.raises(ForeignKeyViolation):
+            tiny_db.update("PARENT", 1, {"PID": 9})
+        # rolled back: children still join
+        assert tiny_db.relation("PARENT").fetch(1)["PID"] == 1
+        assert tiny_db.relation("CHILD").lookup("PID", 1)
+
+    def test_unreferenced_key_may_change(self, tiny_db):
+        # parent 2 loses its only child first
+        tiny_db.delete("CHILD", 3)
+        tiny_db.update("PARENT", 2, {"PID": 9})
+        assert tiny_db.relation("PARENT").fetch(2)["PID"] == 9
+
+    def test_non_key_attributes_change_freely(self, tiny_db):
+        tiny_db.update("PARENT", 1, {"NAME": "still referenced"})
+        assert tiny_db.relation("PARENT").fetch(1)["NAME"] == (
+            "still referenced"
+        )
+
+    def test_update_bumps_data_epoch_once(self, tiny_db):
+        epoch = tiny_db.data_epoch
+        tiny_db.update("CHILD", 1, {"LABEL": "bump"})
+        assert tiny_db.data_epoch == epoch + 1
+
+    def test_failed_update_still_bumps_conservatively(self, tiny_db):
+        """A rolled-back update may bump the epoch (write + rollback are
+        two mutations); it must never leave changed data under an
+        unchanged epoch."""
+        epoch = tiny_db.data_epoch
+        with pytest.raises(ForeignKeyViolation):
+            tiny_db.update("CHILD", 1, {"PID": 99})
+        assert tiny_db.data_epoch >= epoch
+        assert tiny_db.relation("CHILD").fetch(1)["PID"] == 1

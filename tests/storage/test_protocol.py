@@ -96,6 +96,59 @@ def test_duplicate_primary_key_rejected(store):
         store.insert((1, "dup", None, None, None))
 
 
+# ----------------------------------------------------------------- update
+
+
+def test_update_in_place_preserves_tid_and_order(store):
+    _fill(store)
+    store.update(3, (3, "hedy", 3.5, datetime.date(1914, 11, 9), True))
+    assert store.get(3) == (3, "hedy", 3.5, datetime.date(1914, 11, 9), True)
+    assert list(store.tids()) == [1, 2, 3, 4, 5]  # scan order unchanged
+    assert len(store) == 5
+
+
+def test_update_unknown_tid_raises(store):
+    _fill(store)
+    with pytest.raises(UnknownTupleError):
+        store.update(99, (9, "x", None, None, None))
+
+
+def test_update_changes_pk_mapping(store):
+    _fill(store)
+    store.update(2, (20, "grace", 2.5, None, False))
+    assert store.lookup_pk((20,)) == 2
+    assert store.lookup_pk((2,)) is None
+
+
+def test_update_to_own_pk_is_fine(store):
+    _fill(store)
+    store.update(2, (2, "renamed", 2.5, None, False))
+    assert store.lookup_pk((2,)) == 2
+
+
+def test_update_to_foreign_pk_rejected(store):
+    _fill(store)
+    with pytest.raises(PrimaryKeyViolation):
+        store.update(2, (1, "grace", 2.5, None, False))
+    assert store.get(2) == ROWS[1]  # unchanged
+    assert store.lookup_pk((1,)) == 1
+
+
+def test_update_maintains_secondary_indexes(store):
+    _fill(store)
+    store.create_index("NAME")
+    store.update(1, (1, "lovelace", 1.5, None, True))
+    assert store.lookup("NAME", "lovelace") == {1}
+    assert store.lookup("NAME", "ada") == {4}
+
+
+def test_update_then_probe_unindexed(store):
+    _fill(store)
+    store.update(3, (3, "ada", None, None, None))
+    assert store.lookup("NAME", "ada") == {1, 3, 4}
+    assert store.lookup("NAME", None) == set()
+
+
 # ------------------------------------------------------------------ reads
 
 

@@ -56,10 +56,42 @@ class TestUpdate:
             "MOVIE", {"MID": 53, "TITLE": "Interiors", "YEAR": 1978, "DID": 1}
         )
         new_tid = writer.update("MOVIE", tid, {"TITLE": "Manhattan"})
-        assert new_tid != tid
+        # the tuple keeps its identity: references by tid stay valid
+        assert new_tid == tid
         assert index.lookup_word("interiors") == []
         (occ,) = index.lookup_word("manhattan")
-        assert occ.tids == {new_tid}
+        assert occ.tids == {tid}
+
+    def test_update_preserves_untouched_postings(self, setup):
+        db, index, writer = setup
+        tid = writer.insert(
+            "MOVIE", {"MID": 55, "TITLE": "Love and Death", "YEAR": 0, "DID": 1}
+        )
+        writer.update("MOVIE", tid, {"YEAR": 1975})
+        (occ,) = index.lookup_word("love")
+        assert tid in occ.tids
+
+    def test_update_keeps_children_attached(self, setup, paper_graph):
+        """The original delete-and-reinsert bug: updating a movie
+        re-assigned its tid, so CAST/GENRE children joined to nothing."""
+        db, index, writer = setup
+        writer.update("MOVIE", 1, {"YEAR": 2000})
+        engine = PrecisEngine(db, graph=paper_graph, index=index)
+        answer = engine.ask('"Match Point"', degree=WeightThreshold(0.0))
+        assert answer.found
+        assert answer.rows_of("GENRE")  # children still reachable
+
+    def test_failed_update_leaves_index_untouched(self, setup):
+        db, index, writer = setup
+        tid = writer.insert(
+            "MOVIE", {"MID": 56, "TITLE": "Sleeper Two", "YEAR": 1999, "DID": 1}
+        )
+        before = {occ.tids == {tid} for occ in index.lookup_word("sleeper")}
+        with pytest.raises(Exception):
+            writer.update("MOVIE", tid, {"MID": 1})  # pk collision
+        after = {occ.tids == {tid} for occ in index.lookup_word("sleeper")}
+        assert before == after
+        assert db.relation("MOVIE").fetch(tid)["MID"] == 56
 
     def test_update_unknown_attribute(self, setup):
         db, index, writer = setup
@@ -68,6 +100,7 @@ class TestUpdate:
         )
         with pytest.raises(KeyError):
             writer.update("MOVIE", tid, {"NOPE": 1})
+        assert db.relation("MOVIE").fetch(tid)["TITLE"] == "Bananas"
 
 
 class TestRelevanceRanking:
