@@ -9,13 +9,21 @@ wall-clock time per point (this machine) and the deterministic modeled
 cost (abstract I/O units, machine-independent), plus the ablation
 tables. The pytest-benchmark suite covers the same ground with rigorous
 timing; this script exists to produce compact, diffable tables.
+
+Every experiment also returns its table as a structured payload, and
+``main`` collects them into ``BENCH_precis.json`` at the repo root
+(``--json-out`` overrides the path, ``--json-out -`` skips the file):
+per-experiment wall-clock timings plus, for the ``overhead``
+experiment, the key service counters from a metrics-enabled warm loop.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import time
+from pathlib import Path
 
 from repro.bench import (
     chain_database,
@@ -46,6 +54,14 @@ def _time(fn, repeat=3):
     return best
 
 
+def _table(title, columns, rows, **extra):
+    """Print one series and return it as a JSON-compatible payload."""
+    print_series(title, columns, rows)
+    payload = {"title": title, "columns": list(columns), "rows": rows}
+    payload.update(extra)
+    return payload
+
+
 def figure_7():
     """Result Schema Generator time vs degree d (tokens in one relation,
 
@@ -73,7 +89,7 @@ def figure_7():
             TopRProjections(d), stats=stats,
         )
         rows.append([d, seconds / len(runs) * 1e3, stats.paths_popped])
-    print_series(
+    return _table(
         "Figure 7 — Result Schema Generator vs degree d "
         "(avg of 200 runs/point)",
         ["d", "ms/run", "paths popped (1 run)"],
@@ -116,12 +132,14 @@ def figure_8(backend=None):
             [c_r, seconds / 5 * 1e3, measured.modeled_cost / 5]
         )
     fit = fit_linear([r[0] for r in rows], [r[2] for r in rows])
-    print_series(
+    payload = _table(
         "Figure 8 — Result Database Generator vs c_R (naive, n_R=4)",
         ["c_R", "ms/run", "modeled cost/run"],
         rows,
+        fit_r_squared=fit.r_squared,
     )
     print(f"   linear fit of modeled cost: r^2 = {fit.r_squared:.4f}")
+    return payload
 
 
 def figure_9(backend=None):
@@ -144,14 +162,19 @@ def figure_9(backend=None):
                 m_rr.modeled_cost / 5,
             ]
         )
-    print_series(
+    fits = {}
+    for label, column in (("naive", 3), ("round-robin", 4)):
+        fit = fit_linear([r[0] for r in rows], [r[column] for r in rows])
+        fits[label] = fit.r_squared
+    payload = _table(
         "Figure 9 — NaïveQ vs RoundRobin vs n_R (c_R=50)",
         ["n_R", "naive ms", "rrobin ms", "naive cost", "rrobin cost"],
         rows,
+        fit_r_squared=fits,
     )
-    for label, column in (("naive", 3), ("round-robin", 4)):
-        fit = fit_linear([r[0] for r in rows], [r[column] for r in rows])
-        print(f"   {label} modeled cost linear fit: r^2 = {fit.r_squared:.4f}")
+    for label, r_squared in fits.items():
+        print(f"   {label} modeled cost linear fit: r^2 = {r_squared:.4f}")
+    return payload
 
 
 def formula_2(backend=None):
@@ -169,7 +192,7 @@ def formula_2(backend=None):
             [n_r, c_r, measured.modeled_cost, predicted,
              measured.modeled_cost / predicted]
         )
-    print_series(
+    return _table(
         "Formula (2) — measured modeled cost vs c_R*n_R*(It+Tt)",
         ["n_R", "c_R", "measured", "formula2", "ratio"],
         rows,
@@ -207,7 +230,7 @@ def ablation_strategies(backend=None):
         parents = {r["ID"] for r in answer.relation("R1").scan(["ID"])}
         covered = {r["REF"] for r in answer.relation("R2").scan(["REF"])}
         rows.append([strategy, len(parents & covered) / len(parents)])
-    print_series(
+    return _table(
         "Ablation — retrieval strategies under skew "
         "(1 parent owns 50/69 children, budget 20)",
         ["strategy", "driving-tuple coverage"],
@@ -250,7 +273,7 @@ def ablation_join_order(backend=None):
                 db, schema, seeds, MaxTotalTuples(40), join_order=order
             )
             totals[name] += relevance(report)
-    print_series(
+    return _table(
         "Ablation — join order under a 40-tuple total budget "
         "(12 random weight sets)",
         ["order", "budget-weighted relevance"],
@@ -296,11 +319,74 @@ def ablation_cache(backend=None):
     baseline = rows[0][1]
     for row in rows:
         row.append(baseline / row[1])
-    print_series(
+    return _table(
         "Ablation — repeated asks per cache configuration "
         "(300-movie db, warm passes)",
         ["cache", "ms/ask", "hits", "misses", "speedup"],
         rows,
+    )
+
+
+def metrics_overhead(backend=None):
+    """Ask latency with the service layers off vs on (warm passes).
+
+    The acceptance bar: with metrics *disabled* the engine takes the
+    exact PR-3 code path (``self.metrics is None`` short-circuits), so
+    "off" IS the baseline and any metrics cost shows only in the other
+    rows. The metrics row also contributes the key service counters to
+    ``BENCH_precis.json``.
+    """
+    from repro.core import PrecisEngine
+    from repro.datasets import generate_movies_database, movies_graph
+    from repro.obs import Tracer
+
+    db = generate_movies_database(n_movies=200, seed=9, backend=backend)
+    graph = movies_graph()
+    queries = ["midnight", "drama", "garcia", "thriller", "comedy"]
+    configs = [
+        ("off", {}),
+        ("metrics", {"metrics": True}),
+        ("metrics+slowlog", {"metrics": True, "slow_query_ms": 0.0}),
+        ("traced", {"tracer": Tracer()}),
+    ]
+    rows = []
+    counters = {}
+    histogram = {}
+    for label, kwargs in configs:
+        engine = PrecisEngine(db, graph=graph, **kwargs)
+        for query in queries:  # warm-up pass
+            engine.ask(query, cardinality=MaxTuplesPerRelation(10))
+
+        def warm():
+            for query in queries:
+                engine.ask(query, cardinality=MaxTuplesPerRelation(10))
+
+        seconds = _time(warm)
+        rows.append([label, seconds / len(queries) * 1e3])
+        if label == "metrics":
+            snapshot = engine.metrics_snapshot()
+            counters = {
+                name: value
+                for name, value in snapshot["counters"].items()
+                if "{" not in name  # unlabeled key counters only
+            }
+            histogram = snapshot["histograms"]["precis_ask_seconds"]
+            histogram = {
+                k: histogram[k]
+                for k in ("count", "p50", "p95", "p99")
+            }
+    baseline = rows[0][1]
+    for row in rows:
+        row.append(row[1] / baseline)
+    return _table(
+        "Overhead — warm ask latency per service-layer configuration "
+        "(200-movie db)",
+        ["config", "ms/ask", "vs off"],
+        rows,
+        counters=counters,
+        ask_histogram=histogram,
+        note="metrics=None short-circuits every service-layer branch: "
+        "the 'off' row is the pre-metrics baseline by construction",
     )
 
 
@@ -315,7 +401,9 @@ def main(argv=None):
         "strategies": ablation_strategies,
         "joinorder": ablation_join_order,
         "cache": ablation_cache,
+        "overhead": metrics_overhead,
     }
+    default_json = Path(__file__).resolve().parent.parent / "BENCH_precis.json"
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "figures", nargs="*", choices=[[], *figures], metavar="figure",
@@ -325,15 +413,36 @@ def main(argv=None):
         "--backend", choices=list(BACKEND_NAMES), default="memory",
         help="storage backend the workload databases are built on",
     )
+    parser.add_argument(
+        "--json-out", default=str(default_json), metavar="FILE",
+        help="where to write the structured results "
+        "(default: BENCH_precis.json at the repo root; '-' disables)",
+    )
     args = parser.parse_args(argv)
     backend = args.backend
     print(f"(storage backend: {backend})")
+    experiments = {}
     for name in args.figures or list(figures):
         fn = figures[name]
+        start = time.perf_counter()
         if name == "fig7":
-            fn()  # graph-only: no database involved
+            payload = fn()  # graph-only: no database involved
         else:
-            fn(backend=backend)
+            payload = fn(backend=backend)
+        payload["seconds"] = time.perf_counter() - start
+        experiments[name] = payload
+    if args.json_out != "-":
+        document = {
+            "backend": backend,
+            "experiments": experiments,
+            "total_seconds": sum(
+                p["seconds"] for p in experiments.values()
+            ),
+        }
+        with open(args.json_out, "w", encoding="utf-8") as stream:
+            json.dump(document, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"(structured results written to {args.json_out})")
 
 
 if __name__ == "__main__":

@@ -19,7 +19,7 @@ optionally, a natural-language synthesis. The package layout:
 ``repro.baselines``    DISCOVER- and BANKS-style keyword search comparators
 ``repro.datasets``     the paper's movies schema + synthetic generators
 ``repro.bench``        §6 experiment harness helpers
-``repro.obs``          tracing: stage spans, counters, sinks, stats
+``repro.obs``          tracing, service metrics + exporters, EXPLAIN records
 ``repro.cache``        versioned, invalidation-aware plan/answer caching
 =====================  =====================================================
 
@@ -61,7 +61,15 @@ from .core import (
     cardinality_for_response_time,
 )
 from .graph import SchemaGraph, graph_from_schema
-from .obs import NULL_TRACER, InMemorySink, QueryStats, Tracer
+from .obs import (
+    NULL_TRACER,
+    EngineMetrics,
+    InMemorySink,
+    MetricsRegistry,
+    QueryStats,
+    Tracer,
+    prometheus_text,
+)
 from .personalization import Profile
 from .relational import Database, DatabaseSchema
 
@@ -92,5 +100,8 @@ __all__ = [
     "NULL_TRACER",
     "InMemorySink",
     "QueryStats",
+    "EngineMetrics",
+    "MetricsRegistry",
+    "prometheus_text",
     "__version__",
 ]

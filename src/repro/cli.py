@@ -7,6 +7,8 @@ Usage (after ``python setup.py develop``)::
     python -m repro query ./demo '"Woody Allen"' --degree-weight 0.9 \
         --per-relation 3 --narrative
     python -m repro explain ./demo '"Woody Allen"' --degree-weight 0.9
+    python -m repro query ./demo Allen --explain \
+        --metrics-out metrics.json --slow-query-ms 0
 
 A database directory is what ``repro.relational.csvio`` writes: one CSV
 per relation plus ``_schema.json``, and optionally ``_graph.json`` (a
@@ -37,10 +39,11 @@ from .core import (
     render_plan,
     render_stats,
 )
+from .core.explain import render_explanation
 from .graph import graph_from_schema, result_schema_to_dot
 from .graph.serialization import load_graph, save_graph
 from .nlg import Translator, generic_spec
-from .obs import InMemorySink, Tracer, format_span_table
+from .obs import InMemorySink, Tracer, format_span_table, write_metrics
 from .cache import CacheConfig
 from .relational import create_schema_sql, database_summary
 from .relational.csvio import load_database, save_database
@@ -136,6 +139,26 @@ def build_parser() -> argparse.ArgumentParser:
             "tables are rebuilt from the CSV directory on each run "
             "and left on disk for inspection",
         )
+        cmd.add_argument(
+            "--metrics-out",
+            metavar="FILE",
+            help="enable service metrics (repro.obs.metrics) and write "
+            "a snapshot to FILE after the command ('-' for stdout)",
+        )
+        cmd.add_argument(
+            "--metrics-format",
+            choices=["json", "prometheus"],
+            default="json",
+            help="exporter for --metrics-out: JSON snapshot or "
+            "Prometheus text exposition",
+        )
+        cmd.add_argument(
+            "--slow-query-ms",
+            type=float,
+            metavar="N",
+            help="keep asks slower than N ms in the slow-query log "
+            "(part of the JSON metrics snapshot; implies metrics)",
+        )
         if name == "estimate":
             cmd.add_argument(
                 "--target-total",
@@ -147,6 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
                 "--narrative",
                 action="store_true",
                 help="print the natural-language synthesis",
+            )
+            cmd.add_argument(
+                "--explain",
+                action="store_true",
+                help="print the provenance view: why each relation and "
+                "tuple batch is in the précis and which constraint "
+                "bounded it",
             )
             cmd.add_argument(
                 "--dot",
@@ -211,6 +241,8 @@ def _load_engine(
     tracer: Optional[Tracer] = None,
     backend=None,
     cache: Optional[CacheConfig] = None,
+    metrics: bool = False,
+    slow_query_ms: Optional[float] = None,
 ) -> PrecisEngine:
     path = Path(directory)
     db = load_database(path, enforce_foreign_keys=False, backend=backend)
@@ -223,7 +255,13 @@ def _load_engine(
     else:
         graph = graph_from_schema(db.schema)
     return PrecisEngine(
-        db, graph=graph, translator=translator, cache=cache, tracer=tracer
+        db,
+        graph=graph,
+        translator=translator,
+        cache=cache,
+        tracer=tracer,
+        metrics=metrics or None,
+        slow_query_ms=slow_query_ms,
     )
 
 
@@ -233,6 +271,29 @@ def _tracer_for(args) -> tuple[Optional[Tracer], Optional[InMemorySink]]:
         return None, None
     sink = InMemorySink()
     return Tracer([sink]), sink
+
+
+def _metrics_requested(args) -> bool:
+    return (
+        getattr(args, "metrics_out", None) is not None
+        or getattr(args, "slow_query_ms", None) is not None
+    )
+
+
+def _write_metrics(args, engine, out) -> None:
+    """The ``--metrics-out`` epilogue (no-op when metrics are off)."""
+    target = getattr(args, "metrics_out", None)
+    if target is None or engine.metrics is None:
+        return
+    write_metrics(
+        engine.metrics,
+        out if target == "-" else target,
+        format=args.metrics_format,
+    )
+    if target != "-":
+        print(
+            f"metrics written to {target} ({args.metrics_format})", file=out
+        )
 
 
 def _print_stats(answer, sink: InMemorySink, out, engine=None) -> None:
@@ -293,6 +354,8 @@ def _cmd_query(args, out) -> int:
         tracer,
         backend=_backend_for(args),
         cache=_cache_for(args),
+        metrics=_metrics_requested(args),
+        slow_query_ms=args.slow_query_ms,
     )
     answer = engine.ask(
         args.query,
@@ -304,11 +367,15 @@ def _cmd_query(args, out) -> int:
         print(f"no match for {args.query!r}", file=out)
         if sink is not None:
             _print_stats(answer, sink, out, engine)
+        _write_metrics(args, engine, out)
         return 1
     if args.dot:
         print(result_schema_to_dot(answer.result_schema), file=out)
         return 0
     print(answer.describe(), file=out)
+    if args.explain:
+        print("", file=out)
+        print(render_explanation(answer), file=out)
     if args.narrative and answer.narrative:
         print("", file=out)
         print(answer.narrative, file=out)
@@ -317,6 +384,7 @@ def _cmd_query(args, out) -> int:
         print(f"\nanswer database exported to {args.save}", file=out)
     if sink is not None:
         _print_stats(answer, sink, out, engine)
+    _write_metrics(args, engine, out)
     return 0
 
 
@@ -327,6 +395,8 @@ def _cmd_explain(args, out) -> int:
         tracer,
         backend=_backend_for(args),
         cache=_cache_for(args),
+        metrics=_metrics_requested(args),
+        slow_query_ms=args.slow_query_ms,
     )
     answer = engine.ask(
         args.query,
@@ -335,6 +405,8 @@ def _cmd_explain(args, out) -> int:
         strategy=args.strategy,
         translate=False,
     )
+    print(render_explanation(answer), file=out)
+    print("", file=out)
     print(render_plan(answer), file=out)
     print("", file=out)
     print("-- result database DDL", file=out)
@@ -345,6 +417,7 @@ def _cmd_explain(args, out) -> int:
         print(query + ";", file=out)
     if sink is not None:
         _print_stats(answer, sink, out, engine)
+    _write_metrics(args, engine, out)
     return 0
 
 
@@ -357,6 +430,8 @@ def _cmd_estimate(args, out) -> int:
         tracer,
         backend=_backend_for(args),
         cache=_cache_for(args),
+        metrics=_metrics_requested(args),
+        slow_query_ms=args.slow_query_ms,
     )
     schema, matches, __ = engine.plan(args.query, _degree(args))
     if schema.is_empty():
@@ -392,6 +467,7 @@ def _cmd_estimate(args, out) -> int:
             for layer, counters in engine.cache_stats().items():
                 body = " ".join(f"{k}={v}" for k, v in counters.items())
                 print(f"cache[{layer}]: {body}", file=out)
+    _write_metrics(args, engine, out)
     return 0
 
 

@@ -28,7 +28,14 @@ from .database_generator import (
 from .diff import AnswerDiff, diff_answers
 from .engine import PrecisEngine
 from .estimator import estimate_cardinalities, estimate_total, suggest_cardinality
-from .explain import answer_ddl, emitted_queries, render_plan, render_stats
+from .explain import (
+    answer_ddl,
+    build_explanation,
+    emitted_queries,
+    render_explanation,
+    render_plan,
+    render_stats,
+)
 from .explorer import Explorer
 from .query import PrecisQuery
 from .value_weights import (
@@ -72,6 +79,8 @@ __all__ = [
     "render_plan",
     "render_stats",
     "answer_ddl",
+    "build_explanation",
+    "render_explanation",
     "TupleWeigher",
     "AttributeValueWeights",
     "NumericAttributeWeights",

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..obs import QueryStats
+from ..obs.explain import Explanation
 from ..relational.cost import CostSnapshot
 from ..relational.database import Database
 from ..relational.datatypes import render
@@ -43,6 +44,13 @@ class PrecisAnswer:
     #: Deliberately excluded from :meth:`to_dict` so traced and untraced
     #: answers serialize identically — export via ``stats.to_dict()``.
     stats: Optional[QueryStats] = None
+    #: structured provenance (``repro.obs.explain``): why each relation
+    #: and tuple batch is in this précis and which constraint bounded
+    #: it. Attached by :meth:`~repro.core.engine.PrecisEngine.ask`; None
+    #: for answers built straight from the generators. Excluded from
+    #: :meth:`to_dict` (export via ``explanation.to_dict()``), rendered
+    #: by the CLI's ``--explain``.
+    explanation: Optional[Explanation] = None
 
     # ------------------------------------------------------------- queries
 

@@ -85,6 +85,10 @@ class DegreeConstraint(ABC):
     def admits(self, state: SchemaState, candidate: Path) -> bool:
         """``d(P_d ∪ {candidate})`` of the paper."""
 
+    def describe(self) -> str:
+        """Short human-readable form for EXPLAIN provenance records."""
+        return repr(self)
+
 
 @dataclass(frozen=True)
 class TopRProjections(DegreeConstraint):
@@ -111,6 +115,9 @@ class TopRProjections(DegreeConstraint):
         # still be admitted beyond it.
         return len(state.attributes) < self.r
 
+    def describe(self) -> str:
+        return f"top-r projections (r={self.r})"
+
 
 @dataclass(frozen=True)
 class WeightThreshold(DegreeConstraint):
@@ -133,6 +140,9 @@ class WeightThreshold(DegreeConstraint):
         # projection paths (is this projection heavy enough?).
         return candidate.weight >= self.w0
 
+    def describe(self) -> str:
+        return f"weight threshold (w0={self.w0:g})"
+
 
 @dataclass(frozen=True)
 class MaxPathLength(DegreeConstraint):
@@ -151,6 +161,9 @@ class MaxPathLength(DegreeConstraint):
         # A join path of length l0 can no longer host a projection
         # within the budget (the projection edge adds 1).
         return candidate.length < self.l0
+
+    def describe(self) -> str:
+        return f"max path length (l0={self.l0})"
 
 
 @dataclass(frozen=True)
@@ -183,12 +196,30 @@ class CompositeDegree(DegreeConstraint):
             for part in self.parts
         )
 
+    def failing_parts(
+        self, state: SchemaState, candidate: Path
+    ) -> tuple[DegreeConstraint, ...]:
+        """The parts rejecting *candidate* — EXPLAIN names these rather
+        than the whole conjunction."""
+        return tuple(
+            part
+            for part in self.parts
+            if not part.admits(state, candidate)
+        )
+
+    def describe(self) -> str:
+        return " AND ".join(part.describe() for part in self.parts)
+
 
 # ---------------------------------------------------------------- cardinality
 
 
 class CardinalityConstraint(ABC):
     """Budgets how many tuples may still be added to the result."""
+
+    def describe(self) -> str:
+        """Short human-readable form for EXPLAIN provenance records."""
+        return repr(self)
 
     @abstractmethod
     def budget_for(
@@ -215,6 +246,9 @@ class Unlimited(CardinalityConstraint):
     def exhausted(self, cardinalities):
         return False
 
+    def describe(self) -> str:
+        return "unlimited"
+
 
 @dataclass(frozen=True)
 class MaxTotalTuples(CardinalityConstraint):
@@ -231,6 +265,9 @@ class MaxTotalTuples(CardinalityConstraint):
 
     def exhausted(self, cardinalities):
         return sum(cardinalities.values()) >= self.c0
+
+    def describe(self) -> str:
+        return f"max total tuples (c0={self.c0})"
 
 
 @dataclass(frozen=True)
@@ -250,6 +287,9 @@ class MaxTuplesPerRelation(CardinalityConstraint):
         # Per-relation budgets never exhaust globally: an as-yet-empty
         # relation could always accept tuples.
         return self.c0 == 0
+
+    def describe(self) -> str:
+        return f"max tuples per relation (c0={self.c0})"
 
 
 @dataclass(frozen=True)
@@ -275,6 +315,9 @@ class CompositeCardinality(CardinalityConstraint):
 
     def exhausted(self, cardinalities):
         return any(part.exhausted(cardinalities) for part in self.parts)
+
+    def describe(self) -> str:
+        return " AND ".join(part.describe() for part in self.parts)
 
 
 def cardinality_for_response_time(

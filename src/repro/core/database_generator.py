@@ -74,6 +74,9 @@ class JoinExecution:
     driving_values: int
     tuples_fetched: int
     tuples_new: int
+    #: cardinality budget in force when the edge executed (None =
+    #: unbounded) — EXPLAIN uses this to show which batches were capped
+    budget: Optional[int] = None
 
 
 @dataclass
@@ -84,6 +87,10 @@ class GeneratorReport:
     executions: list[JoinExecution] = field(default_factory=list)
     skipped_edges: list[JoinEdge] = field(default_factory=list)
     stopped_by_cardinality: bool = False
+    #: per seeded relation: inverted-index matches offered (pre-budget)
+    seed_matches: dict[str, int] = field(default_factory=dict)
+    #: per seeded relation: cardinality budget in force (None = unbounded)
+    seed_budgets: dict[str, Optional[int]] = field(default_factory=dict)
     #: per relation: source tuple id -> answer tuple id, for every tuple
     #: that made it into the answer (used by the translator to find the
     #: seed tuples again)
@@ -369,6 +376,8 @@ def _populate(
         budget = cardinality.budget_for(relation, counts)
         attrs = result_schema.retrieval_attributes(relation)
         tid_list = sorted(tids)
+        report.seed_matches[relation] = len(tid_list)
+        report.seed_budgets[relation] = budget
         if (
             tuple_weigher is not None
             and budget is not None
@@ -469,6 +478,7 @@ def _populate(
                 driving_values=len(driving),
                 tuples_fetched=len(rows),
                 tuples_new=added,
+                budget=budget,
             )
         )
 

@@ -28,7 +28,14 @@ from ..cache import (
     plan_token,
 )
 from ..graph.schema_graph import SchemaGraph, graph_from_schema
-from ..obs import NULL_TRACER, QueryStats, Tracer
+from ..obs import (
+    NULL_TRACER,
+    EngineMetrics,
+    InMemorySink,
+    MetricsRegistry,
+    QueryStats,
+    Tracer,
+)
 from ..personalization.profile import Profile, ProfileRegistry
 from ..relational.database import Database
 from ..text.inverted_index import InvertedIndex, build_index
@@ -41,6 +48,7 @@ from .constraints import (
     WeightThreshold,
 )
 from .database_generator import STRATEGY_AUTO, generate_result_database
+from .explain import build_explanation
 from .query import PrecisQuery
 from .result_schema import ResultSchema
 from .schema_generator import generate_result_schema
@@ -64,6 +72,8 @@ class PrecisEngine:
         cache_plans: bool = False,
         drop_stopwords: bool = False,
         tracer: Optional[Tracer] = None,
+        metrics: Union[EngineMetrics, MetricsRegistry, bool, None] = None,
+        slow_query_ms: Optional[float] = None,
     ):
         """Build an engine.
 
@@ -118,13 +128,37 @@ class PrecisEngine:
             this engine. Defaults to the zero-overhead no-op tracer;
             per-call ``tracer=`` arguments on :meth:`ask` /
             :meth:`ask_per_occurrence` / :meth:`plan` override it.
+        metrics:
+            Service-level metrics (:mod:`repro.obs.metrics`). Accepts an
+            :class:`~repro.obs.EngineMetrics`, a bare
+            :class:`~repro.obs.MetricsRegistry` (wrapped; registries may
+            be shared across engines), ``True`` (fresh registry), or
+            ``None`` (off — the default, zero overhead). When enabled,
+            every :meth:`ask` feeds end-to-end and per-stage latency
+            histograms, pipeline counters and cache hit/miss series;
+            export via :meth:`metrics_snapshot` /
+            :meth:`metrics_prometheus`.
+        slow_query_ms:
+            Threshold for the slow-query log (implies metrics when a
+            registry was not given): asks at least this slow are kept,
+            stage breakdown included, in a bounded slowest-first log
+            (``engine.metrics.slow_queries``).
         """
         self.db = db
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = self._resolve_metrics(metrics, slow_query_ms)
         self.graph = graph if graph is not None else graph_from_schema(db.schema)
-        self.index = (
-            index if index is not None else build_index(db, tracer=self.tracer)
-        )
+        if index is not None:
+            self.index = index
+        elif self.metrics is not None and not self.tracer.enabled:
+            # metrics without tracing: measure the build through a
+            # private throwaway tracer, then digest the span
+            sink = InMemorySink()
+            self.index = build_index(db, tracer=Tracer([sink]))
+            if sink.last is not None:
+                self.metrics.observe_index_build(sink.last)
+        else:
+            self.index = build_index(db, tracer=self.tracer)
         self.synonyms = synonyms
         self.translator = translator
         self.default_degree = (
@@ -152,10 +186,34 @@ class PrecisEngine:
             return EngineCache(CacheConfig(plans=True, answers=False))
         return None
 
+    @staticmethod
+    def _resolve_metrics(
+        metrics: Union[EngineMetrics, MetricsRegistry, bool, None],
+        slow_query_ms: Optional[float],
+    ) -> Optional[EngineMetrics]:
+        if isinstance(metrics, EngineMetrics):
+            return metrics
+        if isinstance(metrics, MetricsRegistry):
+            return EngineMetrics(metrics, slow_query_ms=slow_query_ms)
+        if metrics is True or (metrics is None and slow_query_ms is not None):
+            return EngineMetrics(slow_query_ms=slow_query_ms)
+        return None
+
     def cache_stats(self) -> dict[str, dict[str, int]]:
         """Per-layer hit/miss/eviction/invalidation counters (empty
         dict when caching is off)."""
         return self.cache.stats() if self.cache is not None else {}
+
+    def metrics_snapshot(self) -> dict:
+        """JSON-compatible dump of the service metrics: counters,
+        gauges, histograms (with p50/p95/p99) and the slow-query log.
+        Empty dict when metrics are off."""
+        return self.metrics.snapshot() if self.metrics is not None else {}
+
+    def metrics_prometheus(self) -> str:
+        """The service metrics in Prometheus text exposition format
+        (empty string when metrics are off)."""
+        return self.metrics.prometheus() if self.metrics is not None else ""
 
     # --------------------------------------------------------------- profiles
 
@@ -207,6 +265,21 @@ class PrecisEngine:
         consulted, wrapping the nested ``"schema_generator"`` span on a
         miss).
         """
+        schema, matches, graph, __ = self._plan(
+            query, degree, profile, weights, tracer
+        )
+        return schema, matches, graph
+
+    def _plan(
+        self,
+        query: PrecisQuery | str,
+        degree: Optional[DegreeConstraint] = None,
+        profile: Optional[Profile | str] = None,
+        weights: Optional[dict[tuple, float]] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> tuple[ResultSchema, list[TokenMatch], SchemaGraph, str]:
+        """:meth:`plan` plus the plan-cache outcome (``"hit"`` /
+        ``"miss"`` / ``"off"`` / ``"uncacheable"``) for provenance."""
         tracer = tracer if tracer is not None else self.tracer
         if isinstance(query, str):
             query = PrecisQuery.parse(query)
@@ -229,6 +302,7 @@ class PrecisEngine:
 
         with tracer.span("schema"):
             plans = self.cache.plans if self.cache is not None else None
+            outcome = "off" if plans is None else "uncacheable"
             cacheable = (
                 plans is not None and graph is self.graph  # base graph only
             )
@@ -249,16 +323,17 @@ class PrecisEngine:
                     plans.stats.invalidations - invalidated,
                 )
                 hit = cached is not MISSING
+                outcome = "hit" if hit else "miss"
                 tracer.count("cache_hit", 1 if hit else 0)
                 tracer.count("cache_miss", 0 if hit else 1)
                 if hit:
-                    return cached, matches, graph
+                    return cached, matches, graph, outcome
             schema = generate_result_schema(
                 graph, token_relations, degree, tracer=tracer
             )
             if cacheable:
                 plans.put(key, schema, token)
-        return schema, matches, graph
+        return schema, matches, graph, outcome
 
     def ask(
         self,
@@ -294,6 +369,11 @@ class PrecisEngine:
         *tuple_weigher* (an opaque callable) are never cached.
         """
         tracer = tracer if tracer is not None else self.tracer
+        metrics = self.metrics
+        if metrics is not None and not tracer.enabled:
+            # metrics need the span tree for stage latencies; a private
+            # sinkless tracer records it without any sink plumbing
+            tracer = Tracer()
         if isinstance(query, str):
             query = PrecisQuery.parse(query)
         resolved = self._resolve_profile(profile)
@@ -310,6 +390,7 @@ class PrecisEngine:
 
         answer_lru = self.cache.answers if self.cache is not None else None
         cache_key = None
+        answer_outcome = "off" if answer_lru is None else "uncacheable"
         if answer_lru is not None and tuple_weigher is None:
             try:
                 cache_key = answer_key(
@@ -342,7 +423,10 @@ class PrecisEngine:
             if hit:
                 answer = cached
             else:
-                schema, matches, __ = self.plan(
+                answer_outcome = (
+                    "miss" if cache_key is not None else answer_outcome
+                )
+                schema, matches, __, plan_outcome = self._plan(
                     query, degree, resolved, weights, tracer=tracer
                 )
 
@@ -373,6 +457,13 @@ class PrecisEngine:
                     matches=matches,
                     cost=measured.delta,
                 )
+                answer.explanation = build_explanation(
+                    answer,
+                    degree,
+                    cardinality,
+                    plan_cache=plan_outcome,
+                    answer_cache=answer_outcome,
+                )
                 if translate and self.translator is not None and answer.found:
                     with tracer.span("translate"):
                         answer.narrative = self._run_translator(answer, tracer)
@@ -380,6 +471,10 @@ class PrecisEngine:
                     answer_lru.put(cache_key, answer, token)
         if tracer.enabled:
             answer.stats = QueryStats.from_span(root)
+        if metrics is not None:
+            metrics.observe_ask(root, query.text)
+            if self.cache is not None:
+                metrics.observe_cache_stats(self.cache_stats())
         return answer
 
     def _run_translator(self, answer: PrecisAnswer, tracer: Tracer):
@@ -438,8 +533,11 @@ class PrecisEngine:
         )
 
         tracer = tracer if tracer is not None else self.tracer
+        metrics = self.metrics
+        if metrics is not None and not tracer.enabled:
+            tracer = Tracer()
         answers: list[PrecisAnswer] = []
-        with tracer.span("ask_per_occurrence"):
+        with tracer.span("ask_per_occurrence") as root:
             with tracer.span("match"):
                 matches = self.match(query)
                 tracer.count(
@@ -469,6 +567,13 @@ class PrecisEngine:
                             matches=[TokenMatch(match.token, (occurrence,))],
                             cost=measured.delta,
                         )
+                        answer.explanation = build_explanation(
+                            answer,
+                            degree,
+                            cardinality,
+                            plan_cache="off",
+                            answer_cache="off",
+                        )
                         if translate and self.translator is not None:
                             with tracer.span("translate"):
                                 answer.narrative = self._run_translator(
@@ -477,6 +582,10 @@ class PrecisEngine:
                     if tracer.enabled:
                         answer.stats = QueryStats.from_span(occ_span)
                     answers.append(answer)
+        if metrics is not None:
+            metrics.observe_ask(root, query.text)
+            if self.cache is not None:
+                metrics.observe_cache_stats(self.cache_stats())
         if rank:
             answers.sort(key=lambda a: -a.relevance())
         return answers

@@ -7,6 +7,12 @@ without joins", §5.2/§6). This module reconstructs that query script
 from a :class:`~repro.core.answer.PrecisAnswer` — useful for debugging,
 for teaching, and for porting the answer onto a real SQL engine — plus
 a human-readable execution plan.
+
+It also hosts :func:`build_explanation`, the builder that distils one
+finished answer into the structured provenance record of
+:mod:`repro.obs.explain` ("why is this relation/tuple in my précis,
+and which constraint bounded it?") — the engine attaches its output as
+:attr:`~repro.core.answer.PrecisAnswer.explanation`.
 """
 
 from __future__ import annotations
@@ -18,9 +24,23 @@ from ..core.database_generator import (
 )
 from ..core.result_schema import ResultSchema
 from ..obs import QueryStats, format_stats
+from ..obs.explain import (
+    BatchProvenance,
+    CacheProvenance,
+    Explanation,
+    RelationProvenance,
+)
 from ..relational.ddl import create_schema_sql
+from .constraints import CardinalityConstraint, DegreeConstraint
 
-__all__ = ["emitted_queries", "render_plan", "render_stats", "answer_ddl"]
+__all__ = [
+    "emitted_queries",
+    "render_plan",
+    "render_stats",
+    "answer_ddl",
+    "build_explanation",
+    "render_explanation",
+]
 
 
 def _projection_list(schema: ResultSchema, relation: str) -> str:
@@ -131,6 +151,141 @@ def render_stats(source: PrecisAnswer | QueryStats) -> str:
             "tracer=...))"
         )
     return format_stats(stats)
+
+
+def _edge_text(edge) -> str:
+    return (
+        f"{edge.source}.{edge.source_attribute} → "
+        f"{edge.target}.{edge.target_attribute}"
+    )
+
+
+def build_explanation(
+    answer: PrecisAnswer,
+    degree: DegreeConstraint,
+    cardinality: CardinalityConstraint,
+    plan_cache: str = "off",
+    answer_cache: str = "off",
+) -> Explanation:
+    """Distil one finished answer into its provenance record.
+
+    *plan_cache* / *answer_cache* are the cache outcomes of the run
+    (``"hit"`` / ``"miss"`` / ``"off"`` / ``"uncacheable"``) — the
+    engine knows them; standalone callers may leave the defaults.
+
+    The record answers, per relation, *why it is in the result schema*
+    (seed token match vs. the weighted path that admitted it), names
+    the degree constraint that stopped schema expansion (riding on
+    :attr:`~repro.core.result_schema.ResultSchema.stop`, so plan-cache
+    hits keep the original reason), and per tuple batch, which
+    strategy and driving set pulled it under which cardinality budget.
+    """
+    schema = answer.result_schema
+    report: GeneratorReport = answer.report
+
+    tokens_by_relation: dict[str, list[str]] = {}
+    for match in answer.matches:
+        for occurrence in match.occurrences:
+            tokens_by_relation.setdefault(occurrence.relation, [])
+            if match.token not in tokens_by_relation[occurrence.relation]:
+                tokens_by_relation[occurrence.relation].append(match.token)
+
+    relations: list[RelationProvenance] = []
+    seen: set[str] = set()
+    for path in schema.projection_paths:
+        for relation in path.relations():
+            if relation not in seen:
+                seen.add(relation)
+                if relation in schema.origin_relations:
+                    relations.append(
+                        RelationProvenance(
+                            relation=relation,
+                            kind="seed",
+                            tokens=tuple(
+                                tokens_by_relation.get(relation, ())
+                            ),
+                        )
+                    )
+                else:
+                    via = next(
+                        (
+                            edge
+                            for edge in path.joins
+                            if edge.target == relation
+                        ),
+                        None,
+                    )
+                    relations.append(
+                        RelationProvenance(
+                            relation=relation,
+                            kind="joined",
+                            via_path=repr(path),
+                            path_weight=path.weight,
+                            via_edge=(
+                                _edge_text(via) if via is not None else None
+                            ),
+                        )
+                    )
+
+    batches: list[BatchProvenance] = []
+    for relation, count in report.seed_counts.items():
+        batches.append(
+            BatchProvenance(
+                relation=relation,
+                kind="seed",
+                via_edge=None,
+                strategy=None,
+                driving_values=report.seed_matches.get(relation, count),
+                tuples_fetched=count,
+                tuples_new=count,
+                budget=report.seed_budgets.get(relation),
+            )
+        )
+    for execution in report.executions:
+        batches.append(
+            BatchProvenance(
+                relation=execution.edge.target,
+                kind="join",
+                via_edge=_edge_text(execution.edge),
+                strategy=execution.strategy,
+                driving_values=execution.driving_values,
+                tuples_fetched=execution.tuples_fetched,
+                tuples_new=execution.tuples_new,
+                budget=execution.budget,
+                edge_weight=execution.edge.weight,
+            )
+        )
+
+    return Explanation(
+        query=answer.query.text,
+        degree=degree.describe(),
+        cardinality=cardinality.describe(),
+        relations=relations,
+        schema_stop=schema.stop,
+        batches=batches,
+        skipped_edges=[_edge_text(e) for e in report.skipped_edges],
+        stopped_by_cardinality=report.stopped_by_cardinality,
+        cache=CacheProvenance(plan=plan_cache, answer=answer_cache),
+    )
+
+
+def render_explanation(source: PrecisAnswer | Explanation) -> str:
+    """The ``--explain`` provenance view.
+
+    Accepts an :class:`~repro.obs.explain.Explanation` or an answer
+    produced by :meth:`~repro.core.engine.PrecisEngine.ask` (which
+    always carries one); raises ``ValueError`` for an answer built
+    without the engine (e.g. straight from the generators).
+    """
+    explanation = (
+        source.explanation if isinstance(source, PrecisAnswer) else source
+    )
+    if explanation is None:
+        raise ValueError(
+            "answer carries no explanation — ask through PrecisEngine.ask "
+            "(or build one with repro.core.explain.build_explanation)"
+        )
+    return explanation.render()
 
 
 def answer_ddl(answer: PrecisAnswer) -> str:

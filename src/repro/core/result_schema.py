@@ -15,6 +15,7 @@ from typing import Iterable, Optional
 
 from ..graph.paths import Path
 from ..graph.schema_graph import JoinEdge
+from ..obs.explain import SchemaStop
 
 __all__ = ["ResultSchema"]
 
@@ -27,6 +28,11 @@ class ResultSchema:
     origin_relations: tuple[str, ...]
     #: admitted projection paths, in admission (decreasing-weight) order
     projection_paths: list[Path] = field(default_factory=list)
+    #: how the Figure 3 traversal ended (EXPLAIN provenance): the
+    #: degree-constraint failure that cut the queue, or queue
+    #: exhaustion. Filled by the schema generator; riding on the schema
+    #: means plan-cache hits keep serving the original stop reason.
+    stop: Optional[SchemaStop] = None
 
     # ------------------------------------------------------------- building
 

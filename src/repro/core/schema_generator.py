@@ -24,6 +24,7 @@ from typing import Iterable, Optional, Sequence
 from ..graph.paths import Path
 from ..graph.schema_graph import SchemaGraph
 from ..obs import NULL_TRACER, Tracer
+from ..obs.explain import SchemaStop
 from .constraints import CompositeDegree, DegreeConstraint, SchemaState
 from .result_schema import ResultSchema
 
@@ -56,6 +57,18 @@ def _is_terminal_failure(
     if isinstance(constraint, CompositeDegree):
         return constraint.failing_terminal(state, candidate)
     return False
+
+
+def _describe_failure(
+    constraint: DegreeConstraint, state: SchemaState, candidate: Path
+) -> str:
+    """Name the constraint (or the failing composite part) that
+    rejected *candidate* — what EXPLAIN reports as the bound."""
+    if isinstance(constraint, CompositeDegree):
+        failing = constraint.failing_parts(state, candidate)
+        if failing:
+            return " AND ".join(part.describe() for part in failing)
+    return constraint.describe()
 
 
 def generate_result_schema(
@@ -114,6 +127,22 @@ def _best_first_traversal(
     result = ResultSchema(origin_relations=origins)
     state = SchemaState()
 
+    # EXPLAIN provenance: the first degree rejection seen anywhere (at a
+    # pop or while extending). Even when it is not terminal — i.e. the
+    # traversal keeps scanning — it is the proof that the degree
+    # constraint, not graph exhaustion, bounded the schema.
+    first_rejection: Optional[SchemaStop] = None
+
+    def record_rejection(candidate: Path) -> None:
+        nonlocal first_rejection
+        if first_rejection is None:
+            first_rejection = SchemaStop(
+                kind="degree",
+                constraint=_describe_failure(degree, state, candidate),
+                rejected_path=repr(candidate),
+                rejected_weight=candidate.weight,
+            )
+
     # Step 1: QP <- every edge attached to a token relation.
     heap: list[tuple[tuple, Path]] = []
     counter = 0  # FIFO tiebreak for fully identical sort keys
@@ -134,6 +163,7 @@ def _best_first_traversal(
         stats.paths_popped += 1
 
         if not degree.admits(state, path):
+            record_rejection(path)
             if _is_terminal_failure(degree, state, path):
                 break
             continue
@@ -158,10 +188,16 @@ def _best_first_traversal(
                 continue
             extended = path.extend(edge)
             if not degree.admits(state, extended):
+                record_rejection(extended)
                 if _is_terminal_failure(degree, state, extended):
                     stats.paths_pruned += 1
                     break
                 continue
             push(extended)
 
+    result.stop = (
+        first_rejection
+        if first_rejection is not None
+        else SchemaStop(kind="exhausted")
+    )
     return result

@@ -21,10 +21,36 @@ Quickstart::
     answer.stats.counter("tuples_emitted")   # == answer.total_tuples()
     answer.stats.stage("match").duration_ms  # inverted-index time
 
+On top of per-query tracing sit the *service-level* layers:
+:mod:`repro.obs.metrics` (a thread-safe :class:`MetricsRegistry` of
+counters/gauges/log-bucketed histograms fed by the engine on every ask,
+a :class:`SlowQueryLog`, and Prometheus/JSON exporters) and
+:mod:`repro.obs.explain` (the structured :class:`Explanation`
+provenance record attached to every answer — why each relation and
+tuple batch is in the précis, and which constraint bounded it).
+
 See ``docs/observability.md`` for the counter glossary and the span
 layout of each pipeline stage.
 """
 
+from .explain import (
+    BatchProvenance,
+    CacheProvenance,
+    Explanation,
+    RelationProvenance,
+    SchemaStop,
+)
+from .metrics import (
+    Counter,
+    EngineMetrics,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SlowQuery,
+    SlowQueryLog,
+    prometheus_text,
+    write_metrics,
+)
 from .sinks import InMemorySink, JsonLinesSink, TableSink, format_span_table
 from .stats import COUNTER_GLOSSARY, QueryStats, StageStats, format_stats
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer
@@ -42,4 +68,18 @@ __all__ = [
     "StageStats",
     "format_stats",
     "COUNTER_GLOSSARY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "EngineMetrics",
+    "SlowQuery",
+    "SlowQueryLog",
+    "prometheus_text",
+    "write_metrics",
+    "Explanation",
+    "RelationProvenance",
+    "SchemaStop",
+    "BatchProvenance",
+    "CacheProvenance",
 ]

@@ -23,6 +23,7 @@ canonical names are listed in
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Iterable, Optional
 
@@ -170,7 +171,18 @@ class Tracer:
     def __init__(self, sinks: Optional[Iterable] = None, enabled: bool = True):
         self.sinks = list(sinks) if sinks is not None else []
         self.enabled = enabled
-        self._stack: list[Span] = []
+        # The open-span stack is *thread-local*: concurrent asks through
+        # one shared engine (and hence one shared tracer) each build
+        # their own span tree — counters land on the issuing thread's
+        # innermost span and cannot mis-parent across threads.
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # ------------------------------------------------------------- recording
 

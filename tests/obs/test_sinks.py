@@ -58,6 +58,20 @@ class TestJsonLinesSink:
                 == 10
             )
 
+    def test_write_read_round_trip_preserves_to_dict(self, tmp_path):
+        """What JsonLinesSink writes is exactly Span.to_dict, bit for bit
+        recoverable: parse the line back and compare against the live
+        span tree, nested children and counters included."""
+        path = tmp_path / "trace.jsonl"
+        capture = InMemorySink()
+        with JsonLinesSink(path) as sink:
+            tracer = Tracer([sink, capture])
+            _sample_tree(tracer)
+        recovered = json.loads(path.read_text())
+        assert recovered == capture.last.to_dict()
+        # and the recovered dict survives a second dump/parse unchanged
+        assert json.loads(json.dumps(recovered)) == recovered
+
     def test_path_target_appends_and_closes(self, tmp_path):
         path = tmp_path / "trace.jsonl"
         with JsonLinesSink(path) as sink:
@@ -92,6 +106,25 @@ class TestTableOutput:
         offset = header.index("time")
         for line in lines[1:-1]:
             assert line[offset - 2 : offset] == "  "
+
+    def test_format_span_table_golden(self):
+        """Pin the exact rendering on a hand-built tree with fixed
+        durations (set via the monotonic endpoints, so duration_s is
+        deterministic)."""
+        from repro.obs import Span
+
+        root = Span("ask")
+        root._mono_start, root._mono_end = 0.0, 0.010
+        child = Span("match")
+        child._mono_start, child._mono_end = 0.0, 0.0015
+        child.counters["tokens_matched"] = 2
+        root.children.append(child)
+        assert format_span_table(root) == (
+            "stage    time       counters\n"
+            "ask      10.000 ms\n"
+            "  match  1.500 ms   tokens_matched=2\n"
+            "totals: tokens_matched=2"
+        )
 
     def test_format_stats_matches_span_table_content(self, tracer, mem_sink):
         _sample_tree(tracer)

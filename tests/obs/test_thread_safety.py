@@ -1,0 +1,88 @@
+"""Concurrency regressions: one shared Tracer (and engine) across threads.
+
+The span stack is per-thread state (``threading.local``): before that,
+two threads tracing simultaneously would parent their spans into each
+other's trees or blow up closing a span another thread pushed.
+"""
+
+import threading
+
+from repro.core import MaxTuplesPerRelation, PrecisEngine
+from repro.datasets import movies_graph, paper_instance
+from repro.obs import InMemorySink, Tracer
+
+
+class TestTracerThreadLocalStack:
+    def test_two_threads_build_disjoint_trees(self):
+        sink = InMemorySink()
+        tracer = Tracer([sink])
+        barrier = threading.Barrier(2)
+        errors: list[BaseException] = []
+
+        def work(label: str) -> None:
+            try:
+                for __ in range(50):
+                    with tracer.span(f"ask-{label}"):
+                        barrier.wait(timeout=5)
+                        with tracer.span(f"inner-{label}"):
+                            tracer.count(f"count-{label}", 1)
+            except BaseException as exc:  # propagate to the main thread
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(label,))
+            for label in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert len(sink.spans) == 100
+        for root in sink.spans:
+            # every root holds exactly its own thread's child — no
+            # cross-thread adoption, no counters leaking across trees
+            label = root.name.rsplit("-", 1)[1]
+            assert [c.name for c in root.children] == [f"inner-{label}"]
+            assert root.total_counters() == {f"count-{label}": 1}
+
+    def test_interleaved_spans_in_one_thread_still_nest(self):
+        # sanity: the thread-local property must not change single-thread
+        # nesting semantics
+        sink = InMemorySink()
+        tracer = Tracer([sink])
+        with tracer.span("outer"):
+            with tracer.span("mid"):
+                with tracer.span("leaf"):
+                    pass
+        assert sink.last.find("mid").children[0].name == "leaf"
+
+
+class TestEngineSharedAcrossThreads:
+    def test_concurrent_asks_with_metrics(self):
+        engine = PrecisEngine(
+            paper_instance(), graph=movies_graph(), metrics=True
+        )
+        errors: list[BaseException] = []
+
+        def work(query: str) -> None:
+            try:
+                for __ in range(10):
+                    engine.ask(
+                        query, cardinality=MaxTuplesPerRelation(3)
+                    )
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(query,))
+            for query in ("Allen", "comedy", "Scorsese", "Hanks")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        snapshot = engine.metrics_snapshot()
+        assert snapshot["counters"]["precis_asks_total"] == 40
+        assert snapshot["histograms"]["precis_ask_seconds"]["count"] == 40

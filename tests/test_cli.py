@@ -220,3 +220,72 @@ class TestEstimate:
     def test_estimate_no_match(self, demo_dir):
         code, out = _run(["estimate", str(demo_dir), "zzznope"])
         assert code == 1
+
+
+class TestExplainProvenance:
+    def test_query_explain_flag(self, demo_dir):
+        code, out = _run(
+            [
+                "query", str(demo_dir), "Allen",
+                "--total", "5", "--explain",
+            ]
+        )
+        assert code == 0
+        assert "why-précis for" in out
+        assert "seed — query token(s)" in out
+        assert "schema expansion stopped by weight threshold (w0=0.9)" in out
+        assert "cardinality: max total tuples (c0=5)" in out
+
+    def test_explain_subcommand_leads_with_provenance(self, demo_dir):
+        code, out = _run(["explain", str(demo_dir), "Allen"])
+        assert code == 0
+        assert out.index("why-précis for") < out.index("précis plan")
+
+
+class TestMetricsExport:
+    def test_metrics_out_json(self, demo_dir, tmp_path):
+        import json
+
+        target = tmp_path / "metrics.json"
+        code, out = _run(
+            [
+                "query", str(demo_dir), "Allen",
+                "--metrics-out", str(target), "--slow-query-ms", "0",
+            ]
+        )
+        assert code == 0
+        assert f"metrics written to {target}" in out
+        document = json.loads(target.read_text())
+        assert document["counters"]["precis_asks_total"] == 1
+        assert document["histograms"]["precis_ask_seconds"]["count"] == 1
+        assert document["slow_queries"]  # 0 ms threshold records the ask
+
+    def test_metrics_out_prometheus_to_stdout(self, demo_dir):
+        code, out = _run(
+            [
+                "query", str(demo_dir), "Allen",
+                "--metrics-out", "-", "--metrics-format", "prometheus",
+            ]
+        )
+        assert code == 0
+        assert "# TYPE precis_ask_seconds histogram" in out
+        assert 'precis_ask_seconds_bucket{le="+Inf"} 1' in out
+
+    def test_metrics_written_even_without_match(self, demo_dir, tmp_path):
+        import json
+
+        target = tmp_path / "metrics.json"
+        code, __ = _run(
+            [
+                "query", str(demo_dir), "zzznope",
+                "--metrics-out", str(target),
+            ]
+        )
+        assert code == 1
+        document = json.loads(target.read_text())
+        assert document["counters"]["precis_asks_total"] == 1
+
+    def test_no_metrics_flag_writes_nothing(self, demo_dir):
+        code, out = _run(["query", str(demo_dir), "Allen"])
+        assert code == 0
+        assert "metrics written" not in out

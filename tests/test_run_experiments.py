@@ -27,15 +27,18 @@ def test_module_loads_and_lists_figures():
 
 def test_strategies_table_runs(capsys):
     module = _load()
-    module.ablation_strategies()
+    payload = module.ablation_strategies()
     out = capsys.readouterr().out
     assert "round_robin" in out
     assert "coverage" in out
+    # every experiment doubles as a structured payload for BENCH_precis.json
+    assert payload["columns"] == ["strategy", "driving-tuple coverage"]
+    assert len(payload["rows"]) == 3
 
 
 def test_main_dispatch(capsys):
     module = _load()
-    module.main(["strategies"])
+    module.main(["strategies", "--json-out", "-"])
     out = capsys.readouterr().out
     assert "Ablation" in out
     assert "backend: memory" in out
@@ -43,7 +46,35 @@ def test_main_dispatch(capsys):
 
 def test_main_dispatch_sqlite_backend(capsys):
     module = _load()
-    module.main(["--backend", "sqlite", "strategies"])
+    module.main(["--backend", "sqlite", "strategies", "--json-out", "-"])
     out = capsys.readouterr().out
     assert "Ablation" in out
     assert "backend: sqlite" in out
+
+
+def test_main_writes_bench_json(tmp_path, capsys):
+    import json
+
+    module = _load()
+    target = tmp_path / "BENCH_precis.json"
+    module.main(["strategies", "--json-out", str(target)])
+    capsys.readouterr()
+    document = json.loads(target.read_text())
+    assert document["backend"] == "memory"
+    experiment = document["experiments"]["strategies"]
+    assert experiment["rows"]
+    assert experiment["seconds"] >= 0
+    assert document["total_seconds"] >= experiment["seconds"] * 0.99
+
+
+def test_metrics_overhead_payload(capsys):
+    module = _load()
+    payload = module.metrics_overhead()
+    capsys.readouterr()
+    labels = [row[0] for row in payload["rows"]]
+    assert labels == ["off", "metrics", "metrics+slowlog", "traced"]
+    # the service counters ride along for BENCH_precis.json:
+    # 5 warm-up asks + 3 timed passes of 5 under the metrics config
+    assert payload["counters"]["precis_asks_total"] == 20
+    assert payload["ask_histogram"]["count"] == 20
+    assert payload["note"]
