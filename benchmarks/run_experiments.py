@@ -390,6 +390,49 @@ def metrics_overhead(backend=None):
     )
 
 
+def serve_bench(backend=None):
+    """Closed-loop serving-layer benchmark (repro.service): throughput
+    and client-observed latency with and without a per-request
+    deadline. With the deadline on, p99 stays bounded near it — queued
+    requests past the deadline are shed stale, executing ones degrade
+    cooperatively at the next iteration boundary."""
+    from repro.service import movies_workload, run_serve_bench
+
+    engine, queries = movies_workload(n_movies=200, backend=backend)
+    rows = []
+    payloads = {}
+    for label, deadline_ms in (("none", None), ("50ms", 50.0)):
+        payload = run_serve_bench(
+            engine,
+            queries,
+            client_threads=8,
+            requests_per_client=15,
+            workers=2,
+            deadline_ms=deadline_ms,
+        )
+        payloads[label] = payload
+        outcomes = payload["outcomes"]
+        latency = payload["latency_ms"]
+        rows.append(
+            [
+                label,
+                outcomes["answered"],
+                outcomes["degraded"],
+                outcomes["shed_full"] + outcomes["shed_stale"],
+                payload["throughput_rps"],
+                latency["p50"] or 0.0,
+                latency["p99"] or 0.0,
+            ]
+        )
+    return _table(
+        "Serving layer — closed loop, 8 clients x 15 requests, 2 workers",
+        ["deadline", "answered", "degraded", "shed", "req/s", "p50 ms",
+         "p99 ms"],
+        rows,
+        runs=payloads,
+    )
+
+
 def main(argv=None):
     from repro.storage import BACKEND_NAMES
 
@@ -402,6 +445,7 @@ def main(argv=None):
         "joinorder": ablation_join_order,
         "cache": ablation_cache,
         "overhead": metrics_overhead,
+        "serve": serve_bench,
     }
     default_json = Path(__file__).resolve().parent.parent / "BENCH_precis.json"
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])

@@ -159,6 +159,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="keep asks slower than N ms in the slow-query log "
             "(part of the JSON metrics snapshot; implies metrics)",
         )
+        cmd.add_argument(
+            "--deadline-ms",
+            type=float,
+            metavar="N",
+            help="cooperative time budget for the ask (repro.core."
+            "deadline): on expiry the pipeline stops at the next "
+            "iteration boundary and returns a valid partial answer "
+            "flagged degraded (visible under --explain)",
+        )
         if name == "estimate":
             cmd.add_argument(
                 "--target-total",
@@ -186,6 +195,51 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument(
                 "--save", metavar="DIR", help="export the answer database"
             )
+
+    bench = sub.add_parser(
+        "serve-bench",
+        help="closed-loop concurrency benchmark of the serving layer "
+        "(repro.service): N client threads over a thread-pooled "
+        "PrecisService, reporting throughput, latency percentiles and "
+        "shed/degraded counts",
+    )
+    bench.add_argument(
+        "--movies",
+        type=int,
+        default=300,
+        help="size of the synthetic movies workload database",
+    )
+    bench.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default="memory",
+        help="storage backend for the workload database",
+    )
+    bench.add_argument(
+        "--clients", type=int, default=8, help="client threads (closed loop)"
+    )
+    bench.add_argument(
+        "--requests", type=int, default=25, help="requests per client"
+    )
+    bench.add_argument(
+        "--workers", type=int, default=2, help="service worker threads"
+    )
+    bench.add_argument(
+        "--queue-depth", type=int, default=None, help="admission-queue bound"
+    )
+    bench.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline; expired requests degrade or are shed",
+    )
+    bench.add_argument(
+        "--json-out",
+        default="BENCH_precis.json",
+        metavar="FILE",
+        help="merge the results into FILE under the 'serve' key "
+        "(default: BENCH_precis.json; '-' disables)",
+    )
     return parser
 
 
@@ -211,6 +265,16 @@ def _cardinality(args):
     if not parts:
         return None
     return parts[0] if len(parts) == 1 else CompositeCardinality(*parts)
+
+
+def _deadline(args):
+    """Resolve --deadline-ms into a Deadline (or None)."""
+    ms = getattr(args, "deadline_ms", None)
+    if ms is None:
+        return None
+    from .core import Deadline
+
+    return Deadline.after(ms / 1000.0)
 
 
 def _backend_for(args):
@@ -362,7 +426,14 @@ def _cmd_query(args, out) -> int:
         degree=_degree(args),
         cardinality=_cardinality(args),
         strategy=args.strategy,
+        deadline=_deadline(args),
     )
+    if answer.degraded:
+        print(
+            f"(degraded: deadline expired during {answer.degraded_stage} — "
+            f"partial answer)",
+            file=out,
+        )
     if not answer.found:
         print(f"no match for {args.query!r}", file=out)
         if sink is not None:
@@ -404,6 +475,7 @@ def _cmd_explain(args, out) -> int:
         cardinality=_cardinality(args),
         strategy=args.strategy,
         translate=False,
+        deadline=_deadline(args),
     )
     print(render_explanation(answer), file=out)
     print("", file=out)
@@ -471,12 +543,75 @@ def _cmd_estimate(args, out) -> int:
     return 0
 
 
+def _cmd_serve_bench(args, out) -> int:
+    import json
+
+    from .service import movies_workload, run_serve_bench
+
+    engine, queries = movies_workload(
+        n_movies=args.movies,
+        backend=args.backend if args.backend != "memory" else None,
+    )
+    payload = run_serve_bench(
+        engine,
+        queries,
+        client_threads=args.clients,
+        requests_per_client=args.requests,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        deadline_ms=args.deadline_ms,
+    )
+    payload["backend"] = args.backend
+    outcomes = payload["outcomes"]
+    latency = payload["latency_ms"]
+
+    def fmt(value):
+        return "-" if value is None else f"{value:.2f}"
+
+    print(
+        f"serve-bench: {args.clients} clients x {args.requests} requests, "
+        f"{args.workers} workers, queue depth {payload['queue_depth']}, "
+        f"deadline "
+        + (f"{args.deadline_ms:g} ms" if args.deadline_ms else "none"),
+        file=out,
+    )
+    print(
+        f"  answered {outcomes['answered']}/{payload['requests']} "
+        f"({outcomes['degraded']} degraded, "
+        f"{outcomes['shed_full']} shed full, "
+        f"{outcomes['shed_stale']} shed stale, "
+        f"{outcomes['failed']} failed)",
+        file=out,
+    )
+    print(
+        f"  throughput {payload['throughput_rps']:.1f} req/s; latency ms "
+        f"p50={fmt(latency['p50'])} p95={fmt(latency['p95'])} "
+        f"p99={fmt(latency['p99'])} max={fmt(latency['max'])}",
+        file=out,
+    )
+    if args.json_out != "-":
+        target = Path(args.json_out)
+        document = {}
+        if target.exists():
+            try:
+                document = json.loads(target.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                document = {}
+        document["serve"] = payload
+        with open(target, "w", encoding="utf-8") as stream:
+            json.dump(document, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"(results merged into {target} under 'serve')", file=out)
+    return 0
+
+
 _COMMANDS = {
     "init-demo": _cmd_init_demo,
     "schema": _cmd_schema,
     "query": _cmd_query,
     "explain": _cmd_explain,
     "estimate": _cmd_estimate,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

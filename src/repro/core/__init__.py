@@ -5,6 +5,7 @@ from .constraints import (
     CardinalityConstraint,
     CompositeCardinality,
     CompositeDegree,
+    DeadlineCardinality,
     DegreeConstraint,
     MaxPathLength,
     MaxTotalTuples,
@@ -15,6 +16,7 @@ from .constraints import (
     WeightThreshold,
     cardinality_for_response_time,
 )
+from .deadline import NO_DEADLINE, Deadline
 from .database_generator import (
     JOIN_ORDER_FIFO,
     JOIN_ORDER_WEIGHT,
@@ -73,8 +75,11 @@ __all__ = [
     "MaxTotalTuples",
     "MaxTuplesPerRelation",
     "CompositeCardinality",
+    "DeadlineCardinality",
     "Unlimited",
     "cardinality_for_response_time",
+    "Deadline",
+    "NO_DEADLINE",
     "emitted_queries",
     "render_plan",
     "render_stats",

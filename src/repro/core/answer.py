@@ -51,6 +51,15 @@ class PrecisAnswer:
     #: :meth:`to_dict` (export via ``explanation.to_dict()``), rendered
     #: by the CLI's ``--explain``.
     explanation: Optional[Explanation] = None
+    #: True when a deadline expired mid-ask (``repro.core.deadline``):
+    #: every field is still well-formed, but the answer is *partial* —
+    #: traversal/generation stopped early exactly as a degree or
+    #: cardinality constraint would have stopped it.
+    degraded: bool = False
+    #: first pipeline stage the deadline tripped at (``"match"`` /
+    #: ``"schema"`` / ``"tuples"`` / ``"translate"``); None when not
+    #: degraded. Mirrored into EXPLAIN provenance.
+    degraded_stage: Optional[str] = None
 
     # ------------------------------------------------------------- queries
 
@@ -104,6 +113,7 @@ class PrecisAnswer:
         return {
             "query": self.query.text,
             "found": self.found,
+            "degraded": self.degraded,
             "unmatched_tokens": list(self.unmatched_tokens),
             "tokens": [
                 {
@@ -162,6 +172,11 @@ class PrecisAnswer:
     def describe(self) -> str:
         """Multi-line human-readable dump of the whole answer."""
         lines = [f"Query: {self.query.text}"]
+        if self.degraded:
+            lines.append(
+                f"  (degraded: deadline expired during "
+                f"{self.degraded_stage or 'the run'})"
+            )
         if not self.found:
             lines.append("  (no token matched the database)")
             return "\n".join(lines)

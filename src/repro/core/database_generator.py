@@ -37,6 +37,7 @@ from ..relational.query import RoundRobinScans
 from ..relational.row import Row
 from ..relational.schema import DatabaseSchema, ForeignKey
 from .constraints import CardinalityConstraint, Unlimited
+from .deadline import NO_DEADLINE, Deadline
 from .result_schema import ResultSchema
 from .value_weights import TupleWeigher
 
@@ -87,6 +88,9 @@ class GeneratorReport:
     executions: list[JoinExecution] = field(default_factory=list)
     skipped_edges: list[JoinEdge] = field(default_factory=list)
     stopped_by_cardinality: bool = False
+    #: an expired deadline ended generation early (seeding or the join
+    #: walk); the answer built so far is valid but partial
+    stopped_by_deadline: bool = False
     #: per seeded relation: inverted-index matches offered (pre-budget)
     seed_matches: dict[str, int] = field(default_factory=dict)
     #: per seeded relation: cardinality budget in force (None = unbounded)
@@ -143,6 +147,36 @@ def _is_to_one(source_db: Database, edge: JoinEdge) -> bool:
     return len(pk) == 1 and pk[0] == edge.target_attribute
 
 
+#: tids per deadline check inside a bulk fetch — bounds deadline
+#: overshoot to one chunk of tuple reads instead of one whole IN-list
+_DEADLINE_CHUNK = 512
+
+
+def _fetch_bounded(
+    relation,
+    tids,
+    attrs,
+    budget: Optional[int],
+    deadline: Deadline,
+) -> tuple[list[Row], bool]:
+    """``fetch_many`` in chunks, stopping between chunks once the
+    deadline expires. Returns (rows fetched so far, cut-by-deadline)."""
+    tid_list = list(tids)
+    out: list[Row] = []
+    for start in range(0, len(tid_list), _DEADLINE_CHUNK):
+        if budget is not None and len(out) >= budget:
+            break
+        if start and deadline.expired():
+            return out, True
+        remaining = None if budget is None else budget - len(out)
+        out.extend(
+            relation.fetch_many(
+                tid_list[start : start + _DEADLINE_CHUNK], attrs, remaining
+            )
+        )
+    return out, False
+
+
 def _fetch_naive(
     relation,
     attribute,
@@ -151,16 +185,25 @@ def _fetch_naive(
     exclude: set[int],
     budget: Optional[int],
     weigher: Optional[TupleWeigher] = None,
+    deadline: Deadline = NO_DEADLINE,
 ) -> tuple[list[Row], set[int]]:
     """Returns (new rows, matching tids that were already present)."""
-    tids = relation.lookup_in(attribute, values)
+    values = list(values)
+    tids: set[int] = set()
+    for start in range(0, len(values), _DEADLINE_CHUNK):
+        if start and deadline.expired():
+            break
+        tids |= relation.lookup_in(
+            attribute, values[start : start + _DEADLINE_CHUNK]
+        )
     matched_existing = tids & exclude
     fresh = [tid for tid in sorted(tids) if tid not in exclude]
     if weigher is None or budget is None or len(fresh) <= budget:
-        return relation.fetch_many(fresh, attrs, budget), matched_existing
+        rows, __ = _fetch_bounded(relation, fresh, attrs, budget, deadline)
+        return rows, matched_existing
     # value-weighted selection (§7 extension): score all candidates,
     # keep the heaviest — costs the full fetch, which the meter records
-    rows = relation.fetch_many(fresh, attrs)
+    rows, __ = _fetch_bounded(relation, fresh, attrs, None, deadline)
     rows.sort(key=weigher.sort_key(relation.name))
     return rows[:budget], matched_existing
 
@@ -173,6 +216,7 @@ def _fetch_round_robin(
     exclude: set[int],
     budget: Optional[int],
     weigher: Optional[TupleWeigher] = None,
+    deadline: Deadline = NO_DEADLINE,
 ) -> tuple[list[Row], set[int]]:
     """Returns (new rows, matching tids that were already present).
 
@@ -186,6 +230,8 @@ def _fetch_round_robin(
         key = weigher.sort_key(relation.name)
         queues: list[list[Row]] = []
         for value in dict.fromkeys(values):
+            if queues and deadline.expired():
+                break
             relation.meter.charge_scan_step()  # cursor open, as in RR
             matches = relation.fetch_many(
                 sorted(relation.lookup(attribute, value)), attrs
@@ -197,6 +243,8 @@ def _fetch_round_robin(
         cursor = 0
         while queues:
             if budget is not None and len(out) >= budget:
+                break
+            if len(out) % _DEADLINE_CHUNK == 0 and out and deadline.expired():
                 break
             if cursor >= len(queues):
                 cursor = 0
@@ -210,10 +258,20 @@ def _fetch_round_robin(
             else:
                 out.append(row)
         return out, matched_existing
-    scans = RoundRobinScans(relation, attribute, values, attrs)
+    scans = RoundRobinScans(
+        relation,
+        attribute,
+        values,
+        attrs,
+        should_stop=deadline.expired,
+    )
     out = []
+    steps = 0
     while not scans.exhausted():
         if budget is not None and len(out) >= budget:
+            break
+        steps += 1
+        if steps % 64 == 0 and deadline.expired():
             break
         row = scans.next_tuple()
         if row is None:
@@ -235,6 +293,7 @@ def generate_result_database(
     join_order: str = JOIN_ORDER_WEIGHT,
     path_scoped: bool = False,
     tracer: Tracer = NULL_TRACER,
+    deadline: Deadline = NO_DEADLINE,
 ) -> tuple[Database, GeneratorReport]:
     """Run the Figure 5 algorithm.
 
@@ -274,6 +333,14 @@ def generate_result_database(
         ``"database_generator"`` span counting ``seed_tuples``,
         ``joins_executed``, ``joins_skipped`` and ``tuples_emitted``.
         No-op by default.
+    deadline:
+        Cooperative time budget (:mod:`repro.core.deadline`): checked
+        before each seed fetch and at every join-loop iteration. Expiry
+        stops generation exactly like an exhausted cardinality
+        constraint — the tuples deposited so far form a valid partial
+        answer and the report records ``stopped_by_deadline``; edges
+        never executed land in ``skipped_edges``. Never-expiring by
+        default.
 
     Returns
     -------
@@ -299,6 +366,7 @@ def generate_result_database(
             tuple_weigher,
             join_order,
             path_scoped,
+            deadline,
         )
         tracer.count("seed_tuples", sum(report.seed_counts.values()))
         tracer.count("joins_executed", report.joins_executed)
@@ -316,6 +384,7 @@ def _populate(
     tuple_weigher: Optional[TupleWeigher],
     join_order: str,
     path_scoped: bool,
+    deadline: Deadline,
 ) -> tuple[Database, GeneratorReport]:
     """The Figure 5 walk proper (validation and tracing live above)."""
     cardinality = cardinality if cardinality is not None else Unlimited()
@@ -357,7 +426,12 @@ def _populate(
         tags = arrivals[relation]
         for tid in matched_existing:
             tags.setdefault(tid, set()).add(via)
-        for row in rows:
+        for i, row in enumerate(rows):
+            if i % 128 == 0 and i and deadline.expired():
+                # cut mid-deposit: the rows already inserted stand, the
+                # rest are dropped — same contract as a budget cut
+                report.stopped_by_deadline = True
+                break
             tags.setdefault(row.tid, set()).add(via)
             if row.tid in present[relation]:
                 continue
@@ -370,6 +444,9 @@ def _populate(
     # Step 1: seed tuples containing the query tokens (NaïveQ subset if
     # the cardinality constraint does not allow them all).
     for relation in result_schema.relations:
+        if deadline.expired():
+            report.stopped_by_deadline = True
+            break
         tids = seed_tids.get(relation)
         if not tids:
             continue
@@ -383,11 +460,17 @@ def _populate(
             and budget is not None
             and len(tid_list) > budget
         ):
-            rows = source.relation(relation).fetch_many(tid_list, attrs)
+            rows, cut = _fetch_bounded(
+                source.relation(relation), tid_list, attrs, None, deadline
+            )
             rows.sort(key=tuple_weigher.sort_key(relation))
             rows = rows[:budget]
         else:
-            rows = source.relation(relation).fetch_many(tid_list, attrs, budget)
+            rows, cut = _fetch_bounded(
+                source.relation(relation), tid_list, attrs, budget, deadline
+            )
+        if cut:
+            report.stopped_by_deadline = True
         report.seed_counts[relation] = deposit(
             relation, rows, via=("root", relation)
         )
@@ -418,6 +501,11 @@ def _populate(
         return max(pool, key=lambda e: (e.weight, e.key))
 
     while True:
+        if report.stopped_by_deadline or deadline.expired():
+            # expiry ends the walk like an exhausted budget; edges never
+            # executed are reported as skipped below
+            report.stopped_by_deadline = True
+            break
         if cardinality.exhausted(counts):
             report.stopped_by_cardinality = True
             break
@@ -441,11 +529,13 @@ def _populate(
                     if value is not None:
                         driving.add(value)
         else:
-            driving = {
-                row[edge.source_attribute]
-                for row in source_rel.scan([edge.source_attribute])
-                if row[edge.source_attribute] is not None
-            }
+            driving = set()
+            for seen, row in enumerate(source_rel.scan([edge.source_attribute])):
+                if seen % (4 * _DEADLINE_CHUNK) == 0 and seen and deadline.expired():
+                    report.stopped_by_deadline = True
+                    break
+                if row[edge.source_attribute] is not None:
+                    driving.add(row[edge.source_attribute])
         budget = cardinality.budget_for(edge.target, counts)
         if not driving or (budget is not None and budget <= 0):
             report.skipped_edges.append(edge)
@@ -465,6 +555,7 @@ def _populate(
             present[edge.target],
             budget,
             tuple_weigher,
+            deadline,
         )
         added = deposit(
             edge.target, rows, via=edge.key, matched_existing=matched_existing

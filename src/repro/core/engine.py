@@ -40,6 +40,7 @@ from ..personalization.profile import Profile, ProfileRegistry
 from ..relational.database import Database
 from ..text.inverted_index import InvertedIndex, build_index
 from ..text.matching import SynonymMap, TokenMatch, match_tokens
+from ..text.tokenizer import normalize
 from .answer import PrecisAnswer
 from .constraints import (
     CardinalityConstraint,
@@ -48,6 +49,7 @@ from .constraints import (
     WeightThreshold,
 )
 from .database_generator import STRATEGY_AUTO, generate_result_database
+from .deadline import NO_DEADLINE, Deadline
 from .explain import build_explanation
 from .query import PrecisQuery
 from .result_schema import ResultSchema
@@ -231,8 +233,15 @@ class PrecisEngine:
 
     # --------------------------------------------------------------- asking
 
-    def match(self, query: PrecisQuery) -> list[TokenMatch]:
-        """Step 1: resolve query tokens through the inverted index."""
+    def match(
+        self, query: PrecisQuery, deadline: Deadline = NO_DEADLINE
+    ) -> list[TokenMatch]:
+        """Step 1: resolve query tokens through the inverted index.
+
+        An already-expired *deadline* sheds the index lookups entirely:
+        every token comes back as an (empty) unmatched
+        :class:`~repro.text.matching.TokenMatch`, so downstream stages
+        still see a well-formed match list."""
         tokens = query.tokens
         if self.drop_stopwords:
             from ..text.stopwords import is_stopword
@@ -242,6 +251,14 @@ class PrecisEngine:
                 for token in tokens
                 if len(token) > 1 or not is_stopword(token[0])
             )
+        if deadline.expired():
+            shed = []
+            for token in tokens:
+                text = token if isinstance(token, str) else " ".join(token)
+                if self.synonyms is not None:
+                    text = self.synonyms.canonicalize(text)
+                shed.append(TokenMatch(normalize(text), ()))
+            return shed
         return match_tokens(self.index, tokens, self.synonyms)
 
     def plan(
@@ -251,6 +268,7 @@ class PrecisEngine:
         profile: Optional[Profile | str] = None,
         weights: Optional[dict[tuple, float]] = None,
         tracer: Optional[Tracer] = None,
+        deadline: Deadline = NO_DEADLINE,
     ) -> tuple[ResultSchema, list[TokenMatch], SchemaGraph]:
         """Steps 1–2: match tokens and generate the result schema only.
 
@@ -264,9 +282,14 @@ class PrecisEngine:
         (``cache_hit``/``cache_miss`` whenever the plan cache was
         consulted, wrapping the nested ``"schema_generator"`` span on a
         miss).
+
+        *deadline* (:mod:`repro.core.deadline`) is checked cooperatively:
+        expiry sheds the index lookups and/or cuts the best-first
+        traversal, leaving a valid partial schema whose ``stop`` records
+        ``kind="deadline"``. Partial schemas never enter the plan cache.
         """
         schema, matches, graph, __ = self._plan(
-            query, degree, profile, weights, tracer
+            query, degree, profile, weights, tracer, deadline
         )
         return schema, matches, graph
 
@@ -277,6 +300,7 @@ class PrecisEngine:
         profile: Optional[Profile | str] = None,
         weights: Optional[dict[tuple, float]] = None,
         tracer: Optional[Tracer] = None,
+        deadline: Deadline = NO_DEADLINE,
     ) -> tuple[ResultSchema, list[TokenMatch], SchemaGraph, str]:
         """:meth:`plan` plus the plan-cache outcome (``"hit"`` /
         ``"miss"`` / ``"off"`` / ``"uncacheable"``) for provenance."""
@@ -290,7 +314,7 @@ class PrecisEngine:
         degree = degree or (resolved.degree if resolved else None) or self.default_degree
 
         with tracer.span("match"):
-            matches = self.match(query)
+            matches = self.match(query, deadline=deadline)
             tracer.count(
                 "tokens_matched", sum(1 for match in matches if match.found)
             )
@@ -329,9 +353,15 @@ class PrecisEngine:
                 if hit:
                     return cached, matches, graph, outcome
             schema = generate_result_schema(
-                graph, token_relations, degree, tracer=tracer
+                graph, token_relations, degree, tracer=tracer,
+                deadline=deadline,
             )
-            if cacheable:
+            # A deadline-cut schema is *partial* — caching it would serve
+            # degraded answers to future unconstrained asks.
+            degraded = (
+                schema.stop is not None and schema.stop.kind == "deadline"
+            )
+            if cacheable and not degraded:
                 plans.put(key, schema, token)
         return schema, matches, graph, outcome
 
@@ -347,6 +377,7 @@ class PrecisEngine:
         tuple_weigher=None,
         path_scoped: bool = False,
         tracer: Optional[Tracer] = None,
+        deadline: Optional[Deadline] = None,
     ) -> PrecisAnswer:
         """Answer a précis query end to end.
 
@@ -367,6 +398,19 @@ class PrecisEngine:
         re-running the pipeline, provided the database, index and graph
         epochs still match the entry's validity token. Calls with a
         *tuple_weigher* (an opaque callable) are never cached.
+
+        *deadline* (:mod:`repro.core.deadline`) is a cooperative time
+        budget checked at stage boundaries and inside the generator
+        loops. Expiry never raises: the stage underway is cut exactly
+        like a degree/cardinality constraint cut, later stages are shed,
+        and the answer comes back well-formed but flagged
+        :attr:`~repro.core.answer.PrecisAnswer.degraded` with the
+        tripping stage in
+        :attr:`~repro.core.answer.PrecisAnswer.degraded_stage` and in
+        EXPLAIN provenance. Degraded answers are **never** written to
+        the answer cache (serving a cached answer is still allowed —
+        cached answers are complete by construction and cost no
+        pipeline time).
         """
         tracer = tracer if tracer is not None else self.tracer
         metrics = self.metrics
@@ -374,6 +418,7 @@ class PrecisEngine:
             # metrics need the span tree for stage latencies; a private
             # sinkless tracer records it without any sink plumbing
             tracer = Tracer()
+        deadline = deadline if deadline is not None else NO_DEADLINE
         if isinstance(query, str):
             query = PrecisQuery.parse(query)
         resolved = self._resolve_profile(profile)
@@ -426,9 +471,24 @@ class PrecisEngine:
                 answer_outcome = (
                     "miss" if cache_key is not None else answer_outcome
                 )
+                # Stage-boundary deadline checks. The first stage found
+                # expired names the degradation in the answer + EXPLAIN;
+                # the stage itself degrades cooperatively (shed index
+                # lookups / cut traversal / cut generation / skip
+                # translation) — never an exception.
+                degraded_stage: Optional[str] = None
+                if deadline.expired():
+                    degraded_stage = "match"
                 schema, matches, __, plan_outcome = self._plan(
-                    query, degree, resolved, weights, tracer=tracer
+                    query, degree, resolved, weights, tracer=tracer,
+                    deadline=deadline,
                 )
+                if (
+                    degraded_stage is None
+                    and schema.stop is not None
+                    and schema.stop.kind == "deadline"
+                ):
+                    degraded_stage = "schema"
 
                 seed_tids: dict[str, set[int]] = {}
                 for match in matches:
@@ -447,7 +507,10 @@ class PrecisEngine:
                         tuple_weigher=tuple_weigher,
                         path_scoped=path_scoped,
                         tracer=tracer,
+                        deadline=deadline,
                     )
+                if degraded_stage is None and report.stopped_by_deadline:
+                    degraded_stage = "tuples"
 
                 answer = PrecisAnswer(
                     query=query,
@@ -457,17 +520,28 @@ class PrecisEngine:
                     matches=matches,
                     cost=measured.delta,
                 )
+                if translate and self.translator is not None and answer.found:
+                    if degraded_stage is not None:
+                        pass  # already over budget: shed the narrative
+                    elif deadline.expired():
+                        degraded_stage = "translate"
+                    else:
+                        with tracer.span("translate"):
+                            answer.narrative = self._run_translator(
+                                answer, tracer
+                            )
+                answer.degraded = degraded_stage is not None
+                answer.degraded_stage = degraded_stage
                 answer.explanation = build_explanation(
                     answer,
                     degree,
                     cardinality,
                     plan_cache=plan_outcome,
                     answer_cache=answer_outcome,
+                    deadline_stage=degraded_stage,
                 )
-                if translate and self.translator is not None and answer.found:
-                    with tracer.span("translate"):
-                        answer.narrative = self._run_translator(answer, tracer)
-                if cache_key is not None:
+                if cache_key is not None and degraded_stage is None:
+                    # partial answers must never poison the cache
                     answer_lru.put(cache_key, answer, token)
         if tracer.enabled:
             answer.stats = QueryStats.from_span(root)

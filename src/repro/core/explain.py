@@ -166,12 +166,17 @@ def build_explanation(
     cardinality: CardinalityConstraint,
     plan_cache: str = "off",
     answer_cache: str = "off",
+    deadline_stage: "str | None" = None,
 ) -> Explanation:
     """Distil one finished answer into its provenance record.
 
     *plan_cache* / *answer_cache* are the cache outcomes of the run
     (``"hit"`` / ``"miss"`` / ``"off"`` / ``"uncacheable"``) — the
     engine knows them; standalone callers may leave the defaults.
+    *deadline_stage* is the pipeline stage a request deadline tripped
+    at (None for an answer that ran to completion); it surfaces in
+    :meth:`~repro.obs.explain.Explanation.bounding_constraints` next to
+    the degree and cardinality bounds.
 
     The record answers, per relation, *why it is in the result schema*
     (seed token match vs. the weighted path that admitted it), names
@@ -266,6 +271,7 @@ def build_explanation(
         skipped_edges=[_edge_text(e) for e in report.skipped_edges],
         stopped_by_cardinality=report.stopped_by_cardinality,
         cache=CacheProvenance(plan=plan_cache, answer=answer_cache),
+        deadline_stage=deadline_stage,
     )
 
 

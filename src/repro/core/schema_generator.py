@@ -26,6 +26,7 @@ from ..graph.schema_graph import SchemaGraph
 from ..obs import NULL_TRACER, Tracer
 from ..obs.explain import SchemaStop
 from .constraints import CompositeDegree, DegreeConstraint, SchemaState
+from .deadline import NO_DEADLINE, Deadline
 from .result_schema import ResultSchema
 
 __all__ = ["generate_result_schema", "SchemaGeneratorStats"]
@@ -77,6 +78,7 @@ def generate_result_schema(
     degree: DegreeConstraint,
     stats: Optional[SchemaGeneratorStats] = None,
     tracer: Tracer = NULL_TRACER,
+    deadline: Deadline = NO_DEADLINE,
 ) -> ResultSchema:
     """Run the Figure 3 algorithm.
 
@@ -95,6 +97,13 @@ def generate_result_schema(
         Observability hook (``repro.obs``): the run is wrapped in a
         ``"schema_generator"`` span carrying the same counters as
         *stats* plus ``relations_expanded``. No-op by default.
+    deadline:
+        Cooperative time budget (:mod:`repro.core.deadline`): checked
+        once on entry and at every queue pop. Expiry ends the traversal
+        exactly like a terminal degree-constraint failure — the paths
+        admitted so far form a valid (partial) schema whose
+        :attr:`~repro.core.result_schema.ResultSchema.stop` records
+        ``kind="deadline"``. Never-expiring by default.
 
     Returns
     -------
@@ -108,7 +117,7 @@ def generate_result_schema(
             raise ValueError(f"token relation {origin} not in schema graph")
 
     with tracer.span("schema_generator"):
-        result = _best_first_traversal(graph, origins, degree, stats)
+        result = _best_first_traversal(graph, origins, degree, stats, deadline)
         tracer.count("relations_expanded", len(result.relations))
         tracer.count("paths_pruned", stats.paths_pruned)
         tracer.count("paths_pushed", stats.paths_pushed)
@@ -122,10 +131,18 @@ def _best_first_traversal(
     origins: tuple[str, ...],
     degree: DegreeConstraint,
     stats: SchemaGeneratorStats,
+    deadline: Deadline,
 ) -> ResultSchema:
     """The Figure 3 loop proper (validation and tracing live above)."""
     result = ResultSchema(origin_relations=origins)
     state = SchemaState()
+
+    # Cooperative deadline: checked on entry and per pop. Expiry cuts
+    # the queue like a terminal degree failure, leaving a valid partial
+    # schema that reports the deadline as its stop reason.
+    if deadline.expired():
+        result.stop = SchemaStop(kind="deadline", constraint="deadline expired")
+        return result
 
     # EXPLAIN provenance: the first degree rejection seen anywhere (at a
     # pop or while extending). Even when it is not terminal — i.e. the
@@ -158,7 +175,11 @@ def _best_first_traversal(
             push(Path.seed(edge))
 
     # Step 2: best-first expansion.
+    deadline_tripped = False
     while heap:
+        if deadline.expired():
+            deadline_tripped = True
+            break
         __, path = heapq.heappop(heap)
         stats.paths_popped += 1
 
@@ -195,9 +216,15 @@ def _best_first_traversal(
                 continue
             push(extended)
 
-    result.stop = (
-        first_rejection
-        if first_rejection is not None
-        else SchemaStop(kind="exhausted")
-    )
+    if deadline_tripped:
+        # the deadline, not the degree constraint, ended the traversal
+        result.stop = SchemaStop(
+            kind="deadline", constraint="deadline expired"
+        )
+    else:
+        result.stop = (
+            first_rejection
+            if first_rejection is not None
+            else SchemaStop(kind="exhausted")
+        )
     return result

@@ -46,6 +46,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    ServiceMetrics,
     SlowQuery,
     SlowQueryLog,
     prometheus_text,
@@ -73,6 +74,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "EngineMetrics",
+    "ServiceMetrics",
     "SlowQuery",
     "SlowQueryLog",
     "prometheus_text",

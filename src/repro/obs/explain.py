@@ -64,8 +64,11 @@ class SchemaStop:
     """How the Figure 3 traversal ended.
 
     ``kind`` is ``"degree"`` when a terminal degree-constraint failure
-    cut the queue (the paper's stopping rule), or ``"exhausted"`` when
-    the queue simply drained — every reachable path was considered.
+    cut the queue (the paper's stopping rule), ``"exhausted"`` when
+    the queue simply drained — every reachable path was considered — or
+    ``"deadline"`` when an expired request deadline
+    (:mod:`repro.core.deadline`) cut the queue exactly as a terminal
+    constraint failure would have.
     """
 
     kind: str
@@ -151,6 +154,11 @@ class Explanation:
     skipped_edges: list[str] = field(default_factory=list)
     stopped_by_cardinality: bool = False
     cache: CacheProvenance = field(default_factory=CacheProvenance)
+    #: first pipeline stage a request deadline tripped at (``"match"`` /
+    #: ``"schema"`` / ``"tuples"`` / ``"translate"``); None when the
+    #: answer ran to completion. Mirrors
+    #: :attr:`repro.core.answer.PrecisAnswer.degraded_stage`.
+    deadline_stage: Optional[str] = None
 
     # ------------------------------------------------------------- queries
 
@@ -173,6 +181,8 @@ class Explanation:
             for batch in self.batches
         ):
             out.append(f"cardinality: {self.cardinality}")
+        if self.deadline_stage is not None:
+            out.append(f"deadline: expired during {self.deadline_stage}")
         return out
 
     def to_dict(self) -> dict:
@@ -189,6 +199,7 @@ class Explanation:
             "batches": [batch.to_dict() for batch in self.batches],
             "skipped_edges": list(self.skipped_edges),
             "stopped_by_cardinality": self.stopped_by_cardinality,
+            "deadline_stage": self.deadline_stage,
             "bounding_constraints": self.bounding_constraints(),
             "cache": self.cache.to_dict(),
         }
@@ -229,6 +240,11 @@ class Explanation:
                     f"schema expansion stopped by {self.schema_stop.constraint} "
                     f"at path {self.schema_stop.rejected_path} (w={weight})"
                 )
+            elif self.schema_stop.kind == "deadline":
+                lines.append(
+                    "schema expansion stopped by the request deadline "
+                    "(partial schema)"
+                )
             else:
                 lines.append(
                     "schema expansion exhausted the graph "
@@ -255,6 +271,11 @@ class Explanation:
             lines.append(
                 f"generation stopped: cardinality constraint "
                 f"({self.cardinality}) exhausted"
+            )
+        if self.deadline_stage is not None:
+            lines.append(
+                f"degraded: deadline expired during {self.deadline_stage} — "
+                f"the answer is a valid partial précis"
             )
         bounding = self.bounding_constraints()
         if bounding:

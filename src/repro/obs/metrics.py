@@ -38,6 +38,7 @@ __all__ = [
     "SlowQueryLog",
     "SlowQuery",
     "EngineMetrics",
+    "ServiceMetrics",
     "prometheus_text",
     "write_metrics",
 ]
@@ -599,6 +600,103 @@ class EngineMetrics:
 
     def __repr__(self):
         return f"EngineMetrics({self.registry!r}, slow={self.slow_queries!r})"
+
+
+class ServiceMetrics:
+    """The serving-layer façade (:mod:`repro.service`): admission,
+    shedding, deadline and retry series over a :class:`MetricsRegistry`.
+
+    Shares a registry with :class:`EngineMetrics` so one Prometheus
+    scrape (or one ``--metrics-out`` file) carries both the pipeline
+    and the serving picture. Everything underneath is thread-safe; the
+    facade itself holds no state beyond the registry.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: requests currently queued or executing (admission → response)
+        self.queue_depth = self.registry.gauge(
+            "precis_service_queue_depth",
+            "requests admitted but not yet answered",
+        )
+
+    # --------------------------------------------------------- recording
+
+    def admitted(self) -> None:
+        self.registry.counter(
+            "precis_service_requests_total", "requests admitted to the queue"
+        ).inc()
+        self.queue_depth.add(1)
+
+    def shed(self, reason: str) -> None:
+        """A request refused without running (``reason``: ``"full"`` for
+        queue overflow, ``"stale"`` for a deadline that expired while
+        queued, ``"closed"`` for submission after shutdown)."""
+        self.registry.counter(
+            "precis_service_shed_total",
+            "requests shed without running",
+            reason=reason,
+        ).inc()
+
+    def finished(self) -> None:
+        self.queue_depth.add(-1)
+
+    def queue_wait(self, seconds: float) -> None:
+        self.registry.histogram(
+            "precis_service_queue_wait_seconds",
+            "time from admission to a worker picking the request up",
+        ).observe(seconds)
+
+    def service_time(self, seconds: float) -> None:
+        """End-to-end request latency: admission to response."""
+        self.registry.histogram(
+            "precis_service_seconds",
+            "end-to-end request latency including queueing",
+        ).observe(seconds)
+
+    def degraded(self, stage: str) -> None:
+        """An answer served partial because its deadline expired."""
+        self.registry.counter(
+            "precis_service_degraded_total",
+            "answers served partial under an expired deadline",
+            stage=stage,
+        ).inc()
+
+    def timeout(self) -> None:
+        self.registry.counter(
+            "precis_service_timeouts_total",
+            "requests whose deadline expired before or during execution",
+        ).inc()
+
+    def retried(self) -> None:
+        self.registry.counter(
+            "precis_service_retries_total",
+            "transient storage failures retried",
+        ).inc()
+
+    def retries_exhausted(self) -> None:
+        self.registry.counter(
+            "precis_service_retry_exhausted_total",
+            "requests failed after the retry budget ran out",
+        ).inc()
+
+    def failed(self, kind: str) -> None:
+        self.registry.counter(
+            "precis_service_failures_total",
+            "requests that raised instead of answering",
+            kind=kind,
+        ).inc()
+
+    # --------------------------------------------------------- export
+
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()
+
+    def prometheus(self) -> str:
+        return prometheus_text(self.registry)
+
+    def __repr__(self):
+        return f"ServiceMetrics({self.registry!r})"
 
 
 def write_metrics(

@@ -16,7 +16,7 @@ access paths, plus the two subset strategies the paper compares:
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Callable, Iterable, Optional, Sequence
 
 from .relation import Relation
 from .row import Row
@@ -106,14 +106,23 @@ class RoundRobinScans:
         attribute: str,
         driving_values: Iterable[Any],
         attributes: Optional[Sequence[str]] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ):
+        """*should_stop* is an optional zero-argument callable polled
+        periodically while the per-value scans open (one index probe per
+        driving value — the only unbounded work here). Returning True
+        stops opening further scans; the scans opened so far behave
+        normally. The engine passes a deadline check through it without
+        this layer knowing what a deadline is."""
         self.relation = relation
         self.attribute = attribute
         self.attributes = attributes
         # One ordered queue of matching tids per distinct driving value.
         # dict.fromkeys preserves first-seen order while deduplicating.
         self._queues: list[list[int]] = []
-        for value in dict.fromkeys(driving_values):
+        for i, value in enumerate(dict.fromkeys(driving_values)):
+            if should_stop is not None and i % 256 == 0 and i and should_stop():
+                break
             tids = sorted(relation.lookup(attribute, value))
             if tids:
                 # reversed so .pop() yields ascending-tid order

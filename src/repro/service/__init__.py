@@ -1,0 +1,43 @@
+"""repro.service — the concurrent serving layer.
+
+Turns the single-threaded :class:`~repro.core.engine.PrecisEngine` into
+a servable component: a thread pool behind a bounded admission queue
+(:class:`PrecisService`), per-request deadlines that degrade answers
+cooperatively instead of raising
+(:class:`~repro.core.deadline.Deadline`, re-exported here), load
+shedding under overload and staleness, retry-with-backoff over the
+storage layer's transient/permanent fault classification, and service
+metrics sharing the :mod:`repro.obs` registry. ``repro serve-bench``
+(:mod:`repro.service.bench`) measures the whole stack closed-loop.
+
+See ``docs/service.md``.
+"""
+
+from ..core.deadline import NO_DEADLINE, Deadline
+from .bench import movies_workload, percentile, run_serve_bench
+from .errors import (
+    QueueFull,
+    RetryExhausted,
+    ServiceClosed,
+    ServiceError,
+    StaleRequest,
+)
+from .retry import RetryPolicy, call_with_retry
+from .service import PrecisService, ServiceConfig
+
+__all__ = [
+    "Deadline",
+    "NO_DEADLINE",
+    "PrecisService",
+    "ServiceConfig",
+    "RetryPolicy",
+    "call_with_retry",
+    "ServiceError",
+    "ServiceClosed",
+    "QueueFull",
+    "StaleRequest",
+    "RetryExhausted",
+    "run_serve_bench",
+    "movies_workload",
+    "percentile",
+]

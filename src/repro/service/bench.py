@@ -1,0 +1,162 @@
+"""Closed-loop serving benchmark (the ``repro serve-bench`` CLI).
+
+Drives a :class:`~repro.service.PrecisService` with N client threads,
+each issuing M synchronous asks back-to-back (closed loop: a client
+never has more than one request in flight, so offered load adapts to
+service capacity). Reports throughput, client-observed latency
+percentiles, and the shed/degraded/timeout picture from the service
+metrics — the payload that lands in ``BENCH_precis.json`` under
+``serve``.
+
+With a deadline configured, client-observed p99 of *answered* requests
+stays bounded near the deadline: queue time counts against it (stale
+requests are shed at dequeue) and engine time degrades cooperatively at
+the next iteration boundary once it expires.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional, Sequence
+
+from ..core.engine import PrecisEngine
+from .errors import QueueFull, ServiceError, StaleRequest
+from .service import PrecisService, ServiceConfig
+
+__all__ = ["percentile", "run_serve_bench", "movies_workload"]
+
+
+def percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """The *q*-th percentile by linear interpolation (None when empty)."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def movies_workload(
+    n_movies: int = 300, backend: Optional[str] = None
+) -> tuple[PrecisEngine, list[str]]:
+    """A deterministic mid-size workload: synthetic movies database +
+    a query mix that exercises single-token, multi-relation and
+    phrase matching."""
+    from ..datasets import generate_movies_database, movies_graph
+
+    db = generate_movies_database(n_movies=n_movies, seed=11, backend=backend)
+    engine = PrecisEngine(db, graph=movies_graph())
+    queries = [
+        "midnight",
+        "drama",
+        "garcia",
+        "thriller",
+        "comedy",
+        "crimson harbor",
+    ]
+    return engine, queries
+
+
+def run_serve_bench(
+    engine: PrecisEngine,
+    queries: Sequence[str],
+    client_threads: int = 8,
+    requests_per_client: int = 25,
+    workers: int = 2,
+    queue_depth: Optional[int] = None,
+    deadline_ms: Optional[float] = None,
+    **ask_kwargs,
+) -> dict:
+    """Run one closed-loop benchmark; returns the ``serve`` payload."""
+    depth = (
+        queue_depth if queue_depth is not None else max(2 * client_threads, 16)
+    )
+    config = ServiceConfig(
+        workers=workers,
+        queue_depth=depth,
+        default_timeout_s=(
+            deadline_ms / 1000.0 if deadline_ms is not None else None
+        ),
+    )
+    service = PrecisService(engine, config=config)
+
+    latencies_ms: list[float] = []
+    outcomes = {
+        "answered": 0,
+        "degraded": 0,
+        "shed_full": 0,
+        "shed_stale": 0,
+        "failed": 0,
+    }
+    lock = threading.Lock()
+    barrier = threading.Barrier(client_threads + 1)
+
+    def client(offset: int) -> None:
+        local_lat: list[float] = []
+        local_out = dict.fromkeys(outcomes, 0)
+        barrier.wait()
+        for i in range(requests_per_client):
+            query = queries[(offset + i) % len(queries)]
+            start = time.monotonic()
+            try:
+                answer = service.ask(query, **ask_kwargs)
+            except QueueFull:
+                local_out["shed_full"] += 1
+                continue
+            except StaleRequest:
+                local_out["shed_stale"] += 1
+                continue
+            except ServiceError:
+                local_out["failed"] += 1
+                continue
+            elapsed_ms = (time.monotonic() - start) * 1000.0
+            local_lat.append(elapsed_ms)
+            local_out["answered"] += 1
+            if answer.degraded:
+                local_out["degraded"] += 1
+        with lock:
+            latencies_ms.extend(local_lat)
+            for key, value in local_out.items():
+                outcomes[key] += value
+
+    threads = [
+        threading.Thread(target=client, args=(i,), daemon=True)
+        for i in range(client_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    bench_start = time.monotonic()
+    for thread in threads:
+        thread.join()
+    elapsed_s = time.monotonic() - bench_start
+    service.close()
+
+    total = client_threads * requests_per_client
+    snapshot = service.metrics.snapshot()
+    return {
+        "client_threads": client_threads,
+        "requests_per_client": requests_per_client,
+        "workers": workers,
+        "queue_depth": depth,
+        "deadline_ms": deadline_ms,
+        "requests": total,
+        "outcomes": outcomes,
+        "elapsed_s": elapsed_s,
+        "throughput_rps": (
+            outcomes["answered"] / elapsed_s if elapsed_s > 0 else 0.0
+        ),
+        "latency_ms": {
+            "p50": percentile(latencies_ms, 50),
+            "p95": percentile(latencies_ms, 95),
+            "p99": percentile(latencies_ms, 99),
+            "max": max(latencies_ms) if latencies_ms else None,
+        },
+        "queue_depth_after": service.queue_depth(),
+        "counters": snapshot["counters"],
+    }

@@ -1,0 +1,73 @@
+"""Retry-with-backoff for transient storage failures.
+
+The storage layer classifies its failures
+(:class:`~repro.storage.TransientStorageError` vs.
+:class:`~repro.storage.PermanentStorageError`); this module supplies the
+policy that acts on the classification. Only transient errors are
+retried — a permanent error or any non-storage exception propagates on
+the first throw.
+
+The sleep function is injectable so tests (and the fault-injection
+harness) run deterministically without real waiting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
+
+from ..storage import TransientStorageError
+from .errors import RetryExhausted
+
+__all__ = ["RetryPolicy", "call_with_retry"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff: try *attempts* times, sleeping
+    ``base_delay_s * multiplier**i`` between try *i* and try *i+1*."""
+
+    attempts: int = 3
+    base_delay_s: float = 0.01
+    multiplier: float = 2.0
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError("attempts must be at least 1")
+        if self.base_delay_s < 0:
+            raise ValueError("base_delay_s must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def delay_before(self, attempt: int) -> float:
+        """Sleep before retry number *attempt* (1-based)."""
+        return self.base_delay_s * self.multiplier ** (attempt - 1)
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> T:
+    """Call *fn*, retrying :class:`TransientStorageError` with backoff.
+
+    *on_retry* is invoked once per retry (attempt number, error) —
+    the service layer hangs its retry counter there. When every attempt
+    fails transiently, raises :class:`RetryExhausted` with the last
+    error as ``__cause__``.
+    """
+    last: Optional[BaseException] = None
+    for attempt in range(1, policy.attempts + 1):
+        try:
+            return fn()
+        except TransientStorageError as exc:
+            last = exc
+            if attempt < policy.attempts:
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                sleep(policy.delay_before(attempt))
+    raise RetryExhausted(policy.attempts, last) from last

@@ -1,0 +1,282 @@
+"""The concurrent serving layer: a thread pool around précis engines.
+
+:class:`PrecisService` fronts one or more :class:`~repro.core.engine.
+PrecisEngine` instances (typically replicas over the same database, or
+shards) with a bounded admission queue and a fixed worker pool:
+
+* **Admission control** — requests enter a ``queue.Queue`` of
+  configurable depth. When the queue is full the request is *shed*
+  immediately (:class:`~repro.service.errors.QueueFull`) rather than
+  piling latency onto everyone behind it; set
+  ``ServiceConfig(shed_on_full=False)`` to block instead.
+* **Deadlines** — each request carries a
+  :class:`~repro.core.deadline.Deadline` (explicit, per-call
+  ``timeout_s``, or the config default). The deadline is threaded into
+  :meth:`~repro.core.engine.PrecisEngine.ask`, which degrades
+  cooperatively (partial answer flagged ``degraded``) instead of
+  raising. A request whose deadline expires while still *queued* is
+  shed at dequeue (:class:`~repro.service.errors.StaleRequest`) when
+  ``shed_stale`` is on — running it could only return an empty shell.
+* **Retry** — transient storage failures
+  (:class:`~repro.storage.TransientStorageError`) retry with
+  exponential backoff per :class:`~repro.service.retry.RetryPolicy`;
+  exhaustion surfaces as
+  :class:`~repro.service.errors.RetryExhausted`.
+* **Metrics** — queue-depth gauge, shed/timeout/degraded counters and
+  queue-wait/service-time histograms via
+  :class:`~repro.obs.metrics.ServiceMetrics`; pass a shared
+  :class:`~repro.obs.MetricsRegistry` to co-export with the engines'
+  own series.
+
+Responses are :class:`concurrent.futures.Future` objects — callers may
+block (:meth:`PrecisService.ask`), poll, or fan out.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Union
+
+from ..core.deadline import NO_DEADLINE, Deadline
+from ..core.engine import PrecisEngine
+from ..obs.metrics import MetricsRegistry, ServiceMetrics
+from ..storage import PermanentStorageError
+from .errors import QueueFull, RetryExhausted, ServiceClosed, StaleRequest
+from .retry import RetryPolicy, call_with_retry
+
+__all__ = ["ServiceConfig", "PrecisService"]
+
+#: queue sentinel telling one worker to exit
+_SHUTDOWN = object()
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of one :class:`PrecisService`."""
+
+    #: worker threads; default one per engine
+    workers: Optional[int] = None
+    #: bounded admission-queue depth
+    queue_depth: int = 64
+    #: deadline given to requests that carry none (seconds; None = no
+    #: default deadline)
+    default_timeout_s: Optional[float] = None
+    #: shed (QueueFull) rather than block when the queue is full
+    shed_on_full: bool = True
+    #: shed (StaleRequest) requests whose deadline expired while queued
+    shed_stale: bool = True
+    #: backoff policy for transient storage failures
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self):
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be at least 1")
+
+
+class _Request:
+    __slots__ = ("query", "kwargs", "deadline", "future", "enqueued_at")
+
+    def __init__(self, query, kwargs, deadline, future, enqueued_at):
+        self.query = query
+        self.kwargs = kwargs
+        self.deadline = deadline
+        self.future = future
+        self.enqueued_at = enqueued_at
+
+
+class PrecisService:
+    """A thread-pooled, deadline-aware front end over précis engines."""
+
+    def __init__(
+        self,
+        engines: Union[PrecisEngine, Sequence[PrecisEngine]],
+        config: Optional[ServiceConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if isinstance(engines, PrecisEngine):
+            engines = [engines]
+        if not engines:
+            raise ValueError("PrecisService needs at least one engine")
+        self.engines = list(engines)
+        self.config = config if config is not None else ServiceConfig()
+        self.metrics = ServiceMetrics(registry)
+        self._queue: queue.Queue = queue.Queue(self.config.queue_depth)
+        self._closed = False
+        self._close_lock = threading.Lock()
+        n_workers = self.config.workers or len(self.engines)
+        self._threads = [
+            threading.Thread(
+                target=self._worker,
+                args=(self.engines[i % len(self.engines)],),
+                name=f"precis-worker-{i}",
+                daemon=True,
+            )
+            for i in range(n_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------- submit
+
+    def submit(
+        self,
+        query,
+        deadline: Optional[Deadline] = None,
+        timeout_s: Optional[float] = None,
+        **ask_kwargs: Any,
+    ) -> "Future":
+        """Enqueue one ask; returns the :class:`Future` of its answer.
+
+        Deadline resolution: explicit *deadline* > *timeout_s* >
+        ``config.default_timeout_s`` > none. Extra keyword arguments go
+        straight to :meth:`~repro.core.engine.PrecisEngine.ask`
+        (constraints, strategy, profile, ...).
+
+        Raises :class:`ServiceClosed` after :meth:`close`, and
+        :class:`QueueFull` when the admission queue is full under the
+        shed-on-full policy.
+        """
+        if self._closed:
+            self.metrics.shed("closed")
+            raise ServiceClosed("service is closed")
+        if deadline is None:
+            seconds = (
+                timeout_s
+                if timeout_s is not None
+                else self.config.default_timeout_s
+            )
+            deadline = (
+                Deadline.after(seconds) if seconds is not None else NO_DEADLINE
+            )
+        future: Future = Future()
+        request = _Request(
+            query, ask_kwargs, deadline, future, time.monotonic()
+        )
+        if self.config.shed_on_full:
+            try:
+                self._queue.put_nowait(request)
+            except queue.Full:
+                self.metrics.shed("full")
+                raise QueueFull(self.config.queue_depth) from None
+        else:
+            self._queue.put(request)
+        self.metrics.admitted()
+        return future
+
+    def ask(self, query, **kwargs: Any):
+        """Synchronous :meth:`submit` — blocks for the answer."""
+        return self.submit(query, **kwargs).result()
+
+    # ------------------------------------------------------------- workers
+
+    def _worker(self, engine: PrecisEngine) -> None:
+        while True:
+            request = self._queue.get()
+            if request is _SHUTDOWN:
+                return
+            self._serve(engine, request)
+
+    def _serve(self, engine: PrecisEngine, request: _Request) -> None:
+        metrics = self.metrics
+        waited = time.monotonic() - request.enqueued_at
+        try:
+            metrics.queue_wait(waited)
+            if not request.future.set_running_or_notify_cancel():
+                return  # cancelled while queued
+            if (
+                self.config.shed_stale
+                and request.deadline.expires()
+                and request.deadline.expired()
+            ):
+                metrics.shed("stale")
+                metrics.timeout()
+                request.future.set_exception(StaleRequest(waited))
+                return
+            try:
+                answer = call_with_retry(
+                    lambda: engine.ask(
+                        request.query,
+                        deadline=request.deadline,
+                        **request.kwargs,
+                    ),
+                    self.config.retry,
+                    on_retry=lambda attempt, exc: metrics.retried(),
+                )
+            except RetryExhausted as exc:
+                metrics.retries_exhausted()
+                metrics.failed("transient")
+                request.future.set_exception(exc)
+            except PermanentStorageError as exc:
+                metrics.failed("permanent")
+                request.future.set_exception(exc)
+            except BaseException as exc:  # noqa: BLE001 — futures carry it
+                metrics.failed(type(exc).__name__)
+                request.future.set_exception(exc)
+            else:
+                if answer.degraded:
+                    metrics.degraded(answer.degraded_stage or "unknown")
+                    metrics.timeout()
+                metrics.service_time(time.monotonic() - request.enqueued_at)
+                request.future.set_result(answer)
+        finally:
+            metrics.finished()
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def queue_depth(self) -> float:
+        """Current value of the queue-depth gauge (admitted, unanswered)."""
+        return self.metrics.queue_depth.value
+
+    def close(self, wait: bool = True) -> None:
+        """Stop admitting; drain queued requests; join the workers.
+
+        Requests already admitted are served to completion (their
+        futures resolve normally). Idempotent.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._threads:
+            self._queue.put(_SHUTDOWN)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+            # a submit racing close may have landed behind a sentinel:
+            # fail it rather than strand its future
+            while True:
+                try:
+                    request = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if request is _SHUTDOWN:
+                    continue
+                self.metrics.shed("closed")
+                self.metrics.finished()
+                request.future.set_exception(
+                    ServiceClosed("service closed before the request ran")
+                )
+
+    def __enter__(self) -> "PrecisService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self):
+        return (
+            f"PrecisService({len(self.engines)} engine(s), "
+            f"{len(self._threads)} worker(s), "
+            f"depth={self.config.queue_depth}"
+            f"{', closed' if self._closed else ''})"
+        )

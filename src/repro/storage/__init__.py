@@ -25,7 +25,13 @@ third backend.
 
 from __future__ import annotations
 
-from .base import StorageBackend, TupleStore
+from .base import (
+    PermanentStorageError,
+    StorageBackend,
+    StorageError,
+    TransientStorageError,
+    TupleStore,
+)
 from .memory import MemoryBackend, MemoryStore
 from .registry import BACKEND_NAMES, register_backend, resolve_backend
 from .sqlite import SQLiteBackend, SQLiteStore
@@ -33,6 +39,9 @@ from .sqlite import SQLiteBackend, SQLiteStore
 __all__ = [
     "TupleStore",
     "StorageBackend",
+    "StorageError",
+    "TransientStorageError",
+    "PermanentStorageError",
     "MemoryStore",
     "MemoryBackend",
     "SQLiteStore",

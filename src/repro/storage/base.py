@@ -45,10 +45,40 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional, Sequence
 
+from ..relational.errors import RelationalError
+
 if TYPE_CHECKING:  # import cycle: relational.relation builds on this module
     from ..relational.schema import RelationSchema
 
-__all__ = ["TupleStore", "StorageBackend"]
+__all__ = [
+    "TupleStore",
+    "StorageBackend",
+    "StorageError",
+    "TransientStorageError",
+    "PermanentStorageError",
+]
+
+
+class StorageError(RelationalError):
+    """A backend failed to execute a storage operation.
+
+    Distinct from the *semantic* errors of
+    :mod:`repro.relational.errors` (constraint violations, unknown
+    tuples — those describe the data); a StorageError describes the
+    *infrastructure*. The split into transient vs. permanent is what the
+    serving layer's retry policy keys on (:mod:`repro.service.retry`).
+    """
+
+
+class TransientStorageError(StorageError):
+    """A failure that may succeed on retry (lock contention, busy
+    database, interrupted I/O). The serving layer retries these with
+    backoff."""
+
+
+class PermanentStorageError(StorageError):
+    """A failure retrying cannot fix (corrupt file, schema mismatch,
+    disk full). Surfaced to the caller immediately."""
 
 
 class TupleStore(abc.ABC):

@@ -48,9 +48,42 @@ from ..relational.errors import (
     UnknownTupleError,
 )
 from ..relational.schema import RelationSchema
-from .base import StorageBackend, TupleStore
+from .base import (
+    PermanentStorageError,
+    StorageBackend,
+    TransientStorageError,
+    TupleStore,
+)
 
 __all__ = ["SQLiteStore", "SQLiteBackend"]
+
+#: OperationalError fragments that signal contention, not breakage —
+#: the retryable class (`database is locked`, `database table is
+#: locked`, `cannot start a transaction`, SQLITE_BUSY/SQLITE_LOCKED)
+_TRANSIENT_MARKERS = ("locked", "busy", "interrupted")
+
+
+def _run(conn: sqlite3.Connection, sql: str, params: Sequence[Any] = ()):
+    """Execute *sql*, classifying driver failures for the retry layer.
+
+    ``IntegrityError`` passes through untouched (the callers turn it
+    into the semantic :class:`PrimaryKeyViolation`); lock/busy
+    ``OperationalError``s become :class:`TransientStorageError` (safe to
+    retry — the statement never ran); everything else the driver raises
+    becomes :class:`PermanentStorageError`.
+    """
+    try:
+        return conn.execute(sql, params)
+    except sqlite3.IntegrityError:
+        raise
+    except sqlite3.OperationalError as exc:
+        message = str(exc)
+        lowered = message.lower()
+        if any(marker in lowered for marker in _TRANSIENT_MARKERS):
+            raise TransientStorageError(message) from exc
+        raise PermanentStorageError(message) from exc
+    except sqlite3.Error as exc:
+        raise PermanentStorageError(str(exc)) from exc
 
 #: tuple-id column added to every relation table
 _TID = "_tid"
@@ -169,21 +202,24 @@ class SQLiteStore(TupleStore):
         self._dtypes = tuple(c.dtype for c in schema.columns)
         self._indexes: dict[str, _SQLIndexInfo] = {}
         if fresh:
-            self._conn.execute(f"DROP TABLE IF EXISTS {self._table}")
+            self._execute(f"DROP TABLE IF EXISTS {self._table}")
         self._create_table()
+
+    def _execute(self, sql: str, params: Sequence[Any] = ()):
+        return _run(self._conn, sql, params)
 
     def _create_table(self) -> None:
         cols = [f"{_quote(_TID)} INTEGER PRIMARY KEY AUTOINCREMENT"]
         cols.extend(
             f"{_quote(c.name)} {_SQL_TYPES[c.dtype]}" for c in self.schema.columns
         )
-        self._conn.execute(
+        self._execute(
             f"CREATE TABLE IF NOT EXISTS {self._table} ({', '.join(cols)})"
         )
         if self.schema.primary_key:
             pk_cols = ", ".join(_quote(a) for a in self.schema.primary_key)
             pk_name = _quote(f"pk_{self.schema.name}")
-            self._conn.execute(
+            self._execute(
                 f"CREATE UNIQUE INDEX IF NOT EXISTS {pk_name} "
                 f"ON {self._table} ({pk_cols})"
             )
@@ -196,7 +232,7 @@ class SQLiteStore(TupleStore):
         ]
         placeholders = ", ".join("?" for _ in params)
         try:
-            cursor = self._conn.execute(
+            cursor = self._execute(
                 f"INSERT INTO {self._table} ({self._columns}) "
                 f"VALUES ({placeholders})",
                 params,
@@ -217,7 +253,7 @@ class SQLiteStore(TupleStore):
         ]
         params.append(tid)
         try:
-            cursor = self._conn.execute(
+            cursor = self._execute(
                 f"UPDATE {self._table} SET {assignments} "
                 f"WHERE {_quote(_TID)} = ?",
                 params,
@@ -231,7 +267,7 @@ class SQLiteStore(TupleStore):
             raise UnknownTupleError(self.schema.name, tid)
 
     def delete(self, tid: int) -> None:
-        cursor = self._conn.execute(
+        cursor = self._execute(
             f"DELETE FROM {self._table} WHERE {_quote(_TID)} = ?", (tid,)
         )
         if cursor.rowcount == 0:
@@ -240,7 +276,7 @@ class SQLiteStore(TupleStore):
     def clear(self) -> None:
         # the sqlite_sequence entry survives, so AUTOINCREMENT keeps
         # counting upward — same discipline as MemoryStore._next_tid
-        self._conn.execute(f"DELETE FROM {self._table}")
+        self._execute(f"DELETE FROM {self._table}")
 
     # ------------------------------------------------------------- reads
 
@@ -251,7 +287,7 @@ class SQLiteStore(TupleStore):
         )
 
     def get(self, tid: int) -> Optional[tuple]:
-        record = self._conn.execute(
+        record = self._execute(
             f"SELECT {self._columns} FROM {self._table} "
             f"WHERE {_quote(_TID)} = ?",
             (tid,),
@@ -264,7 +300,7 @@ class SQLiteStore(TupleStore):
         for start in range(0, len(tid_list), _CHUNK):
             chunk = tid_list[start : start + _CHUNK]
             placeholders = ", ".join("?" for _ in chunk)
-            for record in self._conn.execute(
+            for record in self._execute(
                 f"SELECT {_quote(_TID)}, {self._columns} FROM {self._table} "
                 f"WHERE {_quote(_TID)} IN ({placeholders})",
                 chunk,
@@ -273,7 +309,7 @@ class SQLiteStore(TupleStore):
         return out
 
     def scan(self) -> Iterator[tuple[int, tuple]]:
-        cursor = self._conn.execute(
+        cursor = self._execute(
             f"SELECT {_quote(_TID)}, {self._columns} FROM {self._table} "
             f"ORDER BY {_quote(_TID)}"
         )
@@ -281,20 +317,20 @@ class SQLiteStore(TupleStore):
             yield record[0], self._decode(record[1:])
 
     def tids(self) -> Iterator[int]:
-        cursor = self._conn.execute(
+        cursor = self._execute(
             f"SELECT {_quote(_TID)} FROM {self._table} "
             f"ORDER BY {_quote(_TID)}"
         )
         return (record[0] for record in cursor)
 
     def __len__(self) -> int:
-        return self._conn.execute(
+        return self._execute(
             f"SELECT COUNT(*) FROM {self._table}"
         ).fetchone()[0]
 
     def __contains__(self, tid: int) -> bool:
         return (
-            self._conn.execute(
+            self._execute(
                 f"SELECT 1 FROM {self._table} WHERE {_quote(_TID)} = ?",
                 (tid,),
             ).fetchone()
@@ -313,12 +349,12 @@ class SQLiteStore(TupleStore):
                 f"SELECT {_quote(_TID)} FROM {self._table} "
                 f"WHERE {col} IS NULL"
             )
-            return {r[0] for r in self._conn.execute(sql)}
+            return {r[0] for r in self._execute(sql)}
         probe = _probe_sql(value, self._dtype_of(attribute))
         if probe is _NO_MATCH:
             return set()
         sql = f"SELECT {_quote(_TID)} FROM {self._table} WHERE {col} = ?"
-        return {r[0] for r in self._conn.execute(sql, (probe,))}
+        return {r[0] for r in self._execute(sql, (probe,))}
 
     def lookup_in(self, attribute: str, values: Iterable[Any]) -> set[int]:
         dtype = self._dtype_of(attribute)
@@ -338,7 +374,7 @@ class SQLiteStore(TupleStore):
             placeholders = ", ".join("?" for _ in chunk)
             out.update(
                 r[0]
-                for r in self._conn.execute(
+                for r in self._execute(
                     f"SELECT {_quote(_TID)} FROM {self._table} "
                     f"WHERE {col} IN ({placeholders})",
                     chunk,
@@ -347,7 +383,7 @@ class SQLiteStore(TupleStore):
         if want_null:
             out.update(
                 r[0]
-                for r in self._conn.execute(
+                for r in self._execute(
                     f"SELECT {_quote(_TID)} FROM {self._table} "
                     f"WHERE {col} IS NULL"
                 )
@@ -363,7 +399,7 @@ class SQLiteStore(TupleStore):
                 return None
             clauses.append(f"{_quote(attr)} = ?")
             params.append(probe)
-        record = self._conn.execute(
+        record = self._execute(
             f"SELECT {_quote(_TID)} FROM {self._table} "
             f"WHERE {' AND '.join(clauses)}",
             params,
@@ -375,7 +411,7 @@ class SQLiteStore(TupleStore):
         col = _quote(attribute)
         return {
             _from_sql(r[0], dtype)
-            for r in self._conn.execute(
+            for r in self._execute(
                 f"SELECT DISTINCT {col} FROM {self._table} "
                 f"WHERE {col} IS NOT NULL"
             )
@@ -387,7 +423,7 @@ class SQLiteStore(TupleStore):
         if kind not in ("hash", "sorted"):
             raise SchemaError(f"unknown index kind {kind!r}")
         sql_name = f"idx_{self.schema.name}_{attribute}"
-        self._conn.execute(
+        self._execute(
             f"CREATE INDEX IF NOT EXISTS {_quote(sql_name)} "
             f"ON {self._table} ({_quote(attribute)})"
         )
@@ -438,12 +474,22 @@ class SQLiteBackend(StorageBackend):
     ):
         self.path = str(path) if path is not None else None
         self.fresh = fresh
-        self._conn = sqlite3.connect(self.path or ":memory:")
+        # With a serialized (threadsafety == 3) sqlite3 build the module
+        # itself locks around every statement, so one connection may be
+        # shared across the service layer's worker threads; on lesser
+        # builds keep the stdlib's same-thread guard.
+        share = sqlite3.threadsafety == 3
+        self._conn = sqlite3.connect(
+            self.path or ":memory:", check_same_thread=not share
+        )
         # autocommit + relaxed durability: this is a query engine's
         # working store, not a system of record
         self._conn.isolation_level = None
-        self._conn.execute("PRAGMA synchronous = OFF")
-        self._conn.execute("PRAGMA journal_mode = MEMORY")
+        self._execute("PRAGMA synchronous = OFF")
+        self._execute("PRAGMA journal_mode = MEMORY")
+
+    def _execute(self, sql: str, params: Sequence[Any] = ()):
+        return _run(self._conn, sql, params)
 
     @property
     def connection(self) -> sqlite3.Connection:

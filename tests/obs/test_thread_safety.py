@@ -3,6 +3,14 @@
 The span stack is per-thread state (``threading.local``): before that,
 two threads tracing simultaneously would parent their spans into each
 other's trees or blow up closing a span another thread pushed.
+
+Synchronization here is purely event-based — barriers to force the
+interleaving under test, ``Barrier.abort()`` on failure so a crashed
+peer releases the survivor immediately, and liveness asserts after
+``join`` so a hang fails the test at the join site instead of
+cascading into a confusing downstream assertion. No wall-clock sleeps:
+timing-based coordination is exactly the nondeterminism this suite
+exists to catch.
 """
 
 import threading
@@ -28,15 +36,19 @@ class TestTracerThreadLocalStack:
                             tracer.count(f"count-{label}", 1)
             except BaseException as exc:  # propagate to the main thread
                 errors.append(exc)
+                # release the peer at once rather than letting it block
+                # through up to 50 barrier timeouts
+                barrier.abort()
 
         threads = [
-            threading.Thread(target=work, args=(label,))
+            threading.Thread(target=work, args=(label,), daemon=True)
             for label in ("a", "b")
         ]
         for thread in threads:
             thread.start()
         for thread in threads:
             thread.join(timeout=30)
+            assert not thread.is_alive(), "tracer worker hung"
         assert not errors
         assert len(sink.spans) == 100
         for root in sink.spans:
@@ -75,13 +87,14 @@ class TestEngineSharedAcrossThreads:
                 errors.append(exc)
 
         threads = [
-            threading.Thread(target=work, args=(query,))
+            threading.Thread(target=work, args=(query,), daemon=True)
             for query in ("Allen", "comedy", "Scorsese", "Hanks")
         ]
         for thread in threads:
             thread.start()
         for thread in threads:
             thread.join(timeout=60)
+            assert not thread.is_alive(), "engine worker hung"
         assert not errors
         snapshot = engine.metrics_snapshot()
         assert snapshot["counters"]["precis_asks_total"] == 40

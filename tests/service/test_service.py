@@ -1,0 +1,273 @@
+"""PrecisService behavior: admission, shedding, lifecycle, metrics.
+
+Synchronization is event-based throughout — a worker is parked by a
+``Deadline`` subclass that blocks its first ``expired()`` check on an
+event, giving the test full control over queue occupancy without any
+``time.sleep`` races.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import Deadline, PrecisEngine, WeightThreshold
+from repro.datasets import paper_instance, movies_graph
+from repro.obs import MetricsRegistry
+from repro.service import (
+    PrecisService,
+    QueueFull,
+    ServiceClosed,
+    ServiceConfig,
+    StaleRequest,
+)
+
+QUERY = '"Woody Allen"'
+
+
+class GateDeadline(Deadline):
+    """Never expires, but parks the asking worker on *gate* at its first
+    ``expired()`` check — deterministic worker occupancy for tests."""
+
+    def __init__(self, gate: threading.Event):
+        super().__init__(None)
+        self.gate = gate
+        self.entered = threading.Event()
+
+    def expired(self) -> bool:
+        if not self.entered.is_set():
+            self.entered.set()
+            self.gate.wait(timeout=30)
+        return False
+
+
+@pytest.fixture()
+def engine():
+    return PrecisEngine(paper_instance(), graph=movies_graph())
+
+
+@pytest.fixture()
+def service(engine):
+    svc = PrecisService(engine, config=ServiceConfig(workers=1, queue_depth=4))
+    yield svc
+    svc.close()
+
+
+class TestAsk:
+    def test_ask_matches_direct_engine_answer(self, engine, service):
+        direct = engine.ask(QUERY, degree=WeightThreshold(0.5))
+        served = service.ask(QUERY, degree=WeightThreshold(0.5))
+        assert served.to_dict() == direct.to_dict()
+        assert not served.degraded
+
+    def test_submit_returns_future(self, service):
+        future = service.submit(QUERY)
+        answer = future.result(timeout=30)
+        assert answer.found
+        assert future.done()
+
+    def test_ask_kwargs_are_forwarded(self, service):
+        answer = service.ask(QUERY, translate=False)
+        assert answer.narrative is None
+
+    def test_engine_error_propagates_and_service_survives(self, service):
+        future = service.submit(QUERY, no_such_kwarg=True)
+        with pytest.raises(TypeError):
+            future.result(timeout=30)
+        assert service.metrics.registry.counter(
+            "precis_service_failures_total", kind="TypeError"
+        ).value == 1
+        # the worker is still alive and serving
+        assert service.ask(QUERY).found
+
+    def test_queue_depth_gauge_returns_to_zero(self, service):
+        for __ in range(3):
+            service.ask(QUERY)
+        assert service.queue_depth() == 0
+
+
+class TestShedding:
+    def test_queue_full_sheds(self, engine):
+        gate = threading.Event()
+        blocker = GateDeadline(gate)
+        svc = PrecisService(
+            engine, config=ServiceConfig(workers=1, queue_depth=1)
+        )
+        try:
+            running = svc.submit(QUERY, deadline=blocker)
+            assert blocker.entered.wait(timeout=30)  # worker parked
+            queued = svc.submit(QUERY)  # fills the depth-1 queue
+            with pytest.raises(QueueFull):
+                svc.submit(QUERY)
+            assert (
+                svc.metrics.registry.counter(
+                    "precis_service_shed_total", reason="full"
+                ).value
+                == 1
+            )
+            gate.set()
+            assert running.result(timeout=30).found
+            assert queued.result(timeout=30).found
+        finally:
+            gate.set()
+            svc.close()
+
+    def test_stale_request_shed_at_dequeue(self, engine):
+        gate = threading.Event()
+        blocker = GateDeadline(gate)
+        svc = PrecisService(
+            engine, config=ServiceConfig(workers=1, queue_depth=4)
+        )
+        try:
+            running = svc.submit(QUERY, deadline=blocker)
+            assert blocker.entered.wait(timeout=30)
+            # queued behind the parked worker with an already-dead deadline
+            stale = svc.submit(QUERY, deadline=Deadline.after(-1.0))
+            gate.set()
+            with pytest.raises(StaleRequest):
+                stale.result(timeout=30)
+            assert running.result(timeout=30).found
+            registry = svc.metrics.registry
+            assert (
+                registry.counter(
+                    "precis_service_shed_total", reason="stale"
+                ).value
+                == 1
+            )
+            assert (
+                registry.counter("precis_service_timeouts_total").value == 1
+            )
+        finally:
+            gate.set()
+            svc.close()
+
+    def test_stale_shedding_can_be_disabled(self, engine):
+        svc = PrecisService(
+            engine,
+            config=ServiceConfig(
+                workers=1, queue_depth=4, shed_stale=False
+            ),
+        )
+        try:
+            answer = svc.ask(QUERY, deadline=Deadline.after(-1.0))
+            assert answer.degraded
+            assert answer.degraded_stage == "match"
+        finally:
+            svc.close()
+
+    def test_default_timeout_applies_when_no_deadline_given(self, engine):
+        svc = PrecisService(
+            engine,
+            config=ServiceConfig(
+                workers=1,
+                queue_depth=4,
+                default_timeout_s=-1.0,  # instantly stale
+            ),
+        )
+        try:
+            with pytest.raises(StaleRequest):
+                svc.ask(QUERY)
+        finally:
+            svc.close()
+
+    def test_explicit_deadline_overrides_default_timeout(self, engine):
+        svc = PrecisService(
+            engine,
+            config=ServiceConfig(
+                workers=1, queue_depth=4, default_timeout_s=-1.0
+            ),
+        )
+        try:
+            answer = svc.ask(QUERY, deadline=Deadline.never())
+            assert not answer.degraded
+        finally:
+            svc.close()
+
+
+class TestLifecycle:
+    def test_submit_after_close_raises(self, engine):
+        svc = PrecisService(engine)
+        svc.close()
+        with pytest.raises(ServiceClosed):
+            svc.submit(QUERY)
+        assert svc.closed
+
+    def test_close_is_idempotent(self, engine):
+        svc = PrecisService(engine)
+        svc.close()
+        svc.close()
+
+    def test_close_serves_admitted_requests(self, engine):
+        gate = threading.Event()
+        blocker = GateDeadline(gate)
+        svc = PrecisService(
+            engine, config=ServiceConfig(workers=1, queue_depth=8)
+        )
+        running = svc.submit(QUERY, deadline=blocker)
+        assert blocker.entered.wait(timeout=30)
+        queued = [svc.submit(QUERY) for __ in range(3)]
+        closer = threading.Thread(target=svc.close, daemon=True)
+        closer.start()
+        gate.set()
+        closer.join(timeout=30)
+        assert not closer.is_alive()
+        assert running.result(timeout=30).found
+        for future in queued:
+            assert future.result(timeout=30).found
+
+    def test_context_manager_closes(self, engine):
+        with PrecisService(engine) as svc:
+            assert svc.ask(QUERY).found
+        assert svc.closed
+
+    def test_worker_pool_defaults_to_engine_count(self, engine):
+        engines = [engine, PrecisEngine(paper_instance(), graph=movies_graph())]
+        svc = PrecisService(engines)
+        try:
+            assert len(svc._threads) == 2
+        finally:
+            svc.close()
+
+    def test_worker_count_override(self, engine):
+        svc = PrecisService(engine, config=ServiceConfig(workers=3))
+        try:
+            assert len(svc._threads) == 3
+            for __ in range(6):
+                assert svc.ask(QUERY).found
+        finally:
+            svc.close()
+
+
+class TestConfig:
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(workers=0)
+
+    def test_rejects_bad_queue_depth(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(queue_depth=0)
+
+    def test_needs_at_least_one_engine(self):
+        with pytest.raises(ValueError):
+            PrecisService([])
+
+    def test_repr_mentions_shape(self, engine):
+        svc = PrecisService(engine, config=ServiceConfig(workers=2))
+        try:
+            text = repr(svc)
+            assert "2 worker(s)" in text
+        finally:
+            svc.close()
+        assert "closed" in repr(svc)
+
+
+class TestSharedRegistry:
+    def test_service_and_engine_share_one_export(self, engine):
+        registry = MetricsRegistry()
+        svc = PrecisService(engine, registry=registry)
+        try:
+            svc.ask(QUERY)
+        finally:
+            svc.close()
+        text = svc.metrics.prometheus()
+        assert "precis_service_requests_total" in text
+        assert "precis_service_queue_depth" in text

@@ -1,0 +1,157 @@
+"""Concurrency stress: one shared PrecisService, many client threads.
+
+8 client threads × 50 mixed asks against a single service instance,
+over both storage backends. Every request must resolve exactly once
+(no lost or duplicated responses), the queue-depth gauge must return
+to zero, and every served answer must be byte-coherent with what a
+fresh single-threaded engine computes for the same query — whether it
+came out of the answer cache or a full pipeline run.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.core import PrecisEngine, WeightThreshold
+from repro.datasets import generate_movies_database, movies_graph
+from repro.service import PrecisService, ServiceConfig
+from repro.storage import BACKEND_NAMES
+
+CLIENTS = 8
+ASKS_PER_CLIENT = 50
+QUERIES = ["midnight", "drama", "garcia", "thriller", "comedy"]
+DEGREE = 0.5
+
+
+def canonical(answer):
+    """Answer bytes for coherence comparison. The ``cost`` block is
+    excluded: the cost meter is a shared per-database instrument, so
+    concurrent asks legitimately interleave their charges — everything
+    semantic (tuples, schema, joins, narrative, flags) must match."""
+    payload = answer.to_dict()
+    payload.pop("cost")
+    return json.dumps(payload, sort_keys=True)
+
+
+def reference_answers(backend):
+    """What a fresh, single-threaded engine says — the coherence oracle."""
+    db = generate_movies_database(n_movies=80, seed=11, backend=backend)
+    engine = PrecisEngine(db, graph=movies_graph())
+    return {
+        q: canonical(engine.ask(q, degree=WeightThreshold(DEGREE)))
+        for q in QUERIES
+    }
+
+
+def run_stress(service):
+    """Drive the service from CLIENTS closed-loop threads; returns
+    results keyed by (client, sequence) so duplicates are impossible to
+    miss and losses show up as missing keys."""
+    results = {}
+    errors = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(CLIENTS)
+
+    def client(cid):
+        local = {}
+        barrier.wait()
+        for i in range(ASKS_PER_CLIENT):
+            query = QUERIES[(cid + i) % len(QUERIES)]
+            try:
+                answer = service.ask(query, degree=WeightThreshold(DEGREE))
+                local[(cid, i)] = (query, answer)
+            except BaseException as exc:  # noqa: BLE001 — collected
+                with lock:
+                    errors.append((cid, i, exc))
+        with lock:
+            results.update(local)
+
+    threads = [
+        threading.Thread(target=client, args=(cid,), daemon=True)
+        for cid in range(CLIENTS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300)
+        assert not t.is_alive(), "stress client hung"
+    return results, errors
+
+
+@pytest.mark.parametrize("stress_backend", BACKEND_NAMES)
+class TestServiceStress:
+    def test_shared_service_under_load(self, stress_backend):
+        expected = reference_answers(stress_backend)
+        db = generate_movies_database(
+            n_movies=80, seed=11, backend=stress_backend
+        )
+        # worker-per-engine replicas: each engine (and its caches) is
+        # only ever touched by its own worker thread
+        engines = [
+            PrecisEngine(
+                db,
+                graph=movies_graph(),
+                cache=CacheConfig(plans=True, answers=True),
+            )
+            for __ in range(2)
+        ]
+        service = PrecisService(
+            engines, config=ServiceConfig(workers=2, queue_depth=32)
+        )
+        try:
+            results, errors = run_stress(service)
+
+            assert errors == []
+            # no lost and no duplicated responses
+            assert len(results) == CLIENTS * ASKS_PER_CLIENT
+            assert set(results) == {
+                (c, i)
+                for c in range(CLIENTS)
+                for i in range(ASKS_PER_CLIENT)
+            }
+            # cached == uncached == single-threaded reference, bytewise
+            for (cid, i), (query, answer) in results.items():
+                assert canonical(answer) == expected[query], (
+                    f"incoherent answer for {query!r} "
+                    f"(client {cid}, ask {i})"
+                )
+
+            # gauge back to zero, counters add up, nothing shed
+            assert service.queue_depth() == 0
+            registry = service.metrics.registry
+            assert (
+                registry.counter("precis_service_requests_total").value
+                == CLIENTS * ASKS_PER_CLIENT
+            )
+            text = service.metrics.prometheus()
+            assert "precis_service_queue_depth 0" in text
+            assert "precis_service_shed_total" not in text
+            # the answer cache actually carried load: far fewer pipeline
+            # runs than requests
+            hits = sum(e.cache.answers.stats.hits for e in engines)
+            assert hits > 0
+        finally:
+            service.close()
+
+    def test_uncached_shared_engine_under_load(self, stress_backend):
+        """One engine, several workers, caches off: the read-only hot
+        path (index, graph, storage) served concurrently."""
+        expected = reference_answers(stress_backend)
+        db = generate_movies_database(
+            n_movies=80, seed=11, backend=stress_backend
+        )
+        engine = PrecisEngine(db, graph=movies_graph())
+        service = PrecisService(
+            engine, config=ServiceConfig(workers=4, queue_depth=32)
+        )
+        try:
+            results, errors = run_stress(service)
+            assert errors == []
+            assert len(results) == CLIENTS * ASKS_PER_CLIENT
+            for (cid, i), (query, answer) in results.items():
+                assert canonical(answer) == expected[query]
+            assert service.queue_depth() == 0
+        finally:
+            service.close()
