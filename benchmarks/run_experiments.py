@@ -433,6 +433,124 @@ def serve_bench(backend=None):
     )
 
 
+def _deep_size(obj, seen=None) -> int:
+    """Recursive ``sys.getsizeof``: containers, dataclasses, __dict__ and
+    __slots__ objects. Approximate by design — used for *ratios* (overlay
+    footprint vs graph-clone footprint), not absolute accounting."""
+    import sys as _sys
+
+    seen = seen if seen is not None else set()
+    oid = id(obj)
+    if oid in seen:
+        return 0
+    seen.add(oid)
+    size = _sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            size += _deep_size(key, seen) + _deep_size(value, seen)
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            size += _deep_size(item, seen)
+    else:
+        if hasattr(obj, "__dict__"):
+            size += _deep_size(vars(obj), seen)
+        for slot in getattr(type(obj), "__slots__", ()):
+            if hasattr(obj, slot):
+                size += _deep_size(getattr(obj, slot), seen)
+    return size
+
+
+def tenants_scaling(backend=None, tenant_counts=(1, 10, 100, 1000)):
+    """Multi-tenant overlay scaling: asks/sec and plan-cache hit rate at
+    1, 10, 100, 1000 distinct per-tenant overlays on one shared engine,
+    plus the memory story — the summed footprint of N sparse overlay
+    patch maps must stay far below N materialized graph clones (the
+    gate that makes 'millions of profiles' plausible)."""
+    from repro.cache import CacheConfig
+    from repro.core import PrecisEngine
+    from repro.datasets import generate_movies_database, movies_graph
+    from repro.graph import WeightOverlay
+
+    db = generate_movies_database(n_movies=80, seed=11, backend=backend)
+    base = movies_graph()
+    queries = ["midnight", "drama", "garcia", "thriller", "comedy"]
+    asks_per_point = 200
+
+    def tenant_overlay(i, n):
+        # distinct effective weights per tenant: never equal to the base
+        # (TITLE base 1.0, GENRE base 0.9), never colliding across i
+        return {
+            ("proj", "MOVIE", "TITLE"): 0.2 + 0.6 * i / n,
+            ("join", "MOVIE", "GENRE"): 0.15,
+        }
+
+    rows = []
+    memory = {}
+    for n in tenant_counts:
+        overlays = [tenant_overlay(i, n) for i in range(n)]
+        # answer caching off: an answer-cache hit would short-circuit
+        # ask() before the plan cache is consulted, hiding exactly the
+        # per-tenant plan-sharing behaviour this table measures
+        engine = PrecisEngine(
+            db,
+            graph=base,
+            cache=CacheConfig(plans=True, plan_entries=max(256, 2 * n)),
+        )
+
+        def sweep():
+            for i in range(asks_per_point):
+                engine.ask(
+                    queries[i % len(queries)],
+                    degree=WeightThreshold(0.5),
+                    weights=overlays[i % n],
+                )
+
+        sweep()  # warm pass
+        seconds = _time(sweep, repeat=1)
+        stats = engine.cache.plans.stats
+        consulted = stats.hits + stats.misses
+        hit_rate = stats.hits / consulted if consulted else 0.0
+        overlay_bytes = _deep_size(
+            [WeightOverlay(base, o).patches for o in overlays]
+        )
+        clone_bytes = _deep_size(base.with_weights(overlays[0])) * n
+        rows.append(
+            [
+                n,
+                asks_per_point / seconds,
+                hit_rate,
+                overlay_bytes / 1024.0,
+                clone_bytes / 1024.0,
+            ]
+        )
+        memory[n] = {
+            "overlay_bytes": overlay_bytes,
+            "clone_bytes": clone_bytes,
+        }
+    largest = max(tenant_counts)
+    ratio = (
+        memory[largest]["overlay_bytes"] / memory[largest]["clone_bytes"]
+    )
+    if largest >= 100 and ratio > 0.5:
+        raise RuntimeError(
+            f"overlay memory gate failed: {largest} overlays cost "
+            f"{ratio:.1%} of {largest} graph clones (expected far less)"
+        )
+    payload = _table(
+        "Tenants — shared engine, N distinct weight overlays "
+        f"({asks_per_point} asks/point)",
+        ["tenants", "asks/s", "plan hit rate", "overlay KiB", "clone KiB"],
+        rows,
+        memory=memory,
+        overlay_to_clone_ratio=ratio,
+    )
+    print(
+        f"   {largest} overlays cost {ratio:.1%} of "
+        f"{largest} materialized graph clones"
+    )
+    return payload
+
+
 def main(argv=None):
     from repro.storage import BACKEND_NAMES
 
@@ -446,6 +564,7 @@ def main(argv=None):
         "cache": ablation_cache,
         "overhead": metrics_overhead,
         "serve": serve_bench,
+        "tenants": tenants_scaling,
     }
     default_json = Path(__file__).resolve().parent.parent / "BENCH_precis.json"
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -476,12 +595,26 @@ def main(argv=None):
         payload["seconds"] = time.perf_counter() - start
         experiments[name] = payload
     if args.json_out != "-":
+        # merge semantics: a partial run (e.g. just-added experiments)
+        # updates its entries in an existing same-backend document
+        # instead of discarding the others
+        merged = dict(experiments)
+        target = Path(args.json_out)
+        if target.exists():
+            try:
+                existing = json.loads(target.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                existing = None
+            if (
+                isinstance(existing, dict)
+                and existing.get("backend") == backend
+                and isinstance(existing.get("experiments"), dict)
+            ):
+                merged = {**existing["experiments"], **experiments}
         document = {
             "backend": backend,
-            "experiments": experiments,
-            "total_seconds": sum(
-                p["seconds"] for p in experiments.values()
-            ),
+            "experiments": merged,
+            "total_seconds": sum(p["seconds"] for p in merged.values()),
         }
         with open(args.json_out, "w", encoding="utf-8") as stream:
             json.dump(document, stream, indent=2, sort_keys=True)

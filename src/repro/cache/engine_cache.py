@@ -35,7 +35,9 @@ __all__ = [
 # ------------------------------------------------------------------ keys
 
 
-def plan_key(token_relations: Iterable[str], degree) -> tuple:
+def plan_key(
+    token_relations: Iterable[str], degree, fingerprint: Optional[str] = None
+) -> tuple:
     """Canonical plan-cache key.
 
     Token relations are *sorted and deduplicated*: the result schema is
@@ -43,8 +45,16 @@ def plan_key(token_relations: Iterable[str], degree) -> tuple:
     ``("movies", "actors")`` and ``("actors", "movies")`` must share one
     entry — the discovery-ordered key of the old ad-hoc cache treated
     them as distinct and answered the same query twice.
+
+    *fingerprint* is the canonical weight fingerprint of the graph the
+    plan is generated over (:func:`repro.graph.weight_fingerprint`):
+    ``None`` for the engine's base graph, the overlay digest for a
+    tenant's :class:`~repro.graph.overlay.WeightOverlay`. Tenants whose
+    effective weights coincide therefore share one plan entry; the base
+    graph and every distinct overlay get disjoint entries in the same
+    cache.
     """
-    return (tuple(sorted(set(token_relations))), degree)
+    return (tuple(sorted(set(token_relations))), degree, fingerprint)
 
 
 def answer_key(
@@ -52,37 +62,30 @@ def answer_key(
     degree,
     cardinality,
     strategy: str,
-    profile,
-    weights: Optional[dict],
+    fingerprint: Optional[str],
     translate: bool,
     path_scoped: bool,
 ) -> tuple:
     """Canonical answer-cache key for one ``ask`` signature.
 
-    *profile* is the **resolved** :class:`~repro.personalization.
-    profile.Profile` (or None); its name alone would go stale if the
-    registered profile object were mutated, so the key carries the
-    profile's actual weight overrides and default constraints too.
-    *weights* are the query-time edge overrides, canonicalized by
-    sorting. Raises TypeError if any component is unhashable (callers
-    treat that as uncacheable).
+    *fingerprint* is the canonical weight fingerprint of the effective
+    graph (profile weights + query-time overrides flattened into one
+    overlay — see :func:`repro.graph.weight_fingerprint`). Keying on
+    the fingerprint instead of the profile identity means (a) a mutated
+    registered profile can never serve its old answer (its weights, and
+    hence the digest, changed) and (b) two tenants whose overlays
+    coincide share one cached answer, while an ε-different weight
+    splits them. Profile default constraints are already resolved into
+    *degree*/*cardinality* by the engine before this is called. Raises
+    TypeError if any component is unhashable (callers treat that as
+    uncacheable).
     """
-    profile_part = None
-    if profile is not None:
-        profile_part = (
-            profile.name,
-            tuple(sorted(profile.weights.items())),
-            profile.degree,
-            profile.cardinality,
-        )
-    weights_part = tuple(sorted(weights.items())) if weights else None
     key = (
         query.tokens,
         degree,
         cardinality,
         strategy,
-        profile_part,
-        weights_part,
+        fingerprint,
         bool(translate),
         bool(path_scoped),
     )

@@ -27,6 +27,7 @@ from ..cache import (
     plan_key,
     plan_token,
 )
+from ..graph.overlay import WeightOverlay, overlay_graph, weight_fingerprint
 from ..graph.schema_graph import SchemaGraph, graph_from_schema
 from ..obs import (
     NULL_TRACER,
@@ -231,6 +232,25 @@ class PrecisEngine:
             return self.profiles.get(profile)
         return profile
 
+    def _effective_graph(
+        self,
+        resolved: Optional[Profile],
+        weights: Optional[dict[tuple, float]],
+    ) -> SchemaGraph:
+        """The graph this ask traverses: the base graph seen through the
+        profile's weights plus any query-time overrides (overrides win).
+
+        A copy-on-write :class:`~repro.graph.overlay.WeightOverlay` —
+        never a clone — so per-tenant weighting costs O(overrides), the
+        base graph is shared by every concurrent ask, and the overlay's
+        canonical fingerprint keys the plan/answer caches (coinciding
+        tenants share entries). Returns the base graph itself when
+        there is nothing to override.
+        """
+        return overlay_graph(
+            self.graph, resolved.weights if resolved else None, weights
+        )
+
     # --------------------------------------------------------------- asking
 
     def match(
@@ -301,16 +321,18 @@ class PrecisEngine:
         weights: Optional[dict[tuple, float]] = None,
         tracer: Optional[Tracer] = None,
         deadline: Deadline = NO_DEADLINE,
+        graph: Optional[SchemaGraph] = None,
     ) -> tuple[ResultSchema, list[TokenMatch], SchemaGraph, str]:
         """:meth:`plan` plus the plan-cache outcome (``"hit"`` /
-        ``"miss"`` / ``"off"`` / ``"uncacheable"``) for provenance."""
+        ``"miss"`` / ``"off"`` / ``"uncacheable"``) for provenance.
+        *graph* lets :meth:`ask` hand down the effective (overlay)
+        graph it already built instead of deriving it again."""
         tracer = tracer if tracer is not None else self.tracer
         if isinstance(query, str):
             query = PrecisQuery.parse(query)
         resolved = self._resolve_profile(profile)
-        graph = resolved.personalize(self.graph) if resolved else self.graph
-        if weights:
-            graph = graph.with_weights(weights)
+        if graph is None:
+            graph = self._effective_graph(resolved, weights)
         degree = degree or (resolved.degree if resolved else None) or self.default_degree
 
         with tracer.span("match"):
@@ -327,15 +349,27 @@ class PrecisEngine:
         with tracer.span("schema"):
             plans = self.cache.plans if self.cache is not None else None
             outcome = "off" if plans is None else "uncacheable"
-            cacheable = (
-                plans is not None and graph is self.graph  # base graph only
+            # cacheable: the base graph, or any overlay over it — the
+            # overlay's canonical fingerprint joins the key, so tenants
+            # with coinciding effective weights share one entry and the
+            # validity token (the shared base version) keeps them all
+            # coherent under base-graph mutation. Foreign graphs (a
+            # caller-materialized clone) stay uncacheable.
+            cacheable = plans is not None and (
+                graph is self.graph
+                or (
+                    isinstance(graph, WeightOverlay)
+                    and graph.base is self.graph
+                )
             )
             if cacheable:
                 try:
                     # canonical key: the schema is a function of the
                     # relation *set*, so token discovery order must not
                     # split entries
-                    key = plan_key(token_relations, degree)
+                    key = plan_key(
+                        token_relations, degree, weight_fingerprint(graph)
+                    )
                 except TypeError:
                     cacheable = False
             if cacheable:
@@ -433,6 +467,10 @@ class PrecisEngine:
             or self.default_cardinality
         )
 
+        # the graph this ask actually traverses: base, or a flattened
+        # copy-on-write overlay (profile weights + query-time overrides)
+        effective_graph = self._effective_graph(resolved, weights)
+
         answer_lru = self.cache.answers if self.cache is not None else None
         cache_key = None
         answer_outcome = "off" if answer_lru is None else "uncacheable"
@@ -443,8 +481,7 @@ class PrecisEngine:
                     degree,
                     cardinality,
                     strategy,
-                    resolved,
-                    weights,
+                    weight_fingerprint(effective_graph),
                     translate,
                     path_scoped,
                 )
@@ -481,7 +518,7 @@ class PrecisEngine:
                     degraded_stage = "match"
                 schema, matches, __, plan_outcome = self._plan(
                     query, degree, resolved, weights, tracer=tracer,
-                    deadline=deadline,
+                    deadline=deadline, graph=effective_graph,
                 )
                 if (
                     degraded_stage is None
@@ -592,9 +629,7 @@ class PrecisEngine:
         if isinstance(query, str):
             query = PrecisQuery.parse(query)
         resolved = self._resolve_profile(profile)
-        graph = resolved.personalize(self.graph) if resolved else self.graph
-        if weights:
-            graph = graph.with_weights(weights)
+        graph = self._effective_graph(resolved, weights)
         degree = (
             degree
             or (resolved.degree if resolved else None)

@@ -1,6 +1,7 @@
 """Weighted database schema graph (paper §3.1–3.2)."""
 
 from .dot import graph_to_dot, result_schema_to_dot
+from .overlay import WeightOverlay, overlay_graph, weight_fingerprint
 from .validation import GraphSchemaMismatch, check_graph, validate_graph
 from .paths import Path, multiply_weights
 from .schema_graph import (
@@ -23,6 +24,9 @@ __all__ = [
     "JoinEdge",
     "ProjectionEdge",
     "graph_from_schema",
+    "WeightOverlay",
+    "overlay_graph",
+    "weight_fingerprint",
     "Path",
     "multiply_weights",
     "edge_weight_map",

@@ -1,0 +1,278 @@
+"""Per-tenant weight overlays on a shared immutable base graph.
+
+The paper's personalization story (§3.1 — "multiple sets of weights
+corresponding to different user profiles may be stored in the system")
+meets the "millions of users" scaling goal here: instead of
+materializing one :class:`~repro.graph.schema_graph.SchemaGraph` clone
+per weight set (O(edges) memory and copy time per tenant), a
+:class:`WeightOverlay` is a copy-on-write view — one shared base graph
+plus a sparse ``edge key -> weight`` patch map, resolved lazily at
+traversal time.
+
+Three properties make overlays safe to serve from:
+
+* **Read equivalence** — every read of the overlay returns exactly what
+  a fresh ``base.with_weights(patches)`` graph would return (the
+  differential oracle in ``tests/integration/test_overlay_oracle.py``
+  pins this byte-for-byte through the whole engine).
+* **Base immutability under overlay composition** — overlays are
+  immutable; :meth:`WeightOverlay.with_weights` layers more patches
+  into a *new* overlay and never touches the base. Mutating the base
+  through its own API still works and bumps ``version``, which both the
+  base and every overlay report — so the §9a cache-coherence contract
+  (validity tokens) holds unchanged for overlay-served plans.
+* **Canonical fingerprints** — :meth:`WeightOverlay.fingerprint`
+  digests the *effective* patches (sorted, no-op patches that equal the
+  base weight dropped, weights bit-exact as IEEE doubles). Two tenants
+  whose overlays coincide — whatever insertion order or no-op noise
+  produced them — share one fingerprint and therefore one plan-cache /
+  answer-cache entry; an ε-different weight yields a different
+  fingerprint and a disjoint entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Iterator, Mapping, Optional
+
+from .schema_graph import (
+    GraphError,
+    JoinEdge,
+    ProjectionEdge,
+    SchemaGraph,
+    _check_weight,
+)
+
+__all__ = ["WeightOverlay", "weight_fingerprint", "overlay_graph"]
+
+#: edge-key kinds understood by overlays (mirrors SchemaGraph.with_weights)
+_KINDS = ("proj", "join")
+
+
+class WeightOverlay:
+    """An immutable weighted view: one base graph + sparse weight patches.
+
+    Presents the full :class:`SchemaGraph` *read* API (anything not
+    weight-bearing delegates to the base), with patched weights applied
+    lazily when edges are read. Construction validates every patch key
+    against the base — exactly the errors ``with_weights`` would raise —
+    so a bad profile fails fast, not mid-traversal.
+
+    Overlays over overlays flatten: ``WeightOverlay(overlay, more)``
+    shares the original base and merges the patch maps (later patches
+    win), keeping lookup O(1) regardless of composition depth.
+    """
+
+    __slots__ = ("_base", "_patches", "_resolved", "_fingerprint_memo")
+
+    def __init__(self, base: SchemaGraph, patches: Mapping[tuple, float]):
+        if isinstance(base, WeightOverlay):
+            patches = {**base._patches, **patches}
+            base = base._base
+        self._base = base
+        validated: dict[tuple, float] = {}
+        for key, weight in patches.items():
+            if not isinstance(key, tuple) or len(key) != 3 or key[0] not in _KINDS:
+                raise GraphError(f"bad edge key {key!r}")
+            if key[0] == "proj":
+                base.projection_edge(key[1], key[2])  # raises if absent
+            else:
+                base.join_edge(key[1], key[2])
+            validated[key] = _check_weight(weight)
+        self._patches = validated
+        self._resolved: dict[tuple, ProjectionEdge | JoinEdge] = {}
+        #: (base version at digest time, fingerprint) — no-op elimination
+        #: reads base weights, so the memo is only valid for one version
+        self._fingerprint_memo: Optional[tuple[int, Optional[str]]] = None
+
+    # ------------------------------------------------------------ identity
+
+    @property
+    def base(self) -> SchemaGraph:
+        """The shared immutable-by-convention base graph."""
+        return self._base
+
+    @property
+    def patches(self) -> dict[tuple, float]:
+        """A copy of the raw patch map (including no-op patches)."""
+        return dict(self._patches)
+
+    @property
+    def version(self) -> int:
+        """The *base* graph's mutation counter — overlays add no state
+        of their own that can change, so base mutation is the only event
+        that can stale a plan computed through this overlay."""
+        return self._base.version
+
+    # ------------------------------------------------------------ reading
+
+    def _patched(self, edge: ProjectionEdge | JoinEdge):
+        weight = self._patches.get(edge.key)
+        if weight is None or weight == edge.weight:
+            return edge
+        cached = self._resolved.get(edge.key)
+        if cached is not None and cached.weight == weight:
+            return cached
+        if isinstance(edge, ProjectionEdge):
+            patched = ProjectionEdge(edge.relation, edge.attribute, weight)
+        else:
+            patched = JoinEdge(
+                edge.source,
+                edge.target,
+                edge.source_attribute,
+                edge.target_attribute,
+                weight,
+            )
+        self._resolved[edge.key] = patched
+        return patched
+
+    def projection_edge(self, relation: str, attribute: str) -> ProjectionEdge:
+        return self._patched(self._base.projection_edge(relation, attribute))
+
+    def join_edge(self, source: str, target: str) -> JoinEdge:
+        return self._patched(self._base.join_edge(source, target))
+
+    def projection_edges_of(self, relation: str) -> list[ProjectionEdge]:
+        return [self._patched(e) for e in self._base.projection_edges_of(relation)]
+
+    def join_edges_from(self, relation: str) -> list[JoinEdge]:
+        return [self._patched(e) for e in self._base.join_edges_from(relation)]
+
+    def join_edges_into(self, relation: str) -> list[JoinEdge]:
+        return [self._patched(e) for e in self._base.join_edges_into(relation)]
+
+    def edges_attached_to(
+        self, relation: str
+    ) -> list[ProjectionEdge | JoinEdge]:
+        return [self._patched(e) for e in self._base.edges_attached_to(relation)]
+
+    def all_projection_edges(self) -> Iterator[ProjectionEdge]:
+        return (self._patched(e) for e in self._base.all_projection_edges())
+
+    def all_join_edges(self) -> Iterator[JoinEdge]:
+        return (self._patched(e) for e in self._base.all_join_edges())
+
+    def __getattr__(self, name):
+        # structural reads (relations, has_relation, attributes_of,
+        # has_join, edge_count, ...) are weight-free: delegate to the base.
+        # Private names never delegate — that would recurse before the
+        # slots are populated (e.g. during unpickling).
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(object.__getattribute__(self, "_base"), name)
+
+    # ------------------------------------------------------------ writing
+
+    def _immutable(self, *_args, **_kwargs):
+        raise GraphError(
+            "WeightOverlay is immutable — derive a new overlay with "
+            "with_weights(), or mutate the base graph directly"
+        )
+
+    add_relation = _immutable
+    add_attribute = _immutable
+    add_join = _immutable
+    add_join_pair = _immutable
+    set_projection_weight = _immutable
+    set_join_weight = _immutable
+
+    # ------------------------------------------------------------ deriving
+
+    def with_weights(self, weights: Mapping[tuple, float]) -> "WeightOverlay":
+        """A new overlay over the *same* base with *weights* layered on
+        top of this overlay's patches (copy-on-write composition — no
+        graph is cloned)."""
+        return WeightOverlay(self, weights)
+
+    def copy(self) -> SchemaGraph:
+        """A mutable materialized :class:`SchemaGraph` (same semantics
+        as copying the equivalent fresh graph)."""
+        return self.materialize()
+
+    def materialize(self) -> SchemaGraph:
+        """The equivalent freshly built graph: ``base.with_weights(
+        patches)``. The differential oracle's reference object."""
+        return self._base.with_weights(self._patches)
+
+    # ------------------------------------------------------------ identity key
+
+    def canonical_patches(self) -> tuple[tuple[tuple, float], ...]:
+        """The *effective* patches: sorted by edge key, weights coerced
+        to float, patches equal to the current base weight dropped.
+        This is the overlay's semantic identity — two overlays with
+        equal canonical patches answer every query identically."""
+        effective = []
+        for key in sorted(self._patches):
+            weight = self._patches[key]
+            if key[0] == "proj":
+                base_weight = self._base.projection_edge(key[1], key[2]).weight
+            else:
+                base_weight = self._base.join_edge(key[1], key[2]).weight
+            if weight != base_weight:
+                effective.append((key, float(weight)))
+        return tuple(effective)
+
+    def fingerprint(self) -> Optional[str]:
+        """Canonical weight fingerprint, or None for a no-op overlay.
+
+        A SHA-256 digest over the canonical patches: edge-key parts are
+        NUL-delimited UTF-8, weights are big-endian IEEE-754 doubles
+        (bit-exact, so an ε-different weight — even one ULP — changes
+        the digest). ``None`` means "behaves exactly like the base", so
+        no-op overlays share the base graph's cache entries.
+
+        Memoized per base-graph version: no-op elimination depends on
+        base weights, so a base mutation recomputes the digest.
+        """
+        memo = self._fingerprint_memo
+        version = self._base.version
+        if memo is not None and memo[0] == version:
+            return memo[1]
+        effective = self.canonical_patches()
+        if not effective:
+            digest = None
+        else:
+            hasher = hashlib.sha256()
+            for key, weight in effective:
+                for part in key:
+                    hasher.update(part.encode("utf-8"))
+                    hasher.update(b"\x00")
+                hasher.update(struct.pack("!d", weight))
+                hasher.update(b"\x01")
+            digest = hasher.hexdigest()
+        self._fingerprint_memo = (version, digest)
+        return digest
+
+    def __repr__(self):
+        return (
+            f"WeightOverlay({len(self._patches)} patch(es) over {self._base!r})"
+        )
+
+
+def weight_fingerprint(graph) -> Optional[str]:
+    """The canonical weight fingerprint of *graph* relative to its base:
+    ``None`` for a plain :class:`SchemaGraph` (it IS the base) and for
+    no-op overlays; an overlay's digest otherwise. This is the value
+    mixed into plan- and answer-cache keys, so tenants whose effective
+    weights coincide share cached artifacts."""
+    if isinstance(graph, WeightOverlay):
+        return graph.fingerprint()
+    return None
+
+
+def overlay_graph(
+    base: SchemaGraph,
+    *patch_layers: Optional[Mapping[tuple, float]],
+) -> SchemaGraph:
+    """Compose patch layers (later layers win) over *base* without
+    cloning: returns *base* itself when every layer is empty/None,
+    otherwise one flattened :class:`WeightOverlay`. The engine routes
+    profile weights + query-time weight overrides through this."""
+    merged: dict[tuple, float] = {}
+    for layer in patch_layers:
+        if layer:
+            merged.update(layer)
+    if not merged:
+        return base
+    return WeightOverlay(base, merged)

@@ -621,22 +621,41 @@ class ServiceMetrics:
         )
 
     # --------------------------------------------------------- recording
+    #
+    # The optional *tenant* on the recorders below adds a tenant-labelled
+    # series NEXT TO the unlabelled fleet series (never instead of it):
+    # fleet dashboards keep their exact pre-tenant semantics, and the
+    # per-tenant view only exists for requests that named a tenant.
 
-    def admitted(self) -> None:
+    def admitted(self, tenant: Optional[str] = None) -> None:
         self.registry.counter(
             "precis_service_requests_total", "requests admitted to the queue"
         ).inc()
+        if tenant is not None:
+            self.registry.counter(
+                "precis_service_tenant_requests_total",
+                "requests admitted per tenant",
+                tenant=tenant,
+            ).inc()
         self.queue_depth.add(1)
 
-    def shed(self, reason: str) -> None:
+    def shed(self, reason: str, tenant: Optional[str] = None) -> None:
         """A request refused without running (``reason``: ``"full"`` for
         queue overflow, ``"stale"`` for a deadline that expired while
-        queued, ``"closed"`` for submission after shutdown)."""
+        queued, ``"closed"`` for submission after shutdown,
+        ``"tenant_quota"`` for a tenant over its in-flight slots)."""
         self.registry.counter(
             "precis_service_shed_total",
             "requests shed without running",
             reason=reason,
         ).inc()
+        if tenant is not None:
+            self.registry.counter(
+                "precis_service_tenant_shed_total",
+                "requests shed without running, per tenant",
+                tenant=tenant,
+                reason=reason,
+            ).inc()
 
     def finished(self) -> None:
         self.queue_depth.add(-1)
@@ -647,20 +666,32 @@ class ServiceMetrics:
             "time from admission to a worker picking the request up",
         ).observe(seconds)
 
-    def service_time(self, seconds: float) -> None:
+    def service_time(self, seconds: float, tenant: Optional[str] = None) -> None:
         """End-to-end request latency: admission to response."""
         self.registry.histogram(
             "precis_service_seconds",
             "end-to-end request latency including queueing",
         ).observe(seconds)
+        if tenant is not None:
+            self.registry.histogram(
+                "precis_service_tenant_seconds",
+                "end-to-end request latency per tenant",
+                tenant=tenant,
+            ).observe(seconds)
 
-    def degraded(self, stage: str) -> None:
+    def degraded(self, stage: str, tenant: Optional[str] = None) -> None:
         """An answer served partial because its deadline expired."""
         self.registry.counter(
             "precis_service_degraded_total",
             "answers served partial under an expired deadline",
             stage=stage,
         ).inc()
+        if tenant is not None:
+            self.registry.counter(
+                "precis_service_tenant_degraded_total",
+                "partial answers per tenant",
+                tenant=tenant,
+            ).inc()
 
     def timeout(self) -> None:
         self.registry.counter(

@@ -18,9 +18,12 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 from ..core.constraints import CardinalityConstraint, DegreeConstraint
-from ..graph.schema_graph import SchemaGraph
+from ..graph.overlay import WeightOverlay
+from ..graph.schema_graph import GraphError, SchemaGraph
 
 __all__ = ["Profile", "ProfileRegistry"]
+
+_FORMAT_VERSION = 1
 
 
 @dataclass
@@ -50,10 +53,26 @@ class Profile:
     # ------------------------------------------------------------ applying
 
     def personalize(self, graph: SchemaGraph) -> SchemaGraph:
-        """A copy of *graph* with this profile's weights applied."""
+        """*graph* seen through this profile's weights.
+
+        Historically a full graph clone; now a copy-on-write
+        :class:`~repro.graph.overlay.WeightOverlay` sharing *graph* —
+        O(overrides) memory instead of O(edges), so a million stored
+        profiles cost a million sparse patch maps, not a million
+        graphs. Reads are equivalent by the overlay oracle; the base
+        graph is never touched. A profile without weights returns
+        *graph* itself, as before.
+        """
         if not self.weights:
             return graph
-        return graph.with_weights(self.weights)
+        return self.overlay(graph)
+
+    def overlay(self, graph: SchemaGraph) -> WeightOverlay:
+        """This profile's weights as an explicit overlay over *graph*
+        (even when empty — useful when the caller wants a uniform
+        type). Raises :class:`~repro.graph.schema_graph.GraphError` if
+        any override names an edge *graph* does not have."""
+        return WeightOverlay(graph, self.weights)
 
     def merged_with(self, other: "Profile", name: Optional[str] = None) -> "Profile":
         """A new profile: *other*'s entries override this one's.
@@ -68,10 +87,111 @@ class Profile:
             description=other.description or self.description,
         )
 
+    # ------------------------------------------------------------ serde
+
+    def to_dict(self) -> dict:
+        """JSON-compatible snapshot: edge keys become 3-element lists,
+        constraints become ``{"type", "args"}`` records. Inverse of
+        :meth:`from_dict`; the round trip preserves the overlay the
+        profile produces (same canonical patches, same fingerprint)."""
+        return {
+            "version": _FORMAT_VERSION,
+            "name": self.name,
+            "weights": [
+                [list(key), weight]
+                for key, weight in sorted(self.weights.items())
+            ],
+            "degree": _encode_constraint(self.degree),
+            "cardinality": _encode_constraint(self.cardinality),
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Profile":
+        """Rebuild a profile serialized by :meth:`to_dict`."""
+        if data.get("version") != _FORMAT_VERSION:
+            raise GraphError(
+                f"unsupported profile format version {data.get('version')!r}"
+            )
+        weights: dict[tuple, float] = {}
+        for key, weight in data.get("weights", ()):
+            key = tuple(key)
+            if len(key) != 3 or key[0] not in ("proj", "join"):
+                raise GraphError(f"bad edge key {key!r} in profile document")
+            weights[key] = float(weight)
+        return cls(
+            name=data["name"],
+            weights=weights,
+            degree=_decode_constraint(data.get("degree")),
+            cardinality=_decode_constraint(data.get("cardinality")),
+            description=data.get("description", ""),
+        )
+
     def __repr__(self):
         return (
             f"Profile({self.name!r}, {len(self.weights)} weight overrides)"
         )
+
+
+def _encode_constraint(constraint) -> Optional[dict]:
+    """Encode a degree/cardinality constraint as ``{"type", "args"}``.
+
+    Covers every constraint whose init fields are scalars or nested
+    constraint tuples (all the designer-facing ones); anything carrying
+    live state (e.g. a ``DeadlineCardinality``) is rejected — deadlines
+    belong to requests, not stored profiles.
+    """
+    import dataclasses
+
+    from ..core.constraints import CardinalityConstraint, DegreeConstraint
+
+    if constraint is None:
+        return None
+    payload: dict = {}
+    for field_info in dataclasses.fields(constraint):
+        if not field_info.init:
+            continue
+        value = getattr(constraint, field_info.name)
+        if isinstance(value, (bool, int, float, str, type(None))):
+            payload[field_info.name] = value
+        elif isinstance(value, (tuple, list)) and all(
+            isinstance(p, (DegreeConstraint, CardinalityConstraint))
+            for p in value
+        ):
+            payload[field_info.name] = [_encode_constraint(p) for p in value]
+        else:
+            raise ValueError(
+                f"constraint {type(constraint).__name__} is not "
+                f"serializable: field {field_info.name!r} holds "
+                f"{type(value).__name__}"
+            )
+    return {"type": type(constraint).__name__, "args": payload}
+
+
+def _decode_constraint(data: Optional[dict]):
+    """Inverse of :func:`_encode_constraint`."""
+    from ..core import constraints as constraint_module
+
+    if data is None:
+        return None
+    cls = getattr(constraint_module, data["type"], None)
+    if not isinstance(cls, type):
+        raise GraphError(f"unknown constraint type {data.get('type')!r}")
+    args = {}
+    for name, value in data.get("args", {}).items():
+        if isinstance(value, list) and value and isinstance(value[0], dict):
+            args[name] = tuple(_decode_constraint(p) for p in value)
+        else:
+            args[name] = value
+    try:
+        return cls(**args)
+    except TypeError:
+        # composites take their parts as *varargs*, not a keyword tuple
+        if len(args) == 1:
+            (value,) = args.values()
+            if isinstance(value, tuple):
+                return cls(*value)
+        raise
 
 
 class ProfileRegistry:

@@ -21,6 +21,7 @@ from .errors import (
     ServiceClosed,
     ServiceError,
     StaleRequest,
+    TenantQuotaExceeded,
 )
 from .retry import RetryPolicy, call_with_retry
 from .service import PrecisService, ServiceConfig
@@ -36,6 +37,7 @@ __all__ = [
     "ServiceClosed",
     "QueueFull",
     "StaleRequest",
+    "TenantQuotaExceeded",
     "RetryExhausted",
     "run_serve_bench",
     "movies_workload",

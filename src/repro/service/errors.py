@@ -18,6 +18,7 @@ __all__ = [
     "ServiceClosed",
     "QueueFull",
     "StaleRequest",
+    "TenantQuotaExceeded",
     "RetryExhausted",
 ]
 
@@ -49,6 +50,20 @@ class StaleRequest(ServiceError):
             f"deadline expired after {waited_s * 1000:.1f} ms in queue"
         )
         self.waited_s = waited_s
+
+
+class TenantQuotaExceeded(ServiceError):
+    """Shed on admission: this tenant already holds its fair share of
+    in-flight requests (``ServiceConfig.tenant_slots``); other tenants'
+    capacity is untouched. A per-tenant signal — the queue itself may
+    be nearly empty."""
+
+    def __init__(self, tenant: str, slots: int):
+        super().__init__(
+            f"tenant {tenant!r} already has {slots} request(s) in flight"
+        )
+        self.tenant = tenant
+        self.slots = slots
 
 
 class RetryExhausted(ServiceError):

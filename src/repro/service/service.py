@@ -45,7 +45,13 @@ from ..core.deadline import NO_DEADLINE, Deadline
 from ..core.engine import PrecisEngine
 from ..obs.metrics import MetricsRegistry, ServiceMetrics
 from ..storage import PermanentStorageError
-from .errors import QueueFull, RetryExhausted, ServiceClosed, StaleRequest
+from .errors import (
+    QueueFull,
+    RetryExhausted,
+    ServiceClosed,
+    StaleRequest,
+    TenantQuotaExceeded,
+)
 from .retry import RetryPolicy, call_with_retry
 
 __all__ = ["ServiceConfig", "PrecisService"]
@@ -71,23 +77,32 @@ class ServiceConfig:
     shed_stale: bool = True
     #: backoff policy for transient storage failures
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: fair-share admission: max in-flight (queued + executing) requests
+    #: per tenant; None disables per-tenant quotas. Requests submitted
+    #: without a tenant are never quota-limited.
+    tenant_slots: Optional[int] = None
 
     def __post_init__(self):
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be at least 1")
         if self.queue_depth < 1:
             raise ValueError("queue_depth must be at least 1")
+        if self.tenant_slots is not None and self.tenant_slots < 1:
+            raise ValueError("tenant_slots must be at least 1")
 
 
 class _Request:
-    __slots__ = ("query", "kwargs", "deadline", "future", "enqueued_at")
+    __slots__ = (
+        "query", "kwargs", "deadline", "future", "enqueued_at", "tenant"
+    )
 
-    def __init__(self, query, kwargs, deadline, future, enqueued_at):
+    def __init__(self, query, kwargs, deadline, future, enqueued_at, tenant):
         self.query = query
         self.kwargs = kwargs
         self.deadline = deadline
         self.future = future
         self.enqueued_at = enqueued_at
+        self.tenant = tenant
 
 
 class PrecisService:
@@ -109,6 +124,8 @@ class PrecisService:
         self._queue: queue.Queue = queue.Queue(self.config.queue_depth)
         self._closed = False
         self._close_lock = threading.Lock()
+        self._tenant_lock = threading.Lock()
+        self._tenant_inflight: dict[str, int] = {}
         n_workers = self.config.workers or len(self.engines)
         self._threads = [
             threading.Thread(
@@ -129,6 +146,7 @@ class PrecisService:
         query,
         deadline: Optional[Deadline] = None,
         timeout_s: Optional[float] = None,
+        tenant: Optional[str] = None,
         **ask_kwargs: Any,
     ) -> "Future":
         """Enqueue one ask; returns the :class:`Future` of its answer.
@@ -138,12 +156,17 @@ class PrecisService:
         straight to :meth:`~repro.core.engine.PrecisEngine.ask`
         (constraints, strategy, profile, ...).
 
+        *tenant* labels the request for per-tenant metrics and, when
+        ``config.tenant_slots`` is set, counts against that tenant's
+        fair-share in-flight quota
+        (:class:`~repro.service.errors.TenantQuotaExceeded`).
+
         Raises :class:`ServiceClosed` after :meth:`close`, and
         :class:`QueueFull` when the admission queue is full under the
         shed-on-full policy.
         """
         if self._closed:
-            self.metrics.shed("closed")
+            self.metrics.shed("closed", tenant=tenant)
             raise ServiceClosed("service is closed")
         if deadline is None:
             seconds = (
@@ -154,20 +177,47 @@ class PrecisService:
             deadline = (
                 Deadline.after(seconds) if seconds is not None else NO_DEADLINE
             )
+        self._acquire_tenant_slot(tenant)
         future: Future = Future()
         request = _Request(
-            query, ask_kwargs, deadline, future, time.monotonic()
+            query, ask_kwargs, deadline, future, time.monotonic(), tenant
         )
         if self.config.shed_on_full:
             try:
                 self._queue.put_nowait(request)
             except queue.Full:
-                self.metrics.shed("full")
+                self._release_tenant_slot(tenant)
+                self.metrics.shed("full", tenant=tenant)
                 raise QueueFull(self.config.queue_depth) from None
         else:
             self._queue.put(request)
-        self.metrics.admitted()
+        self.metrics.admitted(tenant=tenant)
         return future
+
+    def _acquire_tenant_slot(self, tenant: Optional[str]) -> None:
+        if tenant is None or self.config.tenant_slots is None:
+            return
+        with self._tenant_lock:
+            held = self._tenant_inflight.get(tenant, 0)
+            if held >= self.config.tenant_slots:
+                self.metrics.shed("tenant_quota", tenant=tenant)
+                raise TenantQuotaExceeded(tenant, held)
+            self._tenant_inflight[tenant] = held + 1
+
+    def _release_tenant_slot(self, tenant: Optional[str]) -> None:
+        if tenant is None or self.config.tenant_slots is None:
+            return
+        with self._tenant_lock:
+            held = self._tenant_inflight.get(tenant, 0)
+            if held <= 1:
+                self._tenant_inflight.pop(tenant, None)
+            else:
+                self._tenant_inflight[tenant] = held - 1
+
+    def tenant_inflight(self, tenant: str) -> int:
+        """In-flight (queued + executing) request count of one tenant."""
+        with self._tenant_lock:
+            return self._tenant_inflight.get(tenant, 0)
 
     def ask(self, query, **kwargs: Any):
         """Synchronous :meth:`submit` — blocks for the answer."""
@@ -194,7 +244,7 @@ class PrecisService:
                 and request.deadline.expires()
                 and request.deadline.expired()
             ):
-                metrics.shed("stale")
+                metrics.shed("stale", tenant=request.tenant)
                 metrics.timeout()
                 request.future.set_exception(StaleRequest(waited))
                 return
@@ -220,11 +270,18 @@ class PrecisService:
                 request.future.set_exception(exc)
             else:
                 if answer.degraded:
-                    metrics.degraded(answer.degraded_stage or "unknown")
+                    metrics.degraded(
+                        answer.degraded_stage or "unknown",
+                        tenant=request.tenant,
+                    )
                     metrics.timeout()
-                metrics.service_time(time.monotonic() - request.enqueued_at)
+                metrics.service_time(
+                    time.monotonic() - request.enqueued_at,
+                    tenant=request.tenant,
+                )
                 request.future.set_result(answer)
         finally:
+            self._release_tenant_slot(request.tenant)
             metrics.finished()
 
     # ------------------------------------------------------------- lifecycle
@@ -261,7 +318,8 @@ class PrecisService:
                     break
                 if request is _SHUTDOWN:
                     continue
-                self.metrics.shed("closed")
+                self._release_tenant_slot(request.tenant)
+                self.metrics.shed("closed", tenant=request.tenant)
                 self.metrics.finished()
                 request.future.set_exception(
                     ServiceClosed("service closed before the request ran")

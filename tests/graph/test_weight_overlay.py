@@ -1,0 +1,265 @@
+"""WeightOverlay unit battery: resolution semantics, base immutability,
+version interaction, and a Hypothesis property over random sparse
+overlays (every read of the overlay must equal the same read of the
+materialized ``base.with_weights(patches)`` graph)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import movies_graph
+from repro.graph import (
+    GraphError,
+    SchemaGraph,
+    WeightOverlay,
+    overlay_graph,
+    weight_fingerprint,
+)
+
+
+@pytest.fixture()
+def base():
+    return movies_graph()
+
+
+# ------------------------------------------------------------- resolution
+
+
+class TestResolution:
+    def test_patched_projection_weight(self, base):
+        overlay = WeightOverlay(base, {("proj", "MOVIE", "TITLE"): 0.25})
+        assert overlay.projection_edge("MOVIE", "TITLE").weight == 0.25
+        # untouched edges resolve to the *same* objects as the base
+        assert overlay.projection_edge("ACTOR", "ANAME") is base.projection_edge(
+            "ACTOR", "ANAME"
+        )
+
+    def test_patched_join_weight(self, base):
+        overlay = WeightOverlay(base, {("join", "MOVIE", "GENRE"): 0.11})
+        edge = overlay.join_edge("MOVIE", "GENRE")
+        assert edge.weight == 0.11
+        # join metadata other than weight is preserved
+        original = base.join_edge("MOVIE", "GENRE")
+        assert (edge.source, edge.target) == (original.source, original.target)
+        assert edge.source_attribute == original.source_attribute
+        assert edge.target_attribute == original.target_attribute
+
+    def test_collection_reads_apply_patches(self, base):
+        overlay = WeightOverlay(
+            base,
+            {("proj", "MOVIE", "TITLE"): 0.25, ("join", "MOVIE", "GENRE"): 0.11},
+        )
+        projections = {
+            e.key: e.weight for e in overlay.projection_edges_of("MOVIE")
+        }
+        assert projections[("proj", "MOVIE", "TITLE")] == 0.25
+        outgoing = {e.key: e.weight for e in overlay.join_edges_from("MOVIE")}
+        assert outgoing[("join", "MOVIE", "GENRE")] == 0.11
+        incoming = {e.key: e.weight for e in overlay.join_edges_into("GENRE")}
+        assert incoming[("join", "MOVIE", "GENRE")] == 0.11
+        attached = {e.key: e.weight for e in overlay.edges_attached_to("MOVIE")}
+        assert attached[("proj", "MOVIE", "TITLE")] == 0.25
+        assert attached[("join", "MOVIE", "GENRE")] == 0.11
+        everything = {e.key: e.weight for e in overlay.all_projection_edges()}
+        assert everything[("proj", "MOVIE", "TITLE")] == 0.25
+        joins = {e.key: e.weight for e in overlay.all_join_edges()}
+        assert joins[("join", "MOVIE", "GENRE")] == 0.11
+
+    def test_structural_reads_delegate(self, base):
+        overlay = WeightOverlay(base, {("proj", "MOVIE", "TITLE"): 0.25})
+        assert overlay.relations == base.relations
+        assert overlay.has_relation("MOVIE")
+        assert overlay.attributes_of("MOVIE") == base.attributes_of("MOVIE")
+        assert overlay.has_join("MOVIE", "GENRE")
+        assert overlay.edge_count() == base.edge_count()
+
+    def test_unknown_edge_key_rejected(self, base):
+        with pytest.raises(GraphError):
+            WeightOverlay(base, {("proj", "MOVIE", "NOPE"): 0.5})
+        with pytest.raises(GraphError):
+            WeightOverlay(base, {("join", "MOVIE", "ACTOR"): 0.5})
+        with pytest.raises(GraphError):
+            WeightOverlay(base, {("bogus", "MOVIE", "TITLE"): 0.5})
+        with pytest.raises(GraphError):
+            WeightOverlay(base, {"not-a-tuple": 0.5})
+
+    def test_out_of_range_weight_rejected(self, base):
+        with pytest.raises(GraphError):
+            WeightOverlay(base, {("proj", "MOVIE", "TITLE"): 1.5})
+        with pytest.raises(GraphError):
+            WeightOverlay(base, {("proj", "MOVIE", "TITLE"): -0.1})
+
+    def test_overlay_over_overlay_flattens(self, base):
+        first = WeightOverlay(base, {("proj", "MOVIE", "TITLE"): 0.25})
+        second = first.with_weights({("join", "MOVIE", "GENRE"): 0.11})
+        assert isinstance(second, WeightOverlay)
+        assert second.base is base  # flattened, not chained
+        assert second.projection_edge("MOVIE", "TITLE").weight == 0.25
+        assert second.join_edge("MOVIE", "GENRE").weight == 0.11
+        # later layers win on the same key
+        third = second.with_weights({("proj", "MOVIE", "TITLE"): 0.75})
+        assert third.projection_edge("MOVIE", "TITLE").weight == 0.75
+
+    def test_materialize_equals_with_weights(self, base):
+        patches = {
+            ("proj", "MOVIE", "TITLE"): 0.25,
+            ("join", "MOVIE", "GENRE"): 0.11,
+        }
+        overlay = WeightOverlay(base, patches)
+        fresh = base.with_weights(patches)
+        materialized = overlay.materialize()
+        assert isinstance(materialized, SchemaGraph)
+        assert {e.key: e.weight for e in materialized.all_projection_edges()} == {
+            e.key: e.weight for e in fresh.all_projection_edges()
+        }
+        assert {e.key: e.weight for e in materialized.all_join_edges()} == {
+            e.key: e.weight for e in fresh.all_join_edges()
+        }
+
+    def test_overlay_graph_helper(self, base):
+        assert overlay_graph(base) is base
+        assert overlay_graph(base, None, {}) is base
+        composed = overlay_graph(
+            base,
+            {("proj", "MOVIE", "TITLE"): 0.3},
+            {("proj", "MOVIE", "TITLE"): 0.6},
+        )
+        assert composed.projection_edge("MOVIE", "TITLE").weight == 0.6
+
+
+# ---------------------------------------------------------- immutability
+
+
+class TestImmutability:
+    def test_overlay_mutators_raise(self, base):
+        overlay = WeightOverlay(base, {("proj", "MOVIE", "TITLE"): 0.25})
+        for mutate in (
+            lambda: overlay.add_relation("X"),
+            lambda: overlay.add_attribute("MOVIE", "X", 0.5),
+            lambda: overlay.add_join("MOVIE", "GENRE", "MID", "MID", 0.5),
+            lambda: overlay.set_projection_weight("MOVIE", "TITLE", 0.5),
+            lambda: overlay.set_join_weight("MOVIE", "GENRE", 0.5),
+        ):
+            with pytest.raises(GraphError):
+                mutate()
+
+    def test_base_untouched_by_overlay(self, base):
+        before_version = base.version
+        before = {e.key: e.weight for e in base.all_projection_edges()}
+        overlay = WeightOverlay(base, {("proj", "MOVIE", "TITLE"): 0.25})
+        list(overlay.all_projection_edges())  # force resolution
+        overlay.fingerprint()
+        assert base.version == before_version
+        assert {e.key: e.weight for e in base.all_projection_edges()} == before
+
+    def test_copy_materializes_a_mutable_graph(self, base):
+        overlay = WeightOverlay(base, {("proj", "MOVIE", "TITLE"): 0.25})
+        clone = overlay.copy()
+        clone.set_projection_weight("MOVIE", "TITLE", 0.9)  # must not raise
+        assert overlay.projection_edge("MOVIE", "TITLE").weight == 0.25
+        assert base.projection_edge("MOVIE", "TITLE").weight == 1.0
+
+
+# ------------------------------------------------------------- versioning
+
+
+class TestVersionInteraction:
+    def test_overlay_reports_base_version(self, base):
+        overlay = WeightOverlay(base, {("proj", "MOVIE", "TITLE"): 0.25})
+        assert overlay.version == base.version
+        base.set_projection_weight("MOVIE", "YEAR", 0.5)
+        assert overlay.version == base.version
+
+    def test_base_mutation_visible_through_overlay(self, base):
+        overlay = WeightOverlay(base, {("proj", "MOVIE", "TITLE"): 0.25})
+        base.set_projection_weight("MOVIE", "YEAR", 0.123)
+        # unpatched edge: the overlay reads through to the new weight
+        assert overlay.projection_edge("MOVIE", "YEAR").weight == 0.123
+        # patched edge still patched
+        assert overlay.projection_edge("MOVIE", "TITLE").weight == 0.25
+
+    def test_fingerprint_recomputed_after_base_mutation(self, base):
+        # patch TITLE to the value the base is about to adopt: the patch
+        # starts effective, then becomes a no-op
+        overlay = WeightOverlay(base, {("proj", "MOVIE", "TITLE"): 0.25})
+        assert overlay.fingerprint() is not None
+        base.set_projection_weight("MOVIE", "TITLE", 0.25)
+        assert overlay.fingerprint() is None  # now a no-op overlay
+        base.set_projection_weight("MOVIE", "TITLE", 1.0)
+        assert overlay.fingerprint() is not None
+
+
+# --------------------------------------------------------------- pickling
+
+
+def test_overlay_pickles(base):
+    overlay = WeightOverlay(base, {("proj", "MOVIE", "TITLE"): 0.25})
+    revived = pickle.loads(pickle.dumps(overlay))
+    assert revived.projection_edge("MOVIE", "TITLE").weight == 0.25
+    assert revived.fingerprint() == overlay.fingerprint()
+
+
+# --------------------------------------------------------------- property
+
+_GRAPH = movies_graph()
+_PROJ_KEYS = sorted(e.key for e in _GRAPH.all_projection_edges())
+_JOIN_KEYS = sorted(e.key for e in _GRAPH.all_join_edges())
+_ALL_KEYS = _PROJ_KEYS + _JOIN_KEYS
+
+_patches = st.dictionaries(
+    st.sampled_from(_ALL_KEYS),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=64),
+    max_size=8,
+)
+
+
+@given(patches=_patches)
+@settings(max_examples=60, deadline=None)
+def test_property_overlay_reads_equal_materialized(patches):
+    base = movies_graph()
+    overlay = WeightOverlay(base, patches)
+    fresh = base.with_weights(patches)
+    assert {e.key: e.weight for e in overlay.all_projection_edges()} == {
+        e.key: e.weight for e in fresh.all_projection_edges()
+    }
+    assert {e.key: e.weight for e in overlay.all_join_edges()} == {
+        e.key: e.weight for e in fresh.all_join_edges()
+    }
+    for relation in base.relations:
+        assert [
+            (e.key, e.weight) for e in overlay.edges_attached_to(relation)
+        ] == [(e.key, e.weight) for e in fresh.edges_attached_to(relation)]
+
+
+@given(patches=_patches)
+@settings(max_examples=60, deadline=None)
+def test_property_fingerprint_canonical(patches):
+    base = movies_graph()
+    overlay = WeightOverlay(base, patches)
+    # insertion order never matters
+    reordered = WeightOverlay(
+        base, dict(sorted(patches.items(), reverse=True))
+    )
+    assert overlay.fingerprint() == reordered.fingerprint()
+    # no-op patches (equal to the base weight) never matter
+    noisy_patches = dict(patches)
+    for key in _ALL_KEYS[:4]:
+        if key not in noisy_patches:
+            if key[0] == "proj":
+                noisy_patches[key] = base.projection_edge(key[1], key[2]).weight
+            else:
+                noisy_patches[key] = base.join_edge(key[1], key[2]).weight
+    noisy = WeightOverlay(base, noisy_patches)
+    assert noisy.fingerprint() == overlay.fingerprint()
+    assert noisy.canonical_patches() == overlay.canonical_patches()
+    # the fingerprint is a pure function of the canonical patches
+    if overlay.canonical_patches():
+        assert overlay.fingerprint() is not None
+    else:
+        assert overlay.fingerprint() is None
+    assert weight_fingerprint(overlay) == overlay.fingerprint()
+    assert weight_fingerprint(base) is None

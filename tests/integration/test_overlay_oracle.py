@@ -1,0 +1,150 @@
+"""The overlay differential oracle (this PR's acceptance criterion).
+
+For every dataset × storage backend × retrieval strategy, an ask
+through a :class:`~repro.graph.overlay.WeightOverlay` (profile weights
+or query-time overrides over the shared base graph) must be
+**byte-identical** to the same ask on a freshly materialized
+``base.with_weights(patches)`` graph — same result tuples and tids,
+same narrative, same flags, same modeled cost. The overlay is an
+optimization, never a semantic.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import (
+    MaxTuplesPerRelation,
+    PrecisEngine,
+    STRATEGY_NAIVE,
+    STRATEGY_ROUND_ROBIN,
+    WeightThreshold,
+)
+from repro.datasets import (
+    generate_library_database,
+    generate_movies_database,
+    generate_university_database,
+    library_graph,
+    movies_graph,
+    university_graph,
+)
+from repro.graph import WeightOverlay
+from repro.personalization import Profile
+from repro.storage import BACKEND_NAMES
+
+DATASETS = {
+    "movies": (
+        lambda backend: generate_movies_database(
+            n_movies=60, seed=13, backend=backend
+        ),
+        movies_graph,
+        ("MOVIE", "TITLE"),
+    ),
+    "university": (
+        lambda backend: generate_university_database(
+            n_students=40, n_courses=10, seed=13, backend=backend
+        ),
+        university_graph,
+        ("COURSE", "CNAME"),
+    ),
+    "library": (
+        lambda backend: generate_library_database(
+            n_items=60, seed=13, backend=backend
+        ),
+        library_graph,
+        ("ITEM", "TITLE"),
+    ),
+}
+
+
+def sparse_patches(graph) -> dict[tuple, float]:
+    """A deterministic sparse overlay for any graph: halve the weight of
+    the first three projection edges and the first two join edges (halving
+    a positive weight always yields a *different* in-range weight, so
+    every patch is effective)."""
+    patches: dict[tuple, float] = {}
+    projections = sorted(graph.all_projection_edges(), key=lambda e: e.key)
+    joins = sorted(graph.all_join_edges(), key=lambda e: e.key)
+    for edge in projections[:3] + joins[:2]:
+        patches[edge.key] = edge.weight / 2
+    return patches
+
+
+def answer_bytes(answer) -> str:
+    return json.dumps(answer.to_dict(), sort_keys=True)
+
+
+@pytest.fixture(params=sorted(DATASETS), scope="module")
+def dataset(request):
+    return request.param
+
+
+@pytest.fixture(params=BACKEND_NAMES, scope="module")
+def oracle_pair(request, dataset):
+    """One database + base graph per (dataset, backend) combination."""
+    build, graph_fn, (relation, attribute) = DATASETS[dataset]
+    db = build(request.param)
+    graph = graph_fn()
+    token = next(
+        row[attribute] for row in db.relation(relation).scan([attribute])
+    )
+    yield db, graph, token
+    db.close()
+
+
+@pytest.mark.parametrize("strategy", [STRATEGY_NAIVE, STRATEGY_ROUND_ROBIN])
+def test_overlay_ask_byte_identical_to_fresh_graph(oracle_pair, strategy):
+    db, base, token = oracle_pair
+    patches = sparse_patches(base)
+    constraints = dict(
+        degree=WeightThreshold(0.4),
+        cardinality=MaxTuplesPerRelation(4),
+        strategy=strategy,
+    )
+    # reference: a fresh engine over a fresh, fully materialized graph
+    fresh = PrecisEngine(db, graph=base.with_weights(patches))
+    expected = answer_bytes(fresh.ask(f'"{token}"', **constraints))
+
+    shared = PrecisEngine(db, graph=base)
+    # route 1: query-time weight overrides
+    via_weights = shared.ask(f'"{token}"', weights=patches, **constraints)
+    assert answer_bytes(via_weights) == expected
+    # route 2: a stored profile
+    shared.register_profile(Profile("tenant", weights=dict(patches)))
+    via_profile = shared.ask(f'"{token}"', profile="tenant", **constraints)
+    assert answer_bytes(via_profile) == expected
+    # route 3: an explicit overlay handed to a new engine
+    via_overlay = PrecisEngine(
+        db, graph=WeightOverlay(base, patches)
+    ).ask(f'"{token}"', **constraints)
+    assert answer_bytes(via_overlay) == expected
+    # the base graph was never disturbed
+    assert base.version == shared.graph.version
+    unweighted = shared.ask(f'"{token}"', **constraints)
+    assert answer_bytes(unweighted) == answer_bytes(
+        PrecisEngine(db, graph=base).ask(f'"{token}"', **constraints)
+    )
+
+
+@pytest.mark.parametrize("strategy", [STRATEGY_NAIVE, STRATEGY_ROUND_ROBIN])
+def test_overlay_ask_byte_identical_with_caches_on(oracle_pair, strategy):
+    """Same oracle with both cache layers live: the cached re-ask must
+    byte-match both the uncached overlay ask and the fresh-graph ask."""
+    db, base, token = oracle_pair
+    patches = sparse_patches(base)
+    constraints = dict(
+        degree=WeightThreshold(0.4),
+        cardinality=MaxTuplesPerRelation(4),
+        strategy=strategy,
+    )
+    fresh = PrecisEngine(db, graph=base.with_weights(patches))
+    expected = answer_bytes(fresh.ask(f'"{token}"', **constraints))
+
+    cached = PrecisEngine(db, graph=base, cache=True)
+    first = cached.ask(f'"{token}"', weights=patches, **constraints)
+    again = cached.ask(f'"{token}"', weights=patches, **constraints)
+    assert answer_bytes(first) == expected
+    assert answer_bytes(again) == expected
+    assert cached.cache.answers.stats.hits >= 1

@@ -1,8 +1,18 @@
 """Unit tests for profiles and the registry (§3.1 personalization)."""
 
+import json
+
 import pytest
 
-from repro.core import MaxTuplesPerRelation, WeightThreshold
+from repro.core import (
+    CompositeDegree,
+    DeadlineCardinality,
+    Deadline,
+    MaxPathLength,
+    MaxTuplesPerRelation,
+    WeightThreshold,
+)
+from repro.graph import GraphError, WeightOverlay
 from repro.personalization import Profile, ProfileRegistry
 
 
@@ -43,6 +53,124 @@ class TestProfile:
         assert merged.degree == WeightThreshold(0.8)
         assert merged.cardinality == MaxTuplesPerRelation(3)
         assert merged.name == "designer+user"
+
+
+class TestOverlayConversion:
+    def test_overlay_returns_weight_overlay(self, paper_graph):
+        profile = Profile("fan").set_join_weight("MOVIE", "GENRE", 0.2)
+        overlay = profile.overlay(paper_graph)
+        assert isinstance(overlay, WeightOverlay)
+        assert overlay.base is paper_graph
+        assert overlay.join_edge("MOVIE", "GENRE").weight == 0.2
+
+    def test_personalize_returns_overlay_not_clone(self, paper_graph):
+        profile = Profile("fan").set_join_weight("MOVIE", "GENRE", 0.2)
+        personalized = profile.personalize(paper_graph)
+        assert isinstance(personalized, WeightOverlay)
+        assert personalized.base is paper_graph
+
+    def test_empty_profile_overlay_is_noop(self, paper_graph):
+        overlay = Profile("empty").overlay(paper_graph)
+        assert isinstance(overlay, WeightOverlay)
+        assert overlay.fingerprint() is None
+
+    def test_overlay_validates_edges_against_graph(self, paper_graph):
+        profile = Profile("bad").set_join_weight("MOVIE", "NOPE", 0.2)
+        with pytest.raises(GraphError):
+            profile.overlay(paper_graph)
+
+    def test_equal_profiles_produce_equal_fingerprints(self, paper_graph):
+        a = (
+            Profile("a")
+            .set_join_weight("MOVIE", "GENRE", 0.2)
+            .set_projection_weight("MOVIE", "TITLE", 0.4)
+        )
+        b = (  # same weights, opposite insertion order
+            Profile("b")
+            .set_projection_weight("MOVIE", "TITLE", 0.4)
+            .set_join_weight("MOVIE", "GENRE", 0.2)
+        )
+        assert (
+            a.overlay(paper_graph).fingerprint()
+            == b.overlay(paper_graph).fingerprint()
+        )
+
+
+class TestSerde:
+    def roundtrip(self, profile):
+        # through actual JSON text, as a profile store would
+        return Profile.from_dict(json.loads(json.dumps(profile.to_dict())))
+
+    def test_roundtrip_weights_and_metadata(self):
+        profile = Profile(
+            "fan",
+            weights={
+                ("proj", "MOVIE", "TITLE"): 0.4,
+                ("join", "MOVIE", "GENRE"): 0.2,
+            },
+            description="genre-averse movie fan",
+        )
+        revived = self.roundtrip(profile)
+        assert revived.name == profile.name
+        assert revived.weights == profile.weights
+        assert revived.description == profile.description
+        assert revived.degree is None
+        assert revived.cardinality is None
+
+    def test_roundtrip_constraints(self):
+        profile = Profile(
+            "strict",
+            degree=CompositeDegree(WeightThreshold(0.8), MaxPathLength(2)),
+            cardinality=MaxTuplesPerRelation(3),
+        )
+        revived = self.roundtrip(profile)
+        assert revived.degree == profile.degree
+        assert revived.cardinality == profile.cardinality
+
+    def test_roundtrip_preserves_overlay_identity(self, paper_graph):
+        profile = Profile(
+            "fan",
+            weights={
+                ("join", "MOVIE", "GENRE"): 0.2,
+                ("proj", "MOVIE", "TITLE"): 0.4,
+            },
+        )
+        original = profile.overlay(paper_graph)
+        revived = self.roundtrip(profile).overlay(paper_graph)
+        assert revived.canonical_patches() == original.canonical_patches()
+        assert revived.fingerprint() == original.fingerprint()
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(GraphError):
+            Profile.from_dict({"version": 99, "name": "x", "weights": []})
+
+    def test_bad_edge_key_rejected(self):
+        with pytest.raises(GraphError):
+            Profile.from_dict(
+                {
+                    "version": 1,
+                    "name": "x",
+                    "weights": [[["bogus", "A", "B"], 0.5]],
+                }
+            )
+
+    def test_unknown_constraint_type_rejected(self):
+        with pytest.raises(GraphError):
+            Profile.from_dict(
+                {
+                    "version": 1,
+                    "name": "x",
+                    "weights": [],
+                    "degree": {"type": "NoSuchConstraint", "args": {}},
+                }
+            )
+
+    def test_stateful_constraint_not_serializable(self):
+        profile = Profile(
+            "live", cardinality=DeadlineCardinality(Deadline.after(1.0))
+        )
+        with pytest.raises(ValueError):
+            profile.to_dict()
 
 
 class TestRegistry:

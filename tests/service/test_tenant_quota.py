@@ -1,0 +1,186 @@
+"""Per-tenant fair-share admission: ``ServiceConfig.tenant_slots``.
+
+A tenant over its in-flight budget is shed with
+:class:`TenantQuotaExceeded` *without* touching other tenants' capacity
+— the queue may be nearly empty. Slot accounting is exercised across
+every release path: normal completion, queue-full rollback, and the
+close-time drain. Synchronization is event-based (``GateDeadline``),
+never sleep-based.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import PrecisEngine
+from repro.datasets import movies_graph, paper_instance
+from repro.service import (
+    PrecisService,
+    QueueFull,
+    ServiceClosed,
+    ServiceConfig,
+    TenantQuotaExceeded,
+)
+
+from .test_service import GateDeadline
+
+QUERY = '"Woody Allen"'
+
+
+@pytest.fixture()
+def engine():
+    return PrecisEngine(paper_instance(), graph=movies_graph())
+
+
+def make_service(engine, **config):
+    defaults = dict(workers=1, queue_depth=8, tenant_slots=1)
+    defaults.update(config)
+    return PrecisService(engine, config=ServiceConfig(**defaults))
+
+
+class TestQuota:
+    def test_over_quota_tenant_is_shed(self, engine):
+        gate = threading.Event()
+        blocker = GateDeadline(gate)
+        svc = make_service(engine)
+        try:
+            running = svc.submit(QUERY, deadline=blocker, tenant="a")
+            assert blocker.entered.wait(timeout=30)  # a's slot occupied
+            with pytest.raises(TenantQuotaExceeded) as excinfo:
+                svc.submit(QUERY, tenant="a")
+            assert excinfo.value.tenant == "a"
+            assert excinfo.value.slots == 1
+            assert (
+                svc.metrics.registry.counter(
+                    "precis_service_tenant_shed_total",
+                    tenant="a",
+                    reason="tenant_quota",
+                ).value
+                == 1
+            )
+            gate.set()
+            assert running.result(timeout=30).found
+        finally:
+            gate.set()
+            svc.close()
+
+    def test_other_tenants_unaffected(self, engine):
+        gate = threading.Event()
+        blocker = GateDeadline(gate)
+        svc = make_service(engine, workers=1)
+        try:
+            svc.submit(QUERY, deadline=blocker, tenant="a")
+            assert blocker.entered.wait(timeout=30)
+            with pytest.raises(TenantQuotaExceeded):
+                svc.submit(QUERY, tenant="a")
+            # tenant b and anonymous traffic still admitted
+            other = svc.submit(QUERY, tenant="b")
+            anonymous = svc.submit(QUERY)
+            gate.set()
+            assert other.result(timeout=30).found
+            assert anonymous.result(timeout=30).found
+        finally:
+            gate.set()
+            svc.close()
+
+    def test_slot_released_after_completion(self, engine):
+        svc = make_service(engine)
+        try:
+            for __ in range(3):  # sequential asks never trip a 1-slot quota
+                assert svc.ask(QUERY, tenant="a").found
+            assert svc.tenant_inflight("a") == 0
+        finally:
+            svc.close()
+
+    def test_slot_released_on_queue_full(self, engine):
+        gate = threading.Event()
+        blocker = GateDeadline(gate)
+        svc = make_service(engine, workers=1, queue_depth=1, tenant_slots=4)
+        try:
+            svc.submit(QUERY, deadline=blocker, tenant="a")
+            assert blocker.entered.wait(timeout=30)
+            queued = svc.submit(QUERY, tenant="a")  # fills the queue
+            held = svc.tenant_inflight("a")
+            with pytest.raises(QueueFull):
+                svc.submit(QUERY, tenant="a")
+            # the rejected request's slot was rolled back
+            assert svc.tenant_inflight("a") == held
+            gate.set()
+            assert queued.result(timeout=30).found
+        finally:
+            gate.set()
+            svc.close()
+
+    def test_slots_released_on_close_drain(self, engine):
+        gate = threading.Event()
+        blocker = GateDeadline(gate)
+        svc = make_service(engine, workers=1, queue_depth=8, tenant_slots=4)
+        running = svc.submit(QUERY, deadline=blocker, tenant="a")
+        assert blocker.entered.wait(timeout=30)
+        stranded = [svc.submit(QUERY, tenant="a") for __ in range(2)]
+        closer = threading.Thread(target=svc.close, daemon=True)
+        closer.start()
+        gate.set()
+        closer.join(timeout=30)
+        assert not closer.is_alive()
+        assert running.result(timeout=30).found
+        # queued requests either ran before their worker saw the
+        # sentinel or were failed by the drain — never stranded
+        for future in stranded:
+            try:
+                future.result(timeout=30)
+            except ServiceClosed:
+                pass
+        assert svc.tenant_inflight("a") == 0
+
+    def test_quota_disabled_by_default(self, engine):
+        gate = threading.Event()
+        blocker = GateDeadline(gate)
+        svc = PrecisService(
+            engine, config=ServiceConfig(workers=1, queue_depth=8)
+        )
+        try:
+            svc.submit(QUERY, deadline=blocker, tenant="a")
+            assert blocker.entered.wait(timeout=30)
+            futures = [svc.submit(QUERY, tenant="a") for __ in range(4)]
+            gate.set()
+            for future in futures:
+                assert future.result(timeout=30).found
+        finally:
+            gate.set()
+            svc.close()
+
+    def test_rejects_bad_tenant_slots(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(tenant_slots=0)
+
+
+class TestTenantMetrics:
+    def test_tenant_labelled_series_alongside_fleet_series(self, engine):
+        svc = make_service(engine, tenant_slots=4)
+        try:
+            svc.ask(QUERY, tenant="a")
+            svc.ask(QUERY, tenant="a")
+            svc.ask(QUERY, tenant="b")
+            svc.ask(QUERY)  # anonymous: fleet series only
+            registry = svc.metrics.registry
+            assert (
+                registry.counter("precis_service_requests_total").value == 4
+            )
+            assert (
+                registry.counter(
+                    "precis_service_tenant_requests_total", tenant="a"
+                ).value
+                == 2
+            )
+            assert (
+                registry.counter(
+                    "precis_service_tenant_requests_total", tenant="b"
+                ).value
+                == 1
+            )
+            text = svc.metrics.prometheus()
+            assert 'precis_service_tenant_requests_total{tenant="a"} 2' in text
+            assert 'precis_service_tenant_seconds' in text
+        finally:
+            svc.close()

@@ -1,0 +1,259 @@
+"""N-tenant concurrency stress: one shared service, per-tenant overlays.
+
+Extends the 8×50 single-graph stress harness (``test_stress.py``) with
+tenancy: every client thread is a tenant carrying its own weight
+overlay. Tenants deliberately collide — four share overlay A, three
+share overlay B, and one runs an ε-nudged copy of A — so the run
+exercises cross-tenant cache *sharing* (identical overlays, one plan
+entry) and cache *isolation* (the ε tenant never sees A's answers) at
+full concurrency. Every answer must be byte-coherent with a fresh
+single-threaded engine over the equivalent materialized graph.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.core import PrecisEngine, WeightThreshold
+from repro.datasets import generate_movies_database, movies_graph
+from repro.service import (
+    PrecisService,
+    ServiceConfig,
+    TenantQuotaExceeded,
+)
+from repro.storage import BACKEND_NAMES
+
+ASKS_PER_TENANT = 25
+QUERIES = ["midnight", "drama", "garcia", "thriller", "comedy"]
+DEGREE = 0.5
+
+OVERLAY_A = {
+    ("proj", "MOVIE", "TITLE"): 0.55,
+    ("join", "MOVIE", "GENRE"): 0.45,
+}
+OVERLAY_B = {
+    ("proj", "ACTOR", "ANAME"): 0.6,
+    ("proj", "MOVIE", "YEAR"): 0.35,
+}
+OVERLAY_A_EPS = {
+    ("proj", "MOVIE", "TITLE"): 0.55 + 1e-12,
+    ("join", "MOVIE", "GENRE"): 0.45,
+}
+
+#: tenant name -> its overlay (the tenant population of the run)
+TENANTS = {
+    "a0": OVERLAY_A,
+    "a1": OVERLAY_A,
+    "a2": OVERLAY_A,
+    "a3": OVERLAY_A,
+    "b0": OVERLAY_B,
+    "b1": OVERLAY_B,
+    "b2": OVERLAY_B,
+    "eps": OVERLAY_A_EPS,
+}
+
+
+def canonical(answer):
+    """Answer bytes minus the ``cost`` block (the cost meter is a shared
+    per-database instrument; concurrent asks interleave charges)."""
+    payload = answer.to_dict()
+    payload.pop("cost")
+    return json.dumps(payload, sort_keys=True)
+
+
+def reference_answers(backend):
+    """Per-(tenant, query) oracle: fresh single-threaded engines over
+    fully materialized per-tenant graphs."""
+    db = generate_movies_database(n_movies=80, seed=11, backend=backend)
+    base = movies_graph()
+    expected = {}
+    for tenant, overlay in TENANTS.items():
+        engine = PrecisEngine(db, graph=base.with_weights(overlay))
+        for query in QUERIES:
+            expected[(tenant, query)] = canonical(
+                engine.ask(query, degree=WeightThreshold(DEGREE))
+            )
+    return expected
+
+
+def run_tenant_stress(service):
+    results = {}
+    errors = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(len(TENANTS))
+
+    def client(tenant, overlay):
+        local = {}
+        barrier.wait()
+        for i in range(ASKS_PER_TENANT):
+            query = QUERIES[(sum(map(ord, tenant)) + i) % len(QUERIES)]
+            try:
+                answer = service.ask(
+                    query,
+                    degree=WeightThreshold(DEGREE),
+                    weights=overlay,
+                    tenant=tenant,
+                )
+                local[(tenant, i)] = (query, answer)
+            except BaseException as exc:  # noqa: BLE001 — collected
+                with lock:
+                    errors.append((tenant, i, exc))
+        with lock:
+            results.update(local)
+
+    threads = [
+        threading.Thread(target=client, args=item, daemon=True)
+        for item in TENANTS.items()
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300)
+        assert not t.is_alive(), "tenant stress client hung"
+    return results, errors
+
+
+@pytest.mark.parametrize("stress_backend", BACKEND_NAMES)
+class TestTenantStress:
+    def test_shared_service_many_tenants(self, stress_backend):
+        expected = reference_answers(stress_backend)
+        db = generate_movies_database(
+            n_movies=80, seed=11, backend=stress_backend
+        )
+        engines = [
+            PrecisEngine(
+                db,
+                graph=movies_graph(),
+                cache=CacheConfig(plans=True, answers=True),
+            )
+            for __ in range(2)
+        ]
+        service = PrecisService(
+            engines, config=ServiceConfig(workers=2, queue_depth=64)
+        )
+        try:
+            results, errors = run_tenant_stress(service)
+            assert errors == []
+            assert len(results) == len(TENANTS) * ASKS_PER_TENANT
+
+            # every tenant's every answer byte-matches its own oracle —
+            # in particular the ε tenant never received overlay A's
+            # (cached) answers despite differing by one ULP
+            for (tenant, i), (query, answer) in results.items():
+                assert canonical(answer) == expected[(tenant, query)], (
+                    f"incoherent answer for tenant {tenant!r}, "
+                    f"query {query!r} (ask {i})"
+                )
+
+            # identical-overlay tenants shared plan entries: the caches
+            # saw at most (#queries × #distinct overlays) misses per
+            # engine, far below one miss per request
+            distinct_overlays = 3  # A, B, A+ε
+            plan_misses = sum(e.cache.plans.stats.misses for e in engines)
+            assert plan_misses <= len(QUERIES) * distinct_overlays * len(
+                engines
+            )
+            plan_hits = sum(e.cache.plans.stats.hits for e in engines)
+            answer_hits = sum(e.cache.answers.stats.hits for e in engines)
+            assert plan_hits + answer_hits > 0
+
+            # bookkeeping: gauge drained, per-tenant counters add up
+            assert service.queue_depth() == 0
+            registry = service.metrics.registry
+            assert (
+                registry.counter("precis_service_requests_total").value
+                == len(TENANTS) * ASKS_PER_TENANT
+            )
+            for tenant in TENANTS:
+                assert (
+                    registry.counter(
+                        "precis_service_tenant_requests_total", tenant=tenant
+                    ).value
+                    == ASKS_PER_TENANT
+                )
+                assert service.tenant_inflight(tenant) == 0
+        finally:
+            service.close()
+
+    def test_quota_sheds_conserve_requests(self, stress_backend):
+        """With a tight per-tenant quota and bursty (fire-then-gather)
+        clients, every attempt either resolves or is shed with
+        TenantQuotaExceeded — nothing lost, nothing double-counted, all
+        slots returned."""
+        db = generate_movies_database(
+            n_movies=80, seed=11, backend=stress_backend
+        )
+        engine = PrecisEngine(db, graph=movies_graph())
+        service = PrecisService(
+            engine,
+            config=ServiceConfig(workers=2, queue_depth=64, tenant_slots=2),
+        )
+        answered = []
+        quota_sheds = []
+        errors = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(len(TENANTS))
+
+        def bursty_client(tenant, overlay):
+            futures = []
+            barrier.wait()
+            for i in range(ASKS_PER_TENANT):  # burst: no waiting between
+                query = QUERIES[i % len(QUERIES)]
+                try:
+                    futures.append(
+                        service.submit(
+                            query,
+                            degree=WeightThreshold(DEGREE),
+                            weights=overlay,
+                            tenant=tenant,
+                        )
+                    )
+                except TenantQuotaExceeded:
+                    with lock:
+                        quota_sheds.append((tenant, i))
+                except BaseException as exc:  # noqa: BLE001 — collected
+                    with lock:
+                        errors.append((tenant, i, exc))
+            for future in futures:
+                with lock:
+                    answered.append(future.result(timeout=300))
+
+        try:
+            threads = [
+                threading.Thread(target=bursty_client, args=item, daemon=True)
+                for item in TENANTS.items()
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=300)
+                assert not t.is_alive(), "bursty client hung"
+
+            assert errors == []
+            # a 2-slot quota against a 25-deep burst must actually shed
+            assert quota_sheds
+            assert (
+                len(answered) + len(quota_sheds)
+                == len(TENANTS) * ASKS_PER_TENANT
+            )
+            registry = service.metrics.registry
+            shed_total = sum(
+                registry.counter(
+                    "precis_service_tenant_shed_total",
+                    tenant=tenant,
+                    reason="tenant_quota",
+                ).value
+                for tenant in TENANTS
+            )
+            assert shed_total == len(quota_sheds)
+            assert (
+                registry.counter("precis_service_requests_total").value
+                == len(answered)
+            )
+            for tenant in TENANTS:
+                assert service.tenant_inflight(tenant) == 0
+            assert service.queue_depth() == 0
+        finally:
+            service.close()

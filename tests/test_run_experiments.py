@@ -67,6 +67,38 @@ def test_main_writes_bench_json(tmp_path, capsys):
     assert document["total_seconds"] >= experiment["seconds"] * 0.99
 
 
+def test_tenants_scaling_payload(capsys):
+    module = _load()
+    payload = module.tenants_scaling(tenant_counts=(1, 4))
+    capsys.readouterr()
+    assert payload["columns"] == [
+        "tenants", "asks/s", "plan hit rate", "overlay KiB", "clone KiB",
+    ]
+    assert [row[0] for row in payload["rows"]] == [1, 4]
+    for row in payload["rows"]:
+        assert row[1] > 0  # asks/s
+        assert 0.0 <= row[2] <= 1.0  # hit rate
+        # sparse overlays must undercut materialized clones at every N
+        assert row[3] < row[4]
+    assert payload["overlay_to_clone_ratio"] < 0.5
+
+
+def test_main_merges_into_existing_bench_json(tmp_path, capsys):
+    import json
+
+    module = _load()
+    target = tmp_path / "BENCH_precis.json"
+    module.main(["strategies", "--json-out", str(target)])
+    module.main(["joinorder", "--json-out", str(target)])
+    capsys.readouterr()
+    document = json.loads(target.read_text())
+    # the second (partial) run extended the document, not replaced it
+    assert set(document["experiments"]) == {"strategies", "joinorder"}
+    assert document["total_seconds"] >= sum(
+        p["seconds"] for p in document["experiments"].values()
+    ) * 0.99
+
+
 def test_metrics_overhead_payload(capsys):
     module = _load()
     payload = module.metrics_overhead()
