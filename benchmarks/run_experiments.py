@@ -433,6 +433,45 @@ def serve_bench(backend=None):
     )
 
 
+def tracing_overhead(backend=None):
+    """Cost and yield of end-to-end request tracing (repro.obs.context):
+    throughput with sampling on vs off (budget: <= 5% at 10%), plus the
+    statistical profiler's per-stage self-time attribution — the
+    correlation layer must be cheap enough to leave on."""
+    from repro.service import measure_trace_overhead, movies_workload
+    from repro.service import run_serve_bench
+
+    engine, queries = movies_workload(n_movies=200, backend=backend)
+    overhead = measure_trace_overhead(engine, queries, sample_rate=0.1)
+    profiled = run_serve_bench(
+        engine,
+        queries,
+        client_threads=4,
+        requests_per_client=15,
+        workers=2,
+        profile=True,
+    )
+    profile = profiled.get("profile", {})
+    rows = [
+        [
+            f"{overhead['sample_rate']:.0%}",
+            overhead["baseline_rps"],
+            overhead["traced_rps"],
+            overhead["overhead_pct"],
+            profile.get("attributed_fraction", 0.0) * 100.0,
+        ]
+    ]
+    return _table(
+        "Tracing overhead — sampling on vs off, best of "
+        f"{overhead['rounds']}",
+        ["sample", "base req/s", "traced req/s", "overhead %",
+         "profiled %"],
+        rows,
+        overhead=overhead,
+        profile=profile,
+    )
+
+
 def _deep_size(obj, seen=None) -> int:
     """Recursive ``sys.getsizeof``: containers, dataclasses, __dict__ and
     __slots__ objects. Approximate by design — used for *ratios* (overlay
@@ -564,6 +603,7 @@ def main(argv=None):
         "cache": ablation_cache,
         "overhead": metrics_overhead,
         "serve": serve_bench,
+        "tracing": tracing_overhead,
         "tenants": tenants_scaling,
     }
     default_json = Path(__file__).resolve().parent.parent / "BENCH_precis.json"

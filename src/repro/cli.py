@@ -240,6 +240,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="merge the results into FILE under the 'serve' key "
         "(default: BENCH_precis.json; '-' disables)",
     )
+    bench.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="capture per-request traces (repro.obs.context) and write "
+        "them to FILE as JSON lines; render with 'repro trace export'",
+    )
+    bench.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.1,
+        metavar="RATE",
+        help="head-sampling rate for normal traces (degraded/shed/"
+        "retried/failed requests are always kept; default 0.1)",
+    )
+    bench.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=256,
+        metavar="N",
+        help="trace ring-buffer capacity (default 256)",
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the statistical profiler (repro.obs.profile) across "
+        "the bench and record the per-stage self-time breakdown",
+    )
+    bench.add_argument(
+        "--trace-overhead",
+        action="store_true",
+        help="also measure tracing's throughput cost (sampling on vs "
+        "off) and record it under 'trace_overhead'; warns above the "
+        "5%% budget",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="work with captured request traces (repro.obs.context)",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    export = trace_sub.add_parser(
+        "export",
+        help="render a JSONL trace capture (serve-bench --trace-out) as "
+        "Chrome trace-event JSON for chrome://tracing / Perfetto",
+    )
+    export.add_argument("input", help="JSONL trace file to read")
+    export.add_argument(
+        "-o",
+        "--out",
+        default="-",
+        metavar="FILE",
+        help="output file ('-' for stdout, the default)",
+    )
+    export.add_argument(
+        "--format",
+        choices=["chrome", "jsonl"],
+        default="chrome",
+        help="output format (default: chrome trace-event JSON)",
+    )
+    export.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate the Chrome document structure after rendering "
+        "(sorted ts, matched B/E pairs, pid/tid present) and fail on "
+        "problems",
+    )
     return parser
 
 
@@ -546,11 +612,23 @@ def _cmd_estimate(args, out) -> int:
 def _cmd_serve_bench(args, out) -> int:
     import json
 
-    from .service import movies_workload, run_serve_bench
+    from .obs import TraceBuffer
+    from .service import (
+        measure_trace_overhead,
+        movies_workload,
+        run_serve_bench,
+    )
 
     engine, queries = movies_workload(
         n_movies=args.movies,
         backend=args.backend if args.backend != "memory" else None,
+    )
+    traces = (
+        TraceBuffer(
+            capacity=args.trace_capacity, sample_rate=args.trace_sample
+        )
+        if args.trace_out is not None
+        else None
     )
     payload = run_serve_bench(
         engine,
@@ -560,6 +638,8 @@ def _cmd_serve_bench(args, out) -> int:
         workers=args.workers,
         queue_depth=args.queue_depth,
         deadline_ms=args.deadline_ms,
+        traces=traces,
+        profile=args.profile,
     )
     payload["backend"] = args.backend
     outcomes = payload["outcomes"]
@@ -589,6 +669,53 @@ def _cmd_serve_bench(args, out) -> int:
         f"p99={fmt(latency['p99'])} max={fmt(latency['max'])}",
         file=out,
     )
+    if traces is not None:
+        kept = traces.export_jsonl(args.trace_out)
+        stats = traces.stats()
+        print(
+            f"  traces: {kept} kept ({stats['kept_triggered']} triggered, "
+            f"{stats['kept_sampled']} sampled of {stats['offered']} "
+            f"offered) -> {args.trace_out}",
+            file=out,
+        )
+    if args.profile and "profile" in payload:
+        profile = payload["profile"]
+        stages = ", ".join(
+            f"{stage}={fraction:.0%}"
+            for stage, fraction in sorted(
+                profile["fractions"].items(), key=lambda kv: -kv[1]
+            )[:5]
+        )
+        print(
+            f"  profile: {profile['samples']} samples, "
+            f"{profile['attributed_fraction']:.0%} in pipeline stages "
+            f"({stages})",
+            file=out,
+        )
+    if args.trace_overhead:
+        # serial defaults on purpose: the budget gate isolates the
+        # tracing code path; a concurrent closed loop would measure
+        # scheduler noise (see measure_trace_overhead)
+        overhead = measure_trace_overhead(
+            engine,
+            queries,
+            sample_rate=args.trace_sample,
+        )
+        payload["trace_overhead"] = overhead
+        verdict = "ok" if overhead["passed"] else "OVER BUDGET"
+        print(
+            f"  trace overhead: {overhead['overhead_pct']:.1f}% at "
+            f"{overhead['sample_rate']:.0%} sampling "
+            f"(budget {overhead['budget_pct']:g}%, {verdict})",
+            file=out,
+        )
+        if not overhead["passed"]:
+            print(
+                "  warning: tracing costs more than its budget on this "
+                "run; see benchmarks/test_trace_overhead.py for the "
+                "gated measurement",
+                file=out,
+            )
     if args.json_out != "-":
         target = Path(args.json_out)
         document = {}
@@ -605,6 +732,43 @@ def _cmd_serve_bench(args, out) -> int:
     return 0
 
 
+def _cmd_trace(args, out) -> int:
+    import json
+
+    from .obs.context import (
+        chrome_trace_events,
+        load_jsonl,
+        validate_chrome_trace,
+    )
+
+    traces = load_jsonl(args.input)
+    if args.format == "jsonl":
+        lines = [
+            json.dumps(trace.to_dict(), sort_keys=True) for trace in traces
+        ]
+        body = "\n".join(lines) + ("\n" if lines else "")
+    else:
+        document = chrome_trace_events(traces)
+        if args.validate:
+            problems = validate_chrome_trace(document)
+            if problems:
+                for problem in problems:
+                    print(f"invalid: {problem}", file=out)
+                return 1
+        body = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    if args.out == "-":
+        out.write(body)
+    else:
+        with open(args.out, "w", encoding="utf-8") as stream:
+            stream.write(body)
+        print(
+            f"{len(traces)} trace(s) exported to {args.out} "
+            f"({args.format})",
+            file=out,
+        )
+    return 0
+
+
 _COMMANDS = {
     "init-demo": _cmd_init_demo,
     "schema": _cmd_schema,
@@ -612,6 +776,7 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "estimate": _cmd_estimate,
     "serve-bench": _cmd_serve_bench,
+    "trace": _cmd_trace,
 }
 
 

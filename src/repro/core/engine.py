@@ -36,6 +36,7 @@ from ..obs import (
     MetricsRegistry,
     QueryStats,
     Tracer,
+    current_trace_id,
 )
 from ..personalization.profile import Profile, ProfileRegistry
 from ..relational.database import Database
@@ -488,6 +489,10 @@ class PrecisEngine:
             except TypeError:  # unhashable constraint/override
                 cache_key = None
 
+        # the serving layer's request context (None for direct asks):
+        # one id correlating this answer's EXPLAIN record, slow-query
+        # entry, histogram exemplars and span tree
+        trace_id = current_trace_id()
         with tracer.span("ask") as root:
             hit = False
             if cache_key is not None:
@@ -576,6 +581,7 @@ class PrecisEngine:
                     plan_cache=plan_outcome,
                     answer_cache=answer_outcome,
                     deadline_stage=degraded_stage,
+                    trace_id=trace_id,
                 )
                 if cache_key is not None and degraded_stage is None:
                     # partial answers must never poison the cache
@@ -583,7 +589,7 @@ class PrecisEngine:
         if tracer.enabled:
             answer.stats = QueryStats.from_span(root)
         if metrics is not None:
-            metrics.observe_ask(root, query.text)
+            metrics.observe_ask(root, query.text, trace_id=trace_id)
             if self.cache is not None:
                 metrics.observe_cache_stats(self.cache_stats())
         return answer
@@ -646,6 +652,7 @@ class PrecisEngine:
         if metrics is not None and not tracer.enabled:
             tracer = Tracer()
         answers: list[PrecisAnswer] = []
+        trace_id = current_trace_id()
         with tracer.span("ask_per_occurrence") as root:
             with tracer.span("match"):
                 matches = self.match(query)
@@ -682,6 +689,7 @@ class PrecisEngine:
                             cardinality,
                             plan_cache="off",
                             answer_cache="off",
+                            trace_id=trace_id,
                         )
                         if translate and self.translator is not None:
                             with tracer.span("translate"):
@@ -692,7 +700,7 @@ class PrecisEngine:
                         answer.stats = QueryStats.from_span(occ_span)
                     answers.append(answer)
         if metrics is not None:
-            metrics.observe_ask(root, query.text)
+            metrics.observe_ask(root, query.text, trace_id=trace_id)
             if self.cache is not None:
                 metrics.observe_cache_stats(self.cache_stats())
         if rank:

@@ -167,6 +167,7 @@ def build_explanation(
     plan_cache: str = "off",
     answer_cache: str = "off",
     deadline_stage: "str | None" = None,
+    trace_id: "str | None" = None,
 ) -> Explanation:
     """Distil one finished answer into its provenance record.
 
@@ -176,7 +177,10 @@ def build_explanation(
     *deadline_stage* is the pipeline stage a request deadline tripped
     at (None for an answer that ran to completion); it surfaces in
     :meth:`~repro.obs.explain.Explanation.bounding_constraints` next to
-    the degree and cardinality bounds.
+    the degree and cardinality bounds. *trace_id* stamps the record
+    with the serving-layer request that produced it
+    (:mod:`repro.obs.context`) so ``--explain`` output, slow-query
+    lines and histogram exemplars all share one correlation key.
 
     The record answers, per relation, *why it is in the result schema*
     (seed token match vs. the weighted path that admitted it), names
@@ -272,6 +276,7 @@ def build_explanation(
         stopped_by_cardinality=report.stopped_by_cardinality,
         cache=CacheProvenance(plan=plan_cache, answer=answer_cache),
         deadline_stage=deadline_stage,
+        trace_id=trace_id,
     )
 
 

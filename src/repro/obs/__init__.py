@@ -33,6 +33,17 @@ See ``docs/observability.md`` for the counter glossary and the span
 layout of each pipeline stage.
 """
 
+from .context import (
+    RequestTrace,
+    TraceBuffer,
+    TraceContext,
+    activate,
+    chrome_trace_events,
+    current_context,
+    current_trace_id,
+    deactivate,
+    validate_chrome_trace,
+)
 from .explain import (
     BatchProvenance,
     CacheProvenance,
@@ -52,7 +63,9 @@ from .metrics import (
     prometheus_text,
     write_metrics,
 )
+from .profile import ScopedProfiler, StackSampler
 from .sinks import InMemorySink, JsonLinesSink, TableSink, format_span_table
+from .slo import SLObjective, SLOTracker
 from .stats import COUNTER_GLOSSARY, QueryStats, StageStats, format_stats
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer
 
@@ -84,4 +97,17 @@ __all__ = [
     "SchemaStop",
     "BatchProvenance",
     "CacheProvenance",
+    "TraceContext",
+    "RequestTrace",
+    "TraceBuffer",
+    "current_context",
+    "current_trace_id",
+    "activate",
+    "deactivate",
+    "chrome_trace_events",
+    "validate_chrome_trace",
+    "SLObjective",
+    "SLOTracker",
+    "StackSampler",
+    "ScopedProfiler",
 ]

@@ -159,6 +159,11 @@ class Explanation:
     #: answer ran to completion. Mirrors
     #: :attr:`repro.core.answer.PrecisAnswer.degraded_stage`.
     deadline_stage: Optional[str] = None
+    #: trace id of the request that produced this answer
+    #: (:mod:`repro.obs.context`); None outside a traced request. Links
+    #: the provenance record to the request's span tree in the trace
+    #: buffer and its exemplar on the latency histograms.
+    trace_id: Optional[str] = None
 
     # ------------------------------------------------------------- queries
 
@@ -200,6 +205,7 @@ class Explanation:
             "skipped_edges": list(self.skipped_edges),
             "stopped_by_cardinality": self.stopped_by_cardinality,
             "deadline_stage": self.deadline_stage,
+            "trace_id": self.trace_id,
             "bounding_constraints": self.bounding_constraints(),
             "cache": self.cache.to_dict(),
         }
@@ -209,6 +215,8 @@ class Explanation:
     def render(self) -> str:
         """The multi-line ``--explain`` view."""
         lines = [f"why-précis for {self.query!r}"]
+        if self.trace_id is not None:
+            lines.append(f"trace: {self.trace_id}")
         lines.append(f"constraints: degree = {self.degree}; "
                      f"cardinality = {self.cardinality}")
         lines.append("relations:")

@@ -28,6 +28,7 @@ import threading
 from bisect import bisect_left
 from typing import Iterable, Mapping, Optional, TextIO, Union
 
+from .context import current_trace_id as _current_trace_id
 from .tracer import Span
 
 __all__ = [
@@ -51,10 +52,17 @@ def _label_key(labels: Mapping[str, str]) -> LabelSet:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: backslash, quote, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _label_suffix(labels: LabelSet) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in labels)
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
     return "{" + body + "}"
 
 
@@ -128,9 +136,24 @@ class Histogram:
     interpolated linearly inside the owning bucket — exact enough for
     dashboards while storing only ``len(bounds)+1`` integers regardless
     of traffic volume.
+
+    An observation may carry an *exemplar* — a trace id
+    (:mod:`repro.obs.context`) — in which case the owning bucket
+    remembers it (last writer wins). That is the aggregate → trace
+    link: a bad p99 bucket names a concrete request whose full span
+    tree is one :meth:`~repro.obs.context.TraceBuffer.find` away.
     """
 
-    __slots__ = ("bounds", "_counts", "_count", "_sum", "_min", "_max", "_lock")
+    __slots__ = (
+        "bounds",
+        "_counts",
+        "_exemplars",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+        "_lock",
+    )
 
     def __init__(self, bounds: Optional[Iterable[float]] = None):
         self.bounds: tuple[float, ...] = (
@@ -139,16 +162,19 @@ class Histogram:
         if not self.bounds:
             raise ValueError("histogram needs at least one bucket bound")
         self._counts = [0] * (len(self.bounds) + 1)  # +1: overflow (+Inf)
+        self._exemplars: list[Optional[str]] = [None] * (len(self.bounds) + 1)
         self._count = 0
         self._sum = 0.0
         self._min: Optional[float] = None
         self._max: Optional[float] = None
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         index = bisect_left(self.bounds, value)
         with self._lock:
             self._counts[index] += 1
+            if exemplar is not None:
+                self._exemplars[index] = exemplar
             self._count += 1
             self._sum += value
             if self._min is None or value < self._min:
@@ -176,6 +202,18 @@ class Histogram:
             out.append((bound, cumulative))
         out.append((float("inf"), cumulative + self._counts[-1]))
         return out
+
+    def exemplars(self) -> list[Optional[str]]:
+        """Per-bucket exemplar trace ids, aligned with :meth:`buckets`
+        (last observation carrying one per bucket; None elsewhere)."""
+        with self._lock:
+            return list(self._exemplars)
+
+    def exemplar_for(self, value: float) -> Optional[str]:
+        """The exemplar of the bucket *value* would land in."""
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            return self._exemplars[index]
 
     def percentile(self, q: float) -> float:
         """Approximate q-th percentile (q in [0, 100]) by linear
@@ -316,9 +354,18 @@ class MetricsRegistry:
                     gauges[full] = metric.value
                 else:
                     entry = metric.summary()
+                    exemplars = metric.exemplars()
                     entry["buckets"] = [
                         {"le": bound, "count": count}
-                        for bound, count in metric.buckets()
+                        if exemplar is None
+                        else {
+                            "le": bound,
+                            "count": count,
+                            "exemplar": exemplar,
+                        }
+                        for (bound, count), exemplar in zip(
+                            metric.buckets(), exemplars
+                        )
                     ]
                     histograms[full] = entry
         return {
@@ -345,6 +392,11 @@ def prometheus_text(registry: MetricsRegistry) -> str:
 
     lines: list[str] = []
     for family in registry.families():
+        if not family.children:
+            # a family registered but never observed would emit a bare
+            # # TYPE header with no samples — skip it entirely so the
+            # exposition carries no dangling series
+            continue
         if family.help:
             lines.append(f"# HELP {family.name} {family.help}")
         lines.append(f"# TYPE {family.name} {family.kind}")
@@ -363,6 +415,10 @@ def prometheus_text(registry: MetricsRegistry) -> str:
             suffix = _label_suffix(labels)
             lines.append(f"{family.name}_sum{suffix} {fmt(metric.sum)}")
             lines.append(f"{family.name}_count{suffix} {metric.count}")
+    if not lines:
+        # an empty registry exposes *nothing*: "\n" would be a blank
+        # line, which strict exposition parsers reject
+        return ""
     return "\n".join(lines) + "\n"
 
 
@@ -370,9 +426,14 @@ def prometheus_text(registry: MetricsRegistry) -> str:
 
 
 class SlowQuery:
-    """One slow-query log entry: the ask, its total time, its stages."""
+    """One slow-query log entry: the ask, its total time, its stages.
 
-    __slots__ = ("query", "duration_s", "stages", "counters")
+    When the ask ran inside a traced request (:mod:`repro.obs.context`)
+    the entry carries its ``trace_id`` — a slow-query line is then one
+    grep away from the full trace in the buffer or a JSONL export.
+    """
+
+    __slots__ = ("query", "duration_s", "stages", "counters", "trace_id")
 
     def __init__(
         self,
@@ -380,11 +441,13 @@ class SlowQuery:
         duration_s: float,
         stages: Mapping[str, float],
         counters: Mapping[str, int],
+        trace_id: Optional[str] = None,
     ):
         self.query = query
         self.duration_s = duration_s
         self.stages = dict(stages)
         self.counters = dict(counters)
+        self.trace_id = trace_id
 
     def to_dict(self) -> dict:
         return {
@@ -392,10 +455,15 @@ class SlowQuery:
             "duration_s": self.duration_s,
             "stages": dict(self.stages),
             "counters": dict(self.counters),
+            "trace_id": self.trace_id,
         }
 
     def __repr__(self):
-        return f"SlowQuery({self.query!r}, {self.duration_s * 1e3:.3f}ms)"
+        trace = f", trace={self.trace_id}" if self.trace_id else ""
+        return (
+            f"SlowQuery({self.query!r}, "
+            f"{self.duration_s * 1e3:.3f}ms{trace})"
+        )
 
 
 class SlowQueryLog:
@@ -420,6 +488,7 @@ class SlowQueryLog:
         duration_s: float,
         stages: Mapping[str, float],
         counters: Mapping[str, int],
+        trace_id: Optional[str] = None,
     ) -> bool:
         """Record one ask; returns True iff the entry was kept."""
         if duration_s * 1e3 < self.threshold_ms:
@@ -430,7 +499,7 @@ class SlowQueryLog:
                 and duration_s <= self._entries[-1].duration_s
             ):
                 return False
-            entry = SlowQuery(query, duration_s, stages, counters)
+            entry = SlowQuery(query, duration_s, stages, counters, trace_id)
             self._entries.append(entry)
             self._entries.sort(key=lambda e: -e.duration_s)
             del self._entries[self.capacity :]
@@ -503,15 +572,27 @@ class EngineMetrics:
 
     # --------------------------------------------------------- recording
 
-    def observe_ask(self, root: Span, query_text: str) -> None:
-        """Digest one closed ``ask`` (or ``ask_per_occurrence``) root."""
+    def observe_ask(
+        self,
+        root: Span,
+        query_text: str,
+        trace_id: Optional[str] = None,
+    ) -> None:
+        """Digest one closed ``ask`` (or ``ask_per_occurrence``) root.
+
+        *trace_id* (defaulting to the active request context's, so
+        engine call sites need no plumbing) lands as the exemplar on
+        every histogram bucket this ask touches and on its slow-query
+        entry."""
+        if trace_id is None:
+            trace_id = _current_trace_id()
         registry = self.registry
         registry.counter(
             "precis_asks_total", "précis queries answered"
         ).inc()
         registry.histogram(
             "precis_ask_seconds", "end-to-end ask latency"
-        ).observe(root.duration_s)
+        ).observe(root.duration_s, exemplar=trace_id)
 
         stages: dict[str, float] = {}
         for span, __ in root.walk():
@@ -523,7 +604,7 @@ class EngineMetrics:
                     "precis_stage_seconds",
                     "per-stage latency",
                     stage=span.name,
-                ).observe(span.duration_s)
+                ).observe(span.duration_s, exemplar=trace_id)
 
         totals = root.total_counters()
         for name in _PROMOTED_COUNTERS:
@@ -554,7 +635,8 @@ class EngineMetrics:
 
         if self.slow_queries is not None:
             self.slow_queries.record(
-                query_text, root.duration_s, stages, totals
+                query_text, root.duration_s, stages, totals,
+                trace_id=trace_id,
             )
 
     def observe_index_build(self, root: Span) -> None:
@@ -660,24 +742,37 @@ class ServiceMetrics:
     def finished(self) -> None:
         self.queue_depth.add(-1)
 
-    def queue_wait(self, seconds: float) -> None:
+    def queue_wait(
+        self, seconds: float, trace_id: Optional[str] = None
+    ) -> None:
+        if trace_id is None:
+            trace_id = _current_trace_id()
         self.registry.histogram(
             "precis_service_queue_wait_seconds",
             "time from admission to a worker picking the request up",
-        ).observe(seconds)
+        ).observe(seconds, exemplar=trace_id)
 
-    def service_time(self, seconds: float, tenant: Optional[str] = None) -> None:
-        """End-to-end request latency: admission to response."""
+    def service_time(
+        self,
+        seconds: float,
+        tenant: Optional[str] = None,
+        trace_id: Optional[str] = None,
+    ) -> None:
+        """End-to-end request latency: admission to response. The
+        request's trace id (explicit or from the active context) lands
+        as the exemplar on the bucket this observation fills."""
+        if trace_id is None:
+            trace_id = _current_trace_id()
         self.registry.histogram(
             "precis_service_seconds",
             "end-to-end request latency including queueing",
-        ).observe(seconds)
+        ).observe(seconds, exemplar=trace_id)
         if tenant is not None:
             self.registry.histogram(
                 "precis_service_tenant_seconds",
                 "end-to-end request latency per tenant",
                 tenant=tenant,
-            ).observe(seconds)
+            ).observe(seconds, exemplar=trace_id)
 
     def degraded(self, stage: str, tenant: Optional[str] = None) -> None:
         """An answer served partial because its deadline expired."""

@@ -14,7 +14,12 @@ See ``docs/service.md``.
 """
 
 from ..core.deadline import NO_DEADLINE, Deadline
-from .bench import movies_workload, percentile, run_serve_bench
+from .bench import (
+    measure_trace_overhead,
+    movies_workload,
+    percentile,
+    run_serve_bench,
+)
 from .errors import (
     QueueFull,
     RetryExhausted,
@@ -42,4 +47,5 @@ __all__ = [
     "run_serve_bench",
     "movies_workload",
     "percentile",
+    "measure_trace_overhead",
 ]

@@ -27,6 +27,21 @@ shards) with a bounded admission queue and a fixed worker pool:
   :class:`~repro.obs.metrics.ServiceMetrics`; pass a shared
   :class:`~repro.obs.MetricsRegistry` to co-export with the engines'
   own series.
+* **Tracing** — pass a :class:`~repro.obs.context.TraceBuffer` as
+  ``traces=`` and every request is traced end to end:
+  :meth:`PrecisService.submit` mints a
+  :class:`~repro.obs.context.TraceContext` (trace id, tenant, priority,
+  deadline budget) that rides the queued request into the worker
+  thread, where it is activated into the ambient context
+  (:func:`repro.obs.context.activate`) so the engine, the metrics
+  exemplars and the slow-query log all see the same id. The worker
+  builds one span tree per request — ``request`` → ``queue`` → retry
+  attempts → the engine's ``ask`` tree down to storage — and offers it
+  to the buffer *before* resolving the future, so a caller that holds
+  the answer can already find its trace. Shed requests (queue full,
+  stale, quota, closed) get synthetic traces and, like degraded,
+  failed and retried ones, bypass sampling — tail-biased capture.
+  Without ``traces=`` none of this machinery runs.
 
 Responses are :class:`concurrent.futures.Future` objects — callers may
 block (:meth:`PrecisService.ask`), poll, or fan out.
@@ -43,7 +58,16 @@ from typing import Any, Optional, Sequence, Union
 
 from ..core.deadline import NO_DEADLINE, Deadline
 from ..core.engine import PrecisEngine
+from ..obs.context import (
+    RequestTrace,
+    TraceBuffer,
+    TraceContext,
+    activate,
+    deactivate,
+    synthetic_span,
+)
 from ..obs.metrics import MetricsRegistry, ServiceMetrics
+from ..obs.tracer import Tracer
 from ..storage import PermanentStorageError
 from .errors import (
     QueueFull,
@@ -93,16 +117,22 @@ class ServiceConfig:
 
 class _Request:
     __slots__ = (
-        "query", "kwargs", "deadline", "future", "enqueued_at", "tenant"
+        "query", "kwargs", "deadline", "future", "enqueued_at", "tenant",
+        "context",
     )
 
-    def __init__(self, query, kwargs, deadline, future, enqueued_at, tenant):
+    def __init__(
+        self, query, kwargs, deadline, future, enqueued_at, tenant,
+        context=None,
+    ):
         self.query = query
         self.kwargs = kwargs
         self.deadline = deadline
         self.future = future
         self.enqueued_at = enqueued_at
         self.tenant = tenant
+        #: TraceContext when the service carries a TraceBuffer, else None
+        self.context = context
 
 
 class PrecisService:
@@ -113,6 +143,7 @@ class PrecisService:
         engines: Union[PrecisEngine, Sequence[PrecisEngine]],
         config: Optional[ServiceConfig] = None,
         registry: Optional[MetricsRegistry] = None,
+        traces: Optional[TraceBuffer] = None,
     ):
         if isinstance(engines, PrecisEngine):
             engines = [engines]
@@ -121,6 +152,8 @@ class PrecisService:
         self.engines = list(engines)
         self.config = config if config is not None else ServiceConfig()
         self.metrics = ServiceMetrics(registry)
+        #: request-trace capture (repro.obs.context); None = untraced
+        self.traces = traces
         self._queue: queue.Queue = queue.Queue(self.config.queue_depth)
         self._closed = False
         self._close_lock = threading.Lock()
@@ -147,6 +180,7 @@ class PrecisService:
         deadline: Optional[Deadline] = None,
         timeout_s: Optional[float] = None,
         tenant: Optional[str] = None,
+        priority: str = "interactive",
         **ask_kwargs: Any,
     ) -> "Future":
         """Enqueue one ask; returns the :class:`Future` of its answer.
@@ -161,12 +195,30 @@ class PrecisService:
         fair-share in-flight quota
         (:class:`~repro.service.errors.TenantQuotaExceeded`).
 
+        *priority* is a label carried on the request's trace context
+        (``"interactive"`` / ``"batch"``) — recorded for the async
+        front door's priority classes; admission does not act on it
+        yet.
+
+        When the service carries a :class:`~repro.obs.context.
+        TraceBuffer`, this call mints the request's
+        :class:`~repro.obs.context.TraceContext` — every outcome,
+        including every shed path below, leaves a trace.
+
         Raises :class:`ServiceClosed` after :meth:`close`, and
         :class:`QueueFull` when the admission queue is full under the
         shed-on-full policy.
         """
+        context = None
+        if self.traces is not None:
+            context = TraceContext.mint(
+                query=getattr(query, "text", None) or str(query),
+                tenant=tenant,
+                priority=priority,
+            )
         if self._closed:
             self.metrics.shed("closed", tenant=tenant)
+            self._record_shed(context, "closed")
             raise ServiceClosed("service is closed")
         if deadline is None:
             seconds = (
@@ -177,10 +229,17 @@ class PrecisService:
             deadline = (
                 Deadline.after(seconds) if seconds is not None else NO_DEADLINE
             )
-        self._acquire_tenant_slot(tenant)
+        if context is not None and deadline.expires():
+            context.deadline_s = deadline.remaining()
+        try:
+            self._acquire_tenant_slot(tenant)
+        except TenantQuotaExceeded:
+            self._record_shed(context, "tenant_quota")
+            raise
         future: Future = Future()
         request = _Request(
-            query, ask_kwargs, deadline, future, time.monotonic(), tenant
+            query, ask_kwargs, deadline, future, time.monotonic(), tenant,
+            context,
         )
         if self.config.shed_on_full:
             try:
@@ -188,6 +247,7 @@ class PrecisService:
             except queue.Full:
                 self._release_tenant_slot(tenant)
                 self.metrics.shed("full", tenant=tenant)
+                self._record_shed(context, "full")
                 raise QueueFull(self.config.queue_depth) from None
         else:
             self._queue.put(request)
@@ -223,18 +283,81 @@ class PrecisService:
         """Synchronous :meth:`submit` — blocks for the answer."""
         return self.submit(query, **kwargs).result()
 
+    # ------------------------------------------------------------- tracing
+
+    def _record_shed(
+        self,
+        context: Optional[TraceContext],
+        reason: str,
+        waited: Optional[float] = None,
+    ) -> None:
+        """A synthetic trace for a request refused without running —
+        shed outcomes always trigger buffer admission, so under
+        overload the buffer fills with exactly the requests that were
+        turned away."""
+        if context is None or self.traces is None:
+            return
+        duration = max(time.perf_counter() - context.submitted_mono, 0.0)
+        root = synthetic_span("request", context.submitted_wall, duration)
+        if waited is not None:
+            # the request spent its whole life queued before the shed
+            root.children.append(
+                synthetic_span(
+                    "queue", context.submitted_wall, min(waited, duration)
+                )
+            )
+        root.children.append(
+            synthetic_span(
+                "shed",
+                context.submitted_wall + duration,
+                0.0,
+                mono_start=duration,
+            )
+        )
+        self.traces.offer(
+            RequestTrace(
+                context=context,
+                root=root,
+                outcome=f"shed_{reason}",
+                duration_s=duration,
+                queue_wait_s=waited if waited is not None else 0.0,
+                worker=threading.current_thread().name,
+            )
+        )
+
     # ------------------------------------------------------------- workers
 
     def _worker(self, engine: PrecisEngine) -> None:
+        # One sinkless tracer for the whole worker lifetime: its span
+        # stack is thread-local and empties between requests, and a
+        # fresh Tracer per request would allocate a threading.local
+        # each time — cyclic garbage whose collection costs real
+        # throughput on the hot path.
+        tracer = Tracer() if self.traces is not None else None
         while True:
             request = self._queue.get()
             if request is _SHUTDOWN:
                 return
-            self._serve(engine, request)
+            self._serve(engine, request, tracer)
 
-    def _serve(self, engine: PrecisEngine, request: _Request) -> None:
+    def _serve(
+        self,
+        engine: PrecisEngine,
+        request: _Request,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         metrics = self.metrics
+        context = request.context
         waited = time.monotonic() - request.enqueued_at
+        # Activate the request context for the whole serve: the engine,
+        # the metrics exemplars and the slow-query log read the trace
+        # id from the ambient contextvar — no per-call plumbing.
+        token = activate(context) if context is not None else None
+        # The worker's sinkless tracer: we hold the root span directly,
+        # and the engine's ask tree nests under it via the thread-local
+        # span stack when we pass the tracer down.
+        if context is None:
+            tracer = None
         try:
             metrics.queue_wait(waited)
             if not request.future.set_running_or_notify_cancel():
@@ -246,29 +369,58 @@ class PrecisService:
             ):
                 metrics.shed("stale", tenant=request.tenant)
                 metrics.timeout()
+                self._record_shed(context, "stale", waited=waited)
                 request.future.set_exception(StaleRequest(waited))
                 return
+
+            retries = 0
+
+            def on_retry(attempt: int, exc: BaseException) -> None:
+                nonlocal retries
+                retries += 1
+                metrics.retried()
+                if tracer is not None:
+                    # a zero-width event span between attempts: the
+                    # trace shows ask (failed) → retry → ask (again)
+                    with tracer.span("retry") as span:
+                        span.counters["attempt"] = attempt
+                        span.counters[type(exc).__name__] = 1
+
+            ask_kwargs = dict(request.kwargs)
+            if tracer is not None and "tracer" not in ask_kwargs:
+                ask_kwargs["tracer"] = tracer
+
+            answer = None
+            failure: Optional[BaseException] = None
+            span_cm = (
+                tracer.span("request") if tracer is not None else None
+            )
+            root = span_cm.__enter__() if span_cm is not None else None
             try:
                 answer = call_with_retry(
                     lambda: engine.ask(
                         request.query,
                         deadline=request.deadline,
-                        **request.kwargs,
+                        **ask_kwargs,
                     ),
                     self.config.retry,
-                    on_retry=lambda attempt, exc: metrics.retried(),
+                    on_retry=on_retry,
                 )
             except RetryExhausted as exc:
                 metrics.retries_exhausted()
                 metrics.failed("transient")
-                request.future.set_exception(exc)
+                failure = exc
             except PermanentStorageError as exc:
                 metrics.failed("permanent")
-                request.future.set_exception(exc)
+                failure = exc
             except BaseException as exc:  # noqa: BLE001 — futures carry it
                 metrics.failed(type(exc).__name__)
-                request.future.set_exception(exc)
-            else:
+                failure = exc
+            finally:
+                if span_cm is not None:
+                    span_cm.__exit__(None, None, None)
+
+            if failure is None:
                 if answer.degraded:
                     metrics.degraded(
                         answer.degraded_stage or "unknown",
@@ -279,10 +431,73 @@ class PrecisService:
                     time.monotonic() - request.enqueued_at,
                     tenant=request.tenant,
                 )
+
+            if context is not None:
+                self._offer_trace(
+                    context, root, waited, retries, answer, failure
+                )
+            if failure is not None:
+                request.future.set_exception(failure)
+            else:
                 request.future.set_result(answer)
         finally:
+            if token is not None:
+                deactivate(token)
             self._release_tenant_slot(request.tenant)
             metrics.finished()
+
+    def _offer_trace(
+        self,
+        context: TraceContext,
+        root,
+        waited: float,
+        retries: int,
+        answer,
+        failure: Optional[BaseException],
+    ) -> None:
+        """Finish the request's span tree and offer it to the buffer.
+
+        The ``request`` root opened post-dequeue is retro-extended to
+        the submit instant and given a synthetic ``queue`` child, so
+        the exported trace spans submit → queue → retries → engine →
+        storage. Runs *before* the future resolves: a caller holding
+        the answer can already find the trace."""
+        if root is not None:
+            executed_start = root._mono_start
+            root.wall_start = context.submitted_wall
+            root._mono_start = executed_start - waited
+            queue_span = synthetic_span(
+                "queue",
+                context.submitted_wall,
+                waited,
+                mono_start=root._mono_start,
+            )
+            root.children.insert(0, queue_span)
+        if failure is not None:
+            outcome = "failed"
+            degraded_stage = None
+            error = type(failure).__name__
+        elif answer is not None and answer.degraded:
+            outcome = "degraded"
+            degraded_stage = answer.degraded_stage
+            error = None
+        else:
+            outcome = "answered"
+            degraded_stage = None
+            error = None
+        self.traces.offer(
+            RequestTrace(
+                context=context,
+                root=root,
+                outcome=outcome,
+                duration_s=root.duration_s if root is not None else 0.0,
+                queue_wait_s=waited,
+                retries=retries,
+                degraded_stage=degraded_stage,
+                error=error,
+                worker=threading.current_thread().name,
+            )
+        )
 
     # ------------------------------------------------------------- lifecycle
 
@@ -321,6 +536,11 @@ class PrecisService:
                 self._release_tenant_slot(request.tenant)
                 self.metrics.shed("closed", tenant=request.tenant)
                 self.metrics.finished()
+                self._record_shed(
+                    request.context,
+                    "closed",
+                    waited=time.monotonic() - request.enqueued_at,
+                )
                 request.future.set_exception(
                     ServiceClosed("service closed before the request ran")
                 )

@@ -111,11 +111,13 @@ class TestMetricsRegistry:
         assert parsed["histograms"]["h"]["count"] == 1
 
 
-#: one exposition-format sample line: name{labels} value
+#: one exposition-format sample line: name{labels} value — label values
+#: may contain \\, \" and \n escape sequences but no raw specials
+_LABEL_VALUE = r"\"(?:\\.|[^\"\\])*\""
 _SAMPLE_RE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
-    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
-    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=" + _LABEL_VALUE +
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=" + _LABEL_VALUE + r")*\})?"
     r" \S+$"
 )
 
@@ -158,6 +160,120 @@ class TestPrometheusExport:
         assert 'h_bucket{le="1.0"} 2' in text
         assert 'h_bucket{le="+Inf"} 3' in text
         assert "h_count 3" in text
+
+
+class TestPrometheusEdgeCases:
+    def test_empty_registry_exposes_nothing(self):
+        # "\n" would be a blank line — strict exposition parsers reject
+        # documents that are not empty and not sample/comment lines
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_family_without_children_is_skipped(self):
+        registry = MetricsRegistry()
+        # a family can exist with no children yet (registered name, no
+        # label set ever touched): it must not emit a dangling # TYPE
+        registry._family("untouched", "histogram", "never observed",
+                         lambda: Histogram())
+        registry.counter("touched", "observed").inc()
+        text = prometheus_text(registry)
+        assert "untouched" not in text
+        assert "touched 1" in text
+        _assert_prometheus_parses(text)
+
+    def test_tenant_labelled_series_round_trip(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "precis_service_tenant_seconds", "per-tenant latency",
+            bounds=[0.01, 1.0], tenant="acme",
+        ).observe(0.005)
+        registry.histogram(
+            "precis_service_tenant_seconds", "per-tenant latency",
+            bounds=[0.01, 1.0], tenant="globex",
+        ).observe(0.5)
+        registry.counter(
+            "precis_service_requests_total", "admitted", tenant="acme"
+        ).inc(3)
+        text = prometheus_text(registry)
+        assert _assert_prometheus_parses(text) == 11  # 2x(3b+sum+cnt)+1
+        assert (
+            'precis_service_tenant_seconds_bucket{tenant="acme",le="0.01"}'
+            " 1" in text
+        )
+        assert 'precis_service_tenant_seconds_count{tenant="globex"} 1' in (
+            text
+        )
+        assert 'precis_service_requests_total{tenant="acme"} 3' in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "c", "odd labels", tenant='acme "west"\\prod\nblue'
+        ).inc()
+        text = prometheus_text(registry)
+        assert _assert_prometheus_parses(text) == 1
+        assert '\\"west\\"' in text
+        assert "\\\\prod" in text
+        assert "\\nblue" in text
+        assert "\nblue" not in text  # the raw newline must not survive
+
+
+class TestHistogramExemplars:
+    def test_observation_pins_exemplar_to_its_bucket(self):
+        hist = Histogram(bounds=[0.01, 1.0])
+        hist.observe(0.005, exemplar="aa" * 8)
+        hist.observe(0.5)  # no exemplar: bucket stays empty
+        hist.observe(50.0, exemplar="bb" * 8)
+        assert hist.exemplars() == ["aa" * 8, None, "bb" * 8]
+        assert hist.exemplar_for(0.001) == "aa" * 8
+        assert hist.exemplar_for(0.2) is None
+        assert hist.exemplar_for(999.0) == "bb" * 8
+
+    def test_last_writer_wins_per_bucket(self):
+        hist = Histogram(bounds=[1.0])
+        hist.observe(0.1, exemplar="old")
+        hist.observe(0.2, exemplar="new")
+        hist.observe(0.3)  # exemplar-less: must not erase the link
+        assert hist.exemplar_for(0.5) == "new"
+
+    def test_snapshot_surfaces_exemplars_only_where_set(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=[0.01, 1.0]).observe(
+            0.005, exemplar="cc" * 8
+        )
+        buckets = registry.snapshot()["histograms"]["h"]["buckets"]
+        assert buckets[0] == {"le": 0.01, "count": 1, "exemplar": "cc" * 8}
+        assert buckets[1] == {"le": 1.0, "count": 1}  # no exemplar key
+        json.dumps(buckets)  # stays JSON-compatible
+
+    def test_ambient_context_feeds_service_metrics(self):
+        from repro.obs import ServiceMetrics
+        from repro.obs.context import TraceContext, activate, deactivate
+
+        registry = MetricsRegistry()
+        metrics = ServiceMetrics(registry)
+        context = TraceContext.mint("midnight", tenant="acme")
+        token = activate(context)
+        try:
+            metrics.queue_wait(0.001)
+            metrics.service_time(0.002, tenant="acme")
+        finally:
+            deactivate(token)
+        metrics.service_time(0.003)  # untraced: no exemplar
+
+        def exemplar(name, value, **labels):
+            return registry.histogram(name, **labels).exemplar_for(value)
+
+        assert (
+            exemplar("precis_service_queue_wait_seconds", 0.001)
+            == context.trace_id
+        )
+        assert (
+            exemplar("precis_service_seconds", 0.002) == context.trace_id
+        )
+        assert (
+            exemplar("precis_service_tenant_seconds", 0.002, tenant="acme")
+            == context.trace_id
+        )
 
 
 class TestSlowQueryLog:

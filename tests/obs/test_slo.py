@@ -1,0 +1,157 @@
+"""Service-level objectives over the shared metrics registry
+(repro.obs.slo): availability and latency compliance, error-budget burn
+rates, and the no-traffic convention (nothing has violated anything).
+"""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, ServiceMetrics
+from repro.obs.slo import SLObjective, SLOTracker, default_objectives
+
+
+def serve(metrics, n, seconds=0.010, tenant=None):
+    for __ in range(n):
+        metrics.admitted(tenant=tenant)
+        metrics.service_time(seconds, tenant=tenant)
+
+
+class TestSLObjective:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLObjective("x", "throughput", 0.99)
+        with pytest.raises(ValueError):
+            SLObjective("x", "availability", 0.0)
+        with pytest.raises(ValueError):
+            SLObjective("x", "availability", 1.5)
+        with pytest.raises(ValueError):
+            SLObjective("x", "latency", 0.95)  # no threshold
+
+    def test_defaults_are_the_stock_pair(self):
+        kinds = [(o.kind, o.target) for o in default_objectives()]
+        assert kinds == [("availability", 0.99), ("latency", 0.95)]
+
+
+class TestAvailability:
+    def test_all_answered_is_fully_compliant(self):
+        registry = MetricsRegistry()
+        metrics = ServiceMetrics(registry)
+        serve(metrics, 10)
+        entry = SLOTracker(registry).evaluate(
+            SLObjective("avail", "availability", 0.99)
+        )
+        assert entry["compliance"] == 1.0
+        assert entry["met"] is True
+        assert entry["burn_rate"] == 0.0
+        assert entry["bad_events"] == 0
+        assert entry["total_events"] == 10
+
+    def test_sheds_and_failures_burn_the_budget(self):
+        registry = MetricsRegistry()
+        metrics = ServiceMetrics(registry)
+        serve(metrics, 90)
+        for __ in range(8):
+            metrics.shed("full")
+        metrics.admitted()
+        metrics.admitted()
+        metrics.failed("transient")
+        metrics.failed("permanent")
+        # 100 offered (92 admitted + 8 shed), 10 bad (8 shed + 2 failed)
+        entry = SLOTracker(registry).evaluate(
+            SLObjective("avail", "availability", 0.99)
+        )
+        assert entry["compliance"] == pytest.approx(0.90)
+        assert entry["met"] is False
+        # burning 10% of traffic against a 1% budget: 10x
+        assert entry["burn_rate"] == pytest.approx(10.0)
+        assert entry["bad_events"] == 10
+        assert entry["total_events"] == 100
+
+    def test_exactly_on_target_is_met(self):
+        registry = MetricsRegistry()
+        metrics = ServiceMetrics(registry)
+        serve(metrics, 99)
+        metrics.admitted()
+        metrics.failed("transient")
+        entry = SLOTracker(registry).evaluate(
+            SLObjective("avail", "availability", 0.99)
+        )
+        assert entry["compliance"] == pytest.approx(0.99)
+        assert entry["met"] is True
+        assert entry["burn_rate"] == pytest.approx(1.0)
+
+
+class TestLatency:
+    def test_compliance_reads_the_histogram_buckets(self):
+        registry = MetricsRegistry()
+        metrics = ServiceMetrics(registry)
+        serve(metrics, 9, seconds=0.010)
+        serve(metrics, 1, seconds=10.0)  # one way over any threshold
+        entry = SLOTracker(registry).evaluate(
+            SLObjective("lat", "latency", 0.95, threshold_ms=500.0)
+        )
+        assert entry["compliance"] == pytest.approx(0.9)
+        assert entry["met"] is False
+        # 10% bad against a 5% budget
+        assert entry["burn_rate"] == pytest.approx(2.0)
+        assert entry["bad_events"] == 1
+        assert entry["total_events"] == 10
+
+    def test_threshold_above_every_bound_is_fully_compliant(self):
+        registry = MetricsRegistry()
+        metrics = ServiceMetrics(registry)
+        serve(metrics, 5, seconds=0.001)
+        entry = SLOTracker(registry).evaluate(
+            SLObjective("lat", "latency", 0.95, threshold_ms=1e9)
+        )
+        assert entry["compliance"] == 1.0
+        assert entry["met"] is True
+
+    def test_missing_histogram_counts_as_no_traffic(self):
+        entry = SLOTracker(MetricsRegistry()).evaluate(
+            SLObjective("lat", "latency", 0.95, threshold_ms=500.0)
+        )
+        assert entry["compliance"] is None
+        assert entry["met"] is True
+        assert entry["burn_rate"] == 0.0
+
+
+class TestSnapshot:
+    def test_no_traffic_meets_everything(self):
+        snapshot = SLOTracker(MetricsRegistry()).snapshot()
+        assert snapshot["all_met"] is True
+        assert snapshot["max_burn_rate"] == 0.0
+        assert [o["name"] for o in snapshot["objectives"]] == [
+            "availability-99",
+            "latency-p95-500ms",
+        ]
+
+    def test_snapshot_is_json_compatible(self):
+        registry = MetricsRegistry()
+        metrics = ServiceMetrics(registry)
+        serve(metrics, 3)
+        metrics.shed("full")
+        parsed = json.loads(json.dumps(SLOTracker(registry).snapshot()))
+        assert parsed["objectives"][0]["kind"] == "availability"
+        assert isinstance(parsed["max_burn_rate"], float)
+
+    def test_max_burn_rate_tracks_the_worst_objective(self):
+        registry = MetricsRegistry()
+        metrics = ServiceMetrics(registry)
+        serve(metrics, 50)
+        for __ in range(50):
+            metrics.shed("full")
+        snapshot = SLOTracker(registry).snapshot()
+        assert snapshot["all_met"] is False
+        # availability burn: 50% bad / 1% budget = 50x
+        assert snapshot["max_burn_rate"] == pytest.approx(50.0)
+
+    def test_custom_objectives_replace_defaults(self):
+        registry = MetricsRegistry()
+        tracker = SLOTracker(
+            registry, objectives=[SLObjective("only", "availability", 0.5)]
+        )
+        assert [o["name"] for o in tracker.snapshot()["objectives"]] == [
+            "only"
+        ]

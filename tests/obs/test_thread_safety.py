@@ -18,6 +18,7 @@ import threading
 from repro.core import MaxTuplesPerRelation, PrecisEngine
 from repro.datasets import movies_graph, paper_instance
 from repro.obs import InMemorySink, Tracer
+from repro.obs.context import TraceBuffer, current_trace_id
 
 
 class TestTracerThreadLocalStack:
@@ -99,3 +100,87 @@ class TestEngineSharedAcrossThreads:
         snapshot = engine.metrics_snapshot()
         assert snapshot["counters"]["precis_asks_total"] == 40
         assert snapshot["histograms"]["precis_ask_seconds"]["count"] == 40
+
+
+class TestTraceContextUnderTenantStress:
+    """Context propagation across the queue boundary under contention:
+    8 tenant client threads hammer one 2-worker service with tracing at
+    sample rate 1.0. Every completed request must produce exactly one
+    trace tree, attributed to the right tenant and query, with no span
+    adopted from a neighbouring thread's request."""
+
+    def test_one_clean_trace_tree_per_request(self):
+        from repro.service import PrecisService, ServiceConfig
+
+        engine = PrecisEngine(paper_instance(), graph=movies_graph())
+        tenants = [f"tenant-{i}" for i in range(8)]
+        queries = ("Allen", "comedy", "Scorsese", "Hanks")
+        requests_per_tenant = 6
+        total = len(tenants) * requests_per_tenant
+        buffer = TraceBuffer(capacity=total, sample_rate=1.0)
+        barrier = threading.Barrier(len(tenants))
+        errors: list[BaseException] = []
+        expected: dict[str, tuple[str, str]] = {}  # id -> (tenant, query)
+        lock = threading.Lock()
+
+        def client(tenant: str, offset: int) -> None:
+            try:
+                barrier.wait(timeout=10)
+                for i in range(requests_per_tenant):
+                    query = queries[(offset + i) % len(queries)]
+                    future = service.submit(query, tenant=tenant)
+                    answer = future.result(timeout=60)
+                    trace_id = answer.explanation.trace_id
+                    assert trace_id is not None
+                    with lock:
+                        expected[trace_id] = (tenant, query)
+                    # the worker's ambient context must never bleed
+                    # into the submitting client thread
+                    assert current_trace_id() is None
+            except BaseException as exc:
+                errors.append(exc)
+                barrier.abort()
+
+        with PrecisService(
+            engine,
+            config=ServiceConfig(workers=2, queue_depth=total),
+            traces=buffer,
+        ) as service:
+            threads = [
+                threading.Thread(
+                    target=client, args=(tenant, i), daemon=True
+                )
+                for i, tenant in enumerate(tenants)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+                assert not thread.is_alive(), "stress client hung"
+        assert not errors
+
+        traces = buffer.traces()
+        # exactly one trace per completed request, every id unique
+        assert len(traces) == total
+        ids = [trace.trace_id for trace in traces]
+        assert len(set(ids)) == total
+        assert set(ids) == set(expected)
+
+        for trace in traces:
+            tenant, query = expected[trace.trace_id]
+            assert trace.outcome == "answered"
+            assert trace.context.tenant == tenant
+            assert trace.context.query == query
+            names = trace.stage_names()
+            # one request envelope, one queue wait, exactly one engine
+            # ask — a leaked span from a concurrent request would show
+            # up as a duplicate here
+            assert names[0] == "request"
+            assert names.count("request") == 1
+            assert names.count("queue") == 1
+            assert names.count("ask") == 1
+        # workers recorded on every trace are real pool threads
+        assert {trace.worker for trace in traces} <= {
+            "precis-worker-0",
+            "precis-worker-1",
+        }

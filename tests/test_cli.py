@@ -289,3 +289,93 @@ class TestMetricsExport:
         code, out = _run(["query", str(demo_dir), "Allen"])
         assert code == 0
         assert "metrics written" not in out
+
+
+class TestServeBenchTracing:
+    @pytest.fixture(scope="class")
+    def bench_dir(self, tmp_path_factory):
+        """One small traced + profiled serve-bench run shared by the
+        class: its JSONL capture, JSON payload, and printed output."""
+        directory = tmp_path_factory.mktemp("serve")
+        trace_path = directory / "trace.jsonl"
+        json_path = directory / "BENCH.json"
+        code, out = _run(
+            [
+                "serve-bench", "--movies", "30",
+                "--clients", "2", "--requests", "3", "--workers", "1",
+                "--trace-out", str(trace_path),
+                "--trace-sample", "1.0",
+                "--profile",
+                "--json-out", str(json_path),
+            ]
+        )
+        assert code == 0
+        return directory, out
+
+    def test_trace_capture_written_and_announced(self, bench_dir):
+        directory, out = bench_dir
+        assert "traces: 6 kept" in out
+        lines = (directory / "trace.jsonl").read_text().splitlines()
+        assert len(lines) == 6
+
+    def test_payload_carries_slo_profile_and_trace_stats(self, bench_dir):
+        import json
+
+        directory, __ = bench_dir
+        payload = json.loads((directory / "BENCH.json").read_text())["serve"]
+        assert payload["traces"]["kept"] == 6
+        assert payload["slo"]["objectives"]
+        assert "attributed_fraction" in payload["profile"]
+
+    def test_export_chrome_validates(self, bench_dir):
+        import json
+
+        directory, __ = bench_dir
+        chrome = directory / "trace.json"
+        code, out = _run(
+            [
+                "trace", "export", str(directory / "trace.jsonl"),
+                "-o", str(chrome), "--validate",
+            ]
+        )
+        assert code == 0
+        assert "6 trace(s) exported" in out
+        document = json.loads(chrome.read_text())
+        events = document["traceEvents"]
+        names = {e["name"] for e in events if e.get("ph") == "B"}
+        assert {"request", "queue", "ask"} <= names
+        # every request rendered on its own tid row
+        assert len({e["tid"] for e in events if e["ph"] == "M"}) == 6
+
+    def test_export_chrome_to_stdout(self, bench_dir):
+        import json
+
+        directory, __ = bench_dir
+        code, out = _run(["trace", "export", str(directory / "trace.jsonl")])
+        assert code == 0
+        assert json.loads(out)["displayTimeUnit"] == "ms"
+
+    def test_export_jsonl_round_trip(self, bench_dir):
+        directory, __ = bench_dir
+        source = directory / "trace.jsonl"
+        code, out = _run(
+            ["trace", "export", str(source), "--format", "jsonl"]
+        )
+        assert code == 0
+        assert out.strip().splitlines() == (
+            source.read_text().strip().splitlines()
+        )
+
+    def test_rootless_capture_exports_valid_empty_document(self, tmp_path):
+        import json
+
+        from repro.obs.context import RequestTrace, TraceContext
+
+        trace = RequestTrace(
+            context=TraceContext.mint("q"), root=None, outcome="shed_full"
+        )
+        path = tmp_path / "one.jsonl"
+        path.write_text(json.dumps(trace.to_dict()) + "\n")
+        code, out = _run(["trace", "export", str(path), "--validate"])
+        assert code == 0
+        assert json.loads(out)["traceEvents"] == []
