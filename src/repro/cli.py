@@ -234,11 +234,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request deadline; expired requests degrade or are shed",
     )
     bench.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="switch to the OPEN-loop harness: Poisson arrivals at RPS "
+        "offered through the async front door (repro.service.loadgen), "
+        "reporting goodput, shed rate, coalescing hit rate and "
+        "per-class latency; results merge under 'frontdoor' instead "
+        "of 'serve'",
+    )
+    bench.add_argument(
+        "--duration",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="open loop: length of the arrival schedule in seconds "
+        "(default 2)",
+    )
+    bench.add_argument(
+        "--duplicate-fraction",
+        type=float,
+        default=0.5,
+        metavar="F",
+        help="open loop: share of arrivals aimed at the hot query — "
+        "the coalescable mass (default 0.5)",
+    )
+    bench.add_argument(
+        "--batch-fraction",
+        type=float,
+        default=0.0,
+        metavar="F",
+        help="open loop: share of arrivals classed 'batch' (default 0)",
+    )
+    bench.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help="open loop: front-door pending-flight bound (default 256)",
+    )
+    bench.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="open loop: arrival-schedule RNG seed (default 0)",
+    )
+    bench.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="open loop: skip the coalescing-off comparison arm",
+    )
+    bench.add_argument(
         "--json-out",
         default="BENCH_precis.json",
         metavar="FILE",
         help="merge the results into FILE under the 'serve' key "
-        "(default: BENCH_precis.json; '-' disables)",
+        "('frontdoor' in open-loop mode; default: BENCH_precis.json; "
+        "'-' disables)",
     )
     bench.add_argument(
         "--trace-out",
@@ -273,6 +325,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="also measure tracing's throughput cost (sampling on vs "
         "off) and record it under 'trace_overhead'; warns above the "
         "5%% budget",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve précis queries over HTTP: the asyncio front door "
+        "(request coalescing + priority classes, repro.service."
+        "frontdoor) over a thread-pooled PrecisService, on the stdlib "
+        "endpoint (GET /ask, /metrics, /healthz, /shutdown)",
+    )
+    serve.add_argument("directory")
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default lo)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port (0 = ephemeral; default 8765)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="service worker threads"
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=None, help="admission-queue bound"
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help="front-door pending-flight bound (default 256)",
+    )
+    serve.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        help="default per-request deadline for requests carrying none",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default="memory",
+        help="storage backend for the loaded database",
+    )
+    serve.add_argument(
+        "--db-path",
+        metavar="FILE",
+        help="SQLite database file (implies --backend sqlite)",
+    )
+    serve.add_argument(
+        "--cache",
+        action="store_true",
+        help="enable the versioned plan + answer caches",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, metavar="N", help="implies --cache"
+    )
+    serve.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="capture request traces and write them as JSON lines on "
+        "shutdown",
+    )
+    serve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.1,
+        metavar="RATE",
+        help="head-sampling rate for normal traces (default 0.1)",
+    )
+    serve.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=256,
+        metavar="N",
+        help="trace ring-buffer capacity (default 256)",
     )
 
     trace = sub.add_parser(
@@ -609,15 +736,206 @@ def _cmd_estimate(args, out) -> int:
     return 0
 
 
-def _cmd_serve_bench(args, out) -> int:
+def _merge_bench_json(args, out, key: str, payload: dict) -> None:
+    """Merge *payload* into --json-out under *key* ('-' disables)."""
     import json
 
+    if args.json_out == "-":
+        return
+    target = Path(args.json_out)
+    document = {}
+    if target.exists():
+        try:
+            document = json.loads(target.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            document = {}
+    document[key] = payload
+    with open(target, "w", encoding="utf-8") as stream:
+        json.dump(document, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    print(f"(results merged into {target} under {key!r})", file=out)
+
+
+def _serve_bench_open_loop(args, out) -> int:
+    """The --arrival-rate branch of serve-bench: Poisson arrivals
+    through the async front door, coalescing A/B, 'frontdoor' payload."""
+    from .obs import TraceBuffer
+    from .service import (
+        OpenLoopConfig,
+        movies_workload,
+        run_frontdoor_bench,
+    )
+
+    engine, queries = movies_workload(
+        n_movies=args.movies,
+        backend=args.backend if args.backend != "memory" else None,
+    )
+    traces = (
+        TraceBuffer(
+            capacity=args.trace_capacity, sample_rate=args.trace_sample
+        )
+        if args.trace_out is not None
+        else None
+    )
+    config = OpenLoopConfig(
+        arrival_rate=args.arrival_rate,
+        duration_s=args.duration,
+        duplicate_fraction=args.duplicate_fraction,
+        batch_fraction=args.batch_fraction,
+        deadline_ms=args.deadline_ms,
+        seed=args.seed,
+    )
+    payload = run_frontdoor_bench(
+        engine,
+        queries,
+        config,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        max_pending=args.max_pending,
+        compare_coalescing=not args.no_baseline,
+        traces=traces,
+    )
+    payload["backend"] = args.backend
+    on = payload["coalesced"]
+    print(
+        f"serve-bench (open loop): {args.arrival_rate:g} req/s offered "
+        f"for {args.duration:g}s, {on['offered']} arrivals "
+        f"({args.duplicate_fraction:.0%} duplicates, "
+        f"{args.batch_fraction:.0%} batch), {args.workers} workers, "
+        f"deadline "
+        + (f"{args.deadline_ms:g} ms" if args.deadline_ms else "none"),
+        file=out,
+    )
+
+    def describe(label: str, arm: dict) -> None:
+        outcomes = arm["outcomes"]
+        print(
+            f"  {label}: goodput {arm['goodput_rps']:.1f} rps, "
+            f"coalesce hit rate {arm['coalesce_hit_rate']:.0%}, "
+            f"shed {arm['shed_rate']:.0%} "
+            f"({outcomes['degraded']} degraded, {outcomes['failed']} "
+            "failed)",
+            file=out,
+        )
+        for priority, stats in sorted(arm["classes"].items()):
+            latency = stats.get("latency_ms")
+            if latency is None:
+                tail = "no answers"
+            else:
+                tail = (
+                    f"latency ms p50={latency['p50']:.2f} "
+                    f"p95={latency['p95']:.2f} p99={latency['p99']:.2f}"
+                )
+            print(
+                f"    {priority}: {stats['answered']}/{stats['offered']} "
+                f"answered, {tail}",
+                file=out,
+            )
+
+    describe("coalesced", on)
+    if "uncoalesced" in payload:
+        describe("uncoalesced", payload["uncoalesced"])
+        print(
+            f"  goodput ratio (coalesced/uncoalesced): "
+            f"{payload['goodput_ratio']:.2f}x",
+            file=out,
+        )
+    if traces is not None:
+        kept = traces.export_jsonl(args.trace_out)
+        stats = traces.stats()
+        print(
+            f"  traces: {kept} kept ({stats['kept_triggered']} triggered, "
+            f"{stats['kept_sampled']} sampled of {stats['offered']} "
+            f"offered) -> {args.trace_out}",
+            file=out,
+        )
+    _merge_bench_json(args, out, "frontdoor", payload)
+    return 0
+
+
+def _cmd_serve(args, out) -> int:
+    import asyncio
+
+    from .obs import TraceBuffer
+    from .service import (
+        AsyncFrontDoor,
+        FrontDoorConfig,
+        FrontDoorHTTP,
+        PrecisService,
+        ServiceConfig,
+    )
+
+    engine = _load_engine(
+        args.directory,
+        backend=_backend_for(args),
+        cache=_cache_for(args),
+    )
+    traces = (
+        TraceBuffer(
+            capacity=args.trace_capacity, sample_rate=args.trace_sample
+        )
+        if args.trace_out is not None
+        else None
+    )
+    service = PrecisService(
+        engine,
+        config=ServiceConfig(
+            workers=args.workers,
+            queue_depth=(
+                args.queue_depth if args.queue_depth is not None else 64
+            ),
+            default_timeout_s=(
+                args.timeout_ms / 1000.0
+                if args.timeout_ms is not None
+                else None
+            ),
+        ),
+        traces=traces,
+    )
+
+    async def run() -> None:
+        frontdoor = AsyncFrontDoor(
+            service, FrontDoorConfig(max_pending=args.max_pending)
+        )
+        http = FrontDoorHTTP(frontdoor, host=args.host, port=args.port)
+        host, port = await http.start()
+        print(
+            f"precis front door listening on http://{host}:{port}",
+            file=out,
+        )
+        print(
+            "routes: GET /ask?q=... | /metrics | /healthz | /shutdown",
+            file=out,
+        )
+        try:
+            await http.serve_until_shutdown()
+        finally:
+            await http.stop()
+            await frontdoor.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted", file=out)
+    finally:
+        service.close()
+        if traces is not None:
+            kept = traces.export_jsonl(args.trace_out)
+            print(f"{kept} trace(s) -> {args.trace_out}", file=out)
+    print("server stopped", file=out)
+    return 0
+
+
+def _cmd_serve_bench(args, out) -> int:
     from .obs import TraceBuffer
     from .service import (
         measure_trace_overhead,
         movies_workload,
         run_serve_bench,
     )
+
+    if args.arrival_rate is not None:
+        return _serve_bench_open_loop(args, out)
 
     engine, queries = movies_workload(
         n_movies=args.movies,
@@ -716,19 +1034,7 @@ def _cmd_serve_bench(args, out) -> int:
                 "gated measurement",
                 file=out,
             )
-    if args.json_out != "-":
-        target = Path(args.json_out)
-        document = {}
-        if target.exists():
-            try:
-                document = json.loads(target.read_text(encoding="utf-8"))
-            except (OSError, ValueError):
-                document = {}
-        document["serve"] = payload
-        with open(target, "w", encoding="utf-8") as stream:
-            json.dump(document, stream, indent=2, sort_keys=True)
-            stream.write("\n")
-        print(f"(results merged into {target} under 'serve')", file=out)
+    _merge_bench_json(args, out, "serve", payload)
     return 0
 
 
@@ -775,6 +1081,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "explain": _cmd_explain,
     "estimate": _cmd_estimate,
+    "serve": _cmd_serve,
     "serve-bench": _cmd_serve_bench,
     "trace": _cmd_trace,
 }

@@ -400,6 +400,78 @@ class PrecisEngine:
                 plans.put(key, schema, token)
         return schema, matches, graph, outcome
 
+    @staticmethod
+    def _signature(
+        query, degree, cardinality, strategy, graph, translate, path_scoped
+    ) -> Optional[tuple]:
+        """The canonical answer key of fully-resolved ask parameters, or
+        ``None`` when the combination is uncacheable (unhashable
+        constraint/override)."""
+        try:
+            return answer_key(
+                query,
+                degree,
+                cardinality,
+                strategy,
+                weight_fingerprint(graph),
+                translate,
+                path_scoped,
+            )
+        except TypeError:  # unhashable constraint/override
+            return None
+
+    def ask_signature(
+        self,
+        query: PrecisQuery | str,
+        degree: Optional[DegreeConstraint] = None,
+        cardinality: Optional[CardinalityConstraint] = None,
+        strategy: str = STRATEGY_AUTO,
+        profile: Optional[Profile | str] = None,
+        translate: bool = True,
+        weights: Optional[dict[tuple, float]] = None,
+        tuple_weigher=None,
+        path_scoped: bool = False,
+    ) -> Optional[tuple]:
+        """The canonical signature one :meth:`ask` call would be cached
+        (and coalesced) under, without running it.
+
+        This is exactly the answer-cache key: query tokens, resolved
+        degree/cardinality constraints, strategy, the canonical weight
+        fingerprint of the effective graph (profile weights + query-time
+        overrides — the tenant dimension), and the translate/path_scoped
+        flags. Two calls with equal signatures produce byte-identical
+        answers over an unmutated database, which is what makes the
+        signature safe as the async front door's request-coalescing key
+        (:mod:`repro.service.frontdoor`). Returns ``None`` when the call
+        is uncacheable — an opaque *tuple_weigher*, or an unhashable
+        constraint/override — meaning it must never be coalesced or
+        cached.
+        """
+        if tuple_weigher is not None:
+            return None
+        if isinstance(query, str):
+            query = PrecisQuery.parse(query)
+        resolved = self._resolve_profile(profile)
+        degree = (
+            degree
+            or (resolved.degree if resolved else None)
+            or self.default_degree
+        )
+        cardinality = (
+            cardinality
+            or (resolved.cardinality if resolved else None)
+            or self.default_cardinality
+        )
+        return self._signature(
+            query,
+            degree,
+            cardinality,
+            strategy,
+            self._effective_graph(resolved, weights),
+            translate,
+            path_scoped,
+        )
+
     def ask(
         self,
         query: PrecisQuery | str,
@@ -476,18 +548,10 @@ class PrecisEngine:
         cache_key = None
         answer_outcome = "off" if answer_lru is None else "uncacheable"
         if answer_lru is not None and tuple_weigher is None:
-            try:
-                cache_key = answer_key(
-                    query,
-                    degree,
-                    cardinality,
-                    strategy,
-                    weight_fingerprint(effective_graph),
-                    translate,
-                    path_scoped,
-                )
-            except TypeError:  # unhashable constraint/override
-                cache_key = None
+            cache_key = self._signature(
+                query, degree, cardinality, strategy, effective_graph,
+                translate, path_scoped,
+            )
 
         # the serving layer's request context (None for direct asks):
         # one id correlating this answer's EXPLAIN record, slow-query

@@ -58,6 +58,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     ServiceMetrics,
+    FrontDoorMetrics,
     SlowQuery,
     SlowQueryLog,
     prometheus_text,
@@ -88,6 +89,7 @@ __all__ = [
     "MetricsRegistry",
     "EngineMetrics",
     "ServiceMetrics",
+    "FrontDoorMetrics",
     "SlowQuery",
     "SlowQueryLog",
     "prometheus_text",

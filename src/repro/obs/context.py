@@ -255,6 +255,7 @@ class RequestTrace:
         "degraded_stage",
         "error",
         "worker",
+        "coalesced_into",
     )
 
     def __init__(
@@ -268,6 +269,7 @@ class RequestTrace:
         degraded_stage: Optional[str] = None,
         error: Optional[str] = None,
         worker: Optional[str] = None,
+        coalesced_into: Optional[str] = None,
     ):
         self.context = context
         self.root = root
@@ -278,6 +280,9 @@ class RequestTrace:
         self.degraded_stage = degraded_stage
         self.error = error
         self.worker = worker
+        #: trace id of the leader execution this request was coalesced
+        #: into (async front door); None for uncoalesced requests
+        self.coalesced_into = coalesced_into
 
     @property
     def trace_id(self) -> str:
@@ -312,6 +317,7 @@ class RequestTrace:
                 "degraded_stage": self.degraded_stage,
                 "error": self.error,
                 "worker": self.worker,
+                "coalesced_into": self.coalesced_into,
                 "root": (
                     _span_to_dict(self.root, self.root)
                     if self.root is not None
@@ -334,6 +340,7 @@ class RequestTrace:
             degraded_stage=data.get("degraded_stage"),
             error=data.get("error"),
             worker=data.get("worker"),
+            coalesced_into=data.get("coalesced_into"),
         )
 
     def __repr__(self):

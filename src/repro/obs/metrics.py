@@ -40,6 +40,7 @@ __all__ = [
     "SlowQuery",
     "EngineMetrics",
     "ServiceMetrics",
+    "FrontDoorMetrics",
     "prometheus_text",
     "write_metrics",
 ]
@@ -823,6 +824,120 @@ class ServiceMetrics:
 
     def __repr__(self):
         return f"ServiceMetrics({self.registry!r})"
+
+
+class FrontDoorMetrics:
+    """The async front door's façade (:mod:`repro.service.frontdoor`):
+    per-priority-class admission, coalescing, shedding and latency
+    series over a :class:`MetricsRegistry`.
+
+    Shares a registry with :class:`ServiceMetrics` (the front door
+    passes the wrapped service's registry in), so one scrape carries
+    the whole stack: engine stages, thread-pool admission, and the
+    asyncio front door.
+
+    Accounting granularity, deliberately mixed:
+
+    * **per waiter** — ``requests``/``answered``/``degraded``/
+      ``failed`` counters and the latency histogram: every caller that
+      submitted, including coalesced followers, shows up once, so
+      goodput is measured in user-visible answers;
+    * **per logical execution** — ``executions`` and flight-level
+      ``shed`` outcomes (``full``, ``stale``, ``preempted``,
+      ``tenant_quota``, ``closed``): a shed flight with ten coalesced
+      waiters failed *once* upstream and counts once, matching the
+      serving layer's own shed counters. The single waiter-level shed
+      is a follower that outlived its own deadline while waiting
+      (reason ``stale_follower``).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: logical flights admitted but not yet resolved (pending or
+        #: executing)
+        self.pending = self.registry.gauge(
+            "precis_frontdoor_pending",
+            "front-door flights admitted but not yet resolved",
+        )
+
+    # --------------------------------------------------------- recording
+
+    def admitted(self, priority: str) -> None:
+        self.registry.counter(
+            "precis_frontdoor_requests_total",
+            "requests submitted to the front door",
+            priority=priority,
+        ).inc()
+
+    def coalesced(self, priority: str) -> None:
+        """A follower merged into an identical in-flight execution."""
+        self.registry.counter(
+            "precis_frontdoor_coalesced_total",
+            "requests coalesced into an in-flight identical ask",
+            priority=priority,
+        ).inc()
+
+    def executed(self) -> None:
+        """One logical flight handed to the serving layer."""
+        self.registry.counter(
+            "precis_frontdoor_executions_total",
+            "logical engine executions dispatched",
+        ).inc()
+
+    def shed(self, reason: str, priority: str) -> None:
+        self.registry.counter(
+            "precis_frontdoor_shed_total",
+            "front-door requests shed without an answer",
+            reason=reason,
+            priority=priority,
+        ).inc()
+
+    def answered(self, priority: str, degraded: bool = False) -> None:
+        self.registry.counter(
+            "precis_frontdoor_answered_total",
+            "front-door requests answered (per waiter)",
+            priority=priority,
+        ).inc()
+        if degraded:
+            self.registry.counter(
+                "precis_frontdoor_degraded_total",
+                "front-door answers served partial",
+                priority=priority,
+            ).inc()
+
+    def failed(self, priority: str, kind: str) -> None:
+        self.registry.counter(
+            "precis_frontdoor_failures_total",
+            "front-door requests that raised instead of answering",
+            priority=priority,
+            kind=kind,
+        ).inc()
+
+    def latency(
+        self,
+        seconds: float,
+        priority: str,
+        trace_id: Optional[str] = None,
+    ) -> None:
+        """Submit-to-resolution latency of one waiter."""
+        if trace_id is None:
+            trace_id = _current_trace_id()
+        self.registry.histogram(
+            "precis_frontdoor_seconds",
+            "front-door request latency, submit to resolution",
+            priority=priority,
+        ).observe(seconds, exemplar=trace_id)
+
+    # --------------------------------------------------------- export
+
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()
+
+    def prometheus(self) -> str:
+        return prometheus_text(self.registry)
+
+    def __repr__(self):
+        return f"FrontDoorMetrics({self.registry!r})"
 
 
 def write_metrics(

@@ -10,6 +10,15 @@ storage layer's transient/permanent fault classification, and service
 metrics sharing the :mod:`repro.obs` registry. ``repro serve-bench``
 (:mod:`repro.service.bench`) measures the whole stack closed-loop.
 
+On top of the thread pool sits the asyncio front door
+(:mod:`repro.service.frontdoor`): request coalescing keyed by the
+answer-cache signature (weight fingerprint included), interactive/batch
+priority classes with earliest-deadline-first dispatch, and batch
+preemption under overload — served over the wire by the stdlib HTTP
+endpoint (:mod:`repro.service.http`, ``repro serve``) and driven to
+saturation by the open-loop Poisson generator
+(:mod:`repro.service.loadgen`, ``repro serve-bench --arrival-rate``).
+
 See ``docs/service.md``.
 """
 
@@ -28,6 +37,14 @@ from .errors import (
     StaleRequest,
     TenantQuotaExceeded,
 )
+from .frontdoor import (
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
+    AsyncFrontDoor,
+    FrontDoorConfig,
+)
+from .http import FrontDoorHTTP
+from .loadgen import OpenLoopConfig, run_frontdoor_bench, run_open_loop
 from .retry import RetryPolicy, call_with_retry
 from .service import PrecisService, ServiceConfig
 
@@ -36,6 +53,14 @@ __all__ = [
     "NO_DEADLINE",
     "PrecisService",
     "ServiceConfig",
+    "AsyncFrontDoor",
+    "FrontDoorConfig",
+    "FrontDoorHTTP",
+    "PRIORITY_INTERACTIVE",
+    "PRIORITY_BATCH",
+    "OpenLoopConfig",
+    "run_open_loop",
+    "run_frontdoor_bench",
     "RetryPolicy",
     "call_with_retry",
     "ServiceError",

@@ -1,0 +1,642 @@
+"""The asyncio front door: request coalescing + priority admission.
+
+:class:`AsyncFrontDoor` wraps a :class:`~repro.service.PrecisService`
+(the thread-pooled serving layer) with the three things a request-per-
+user web front end needs that a FIFO thread pool cannot give:
+
+* **Request coalescing** — keyword traffic is dominated by identical
+  popular asks. Two submissions with the same *ask signature* — the
+  answer-cache key: query tokens, resolved constraints, strategy, the
+  canonical weight fingerprint of the effective graph (the tenant
+  dimension), and the translate/path_scoped flags
+  (:meth:`~repro.core.engine.PrecisEngine.ask_signature`) — produce
+  byte-identical answers over an unmutated database, so while one is
+  *in flight* the second never reaches an engine: it joins the first
+  as a **follower** and the one execution's outcome (answer, degraded
+  answer, or failure) is fanned out to every waiter. Signatures with
+  different weight fingerprints never share a flight, so tenants with
+  different effective weights cannot leak answers to each other; an
+  uncacheable signature (opaque tuple weigher, unhashable constraint)
+  is never coalesced at all.
+* **Priority classes** — ``"interactive"`` requests are dispatched
+  strictly before ``"batch"``; within a class the earliest deadline
+  goes first (EDF), so a near-expiry interactive request is served
+  next or — once expired — shed at dispatch instead of executing for
+  nothing. A batch-classified flight joined by an interactive follower
+  is *upgraded*: the most urgent waiter sets the flight's class. When
+  the pending queue is full, an arriving interactive request preempts
+  the least-urgent pending batch flight (``preempt_batch``) rather
+  than being shed behind it.
+* **Deadline discipline** — a request already expired at submit is
+  shed immediately (:class:`~repro.service.errors.StaleRequest`)
+  without executing or coalescing; a pending flight that expires
+  before dispatch is shed at dispatch; and a coalesced follower with a
+  *tighter* deadline than its leader still honours its own — it is
+  never handed an answer past its deadline, even though the leader's
+  execution continues for the remaining waiters.
+
+Dispatch runs one in-flight request per service worker by default, so
+the FIFO queue inside :class:`PrecisService` stays empty and ordering
+decisions live entirely in the front door's priority queue.
+
+Tracing composes: when the wrapped service carries a
+:class:`~repro.obs.context.TraceBuffer`, the front door mints each
+waiter's :class:`~repro.obs.context.TraceContext` at *its own* submit
+time. The leader's context rides into the service (``submit(context=)``)
+so its trace spans front-door queueing plus the full engine subtree;
+every follower gets its own ``request`` span with a ``coalesced`` child
+and :attr:`~repro.obs.context.RequestTrace.coalesced_into` naming the
+leader's trace id. Metrics land in
+:class:`~repro.obs.metrics.FrontDoorMetrics` on the wrapped service's
+registry — one scrape shows the whole stack.
+
+Everything here runs on one event loop: submissions, admission,
+coalescing bookkeeping and dispatch are loop-confined (no locks), and
+only the engine execution crosses into the service's worker threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..core.deadline import NO_DEADLINE, Deadline
+from ..obs.context import RequestTrace, TraceContext, synthetic_span
+from ..obs.metrics import FrontDoorMetrics
+from .errors import (
+    QueueFull,
+    ServiceClosed,
+    ServiceError,
+    StaleRequest,
+    TenantQuotaExceeded,
+)
+from .service import PrecisService
+
+__all__ = [
+    "PRIORITY_INTERACTIVE",
+    "PRIORITY_BATCH",
+    "FrontDoorConfig",
+    "AsyncFrontDoor",
+]
+
+PRIORITY_INTERACTIVE = "interactive"
+PRIORITY_BATCH = "batch"
+
+#: dispatch order: lower rank first; within a rank, earliest deadline
+_RANK = {PRIORITY_INTERACTIVE: 0, PRIORITY_BATCH: 1}
+
+
+class _FollowerStale(Exception):
+    """Internal: a coalesced follower outlived its own deadline while
+    waiting on the leader (converted to StaleRequest at the boundary)."""
+
+    def __init__(self, waited_s: float):
+        super().__init__(waited_s)
+        self.waited_s = waited_s
+
+
+@dataclass(frozen=True)
+class FrontDoorConfig:
+    """Tuning knobs of one :class:`AsyncFrontDoor`."""
+
+    #: bound on *pending* (admitted, undispatched) flights
+    max_pending: int = 256
+    #: concurrent dispatches into the wrapped service; default = one
+    #: per service worker, which keeps the service's FIFO queue empty
+    dispatch_concurrency: Optional[int] = None
+    #: merge identical in-flight asks into one engine execution
+    coalesce: bool = True
+    #: shed expired requests at submit and at dispatch (StaleRequest)
+    shed_stale: bool = True
+    #: when the pending queue is full, an interactive arrival evicts
+    #: the least-urgent pending batch flight instead of being shed
+    preempt_batch: bool = True
+    #: deadline for requests that carry none (seconds; None falls back
+    #: to the wrapped service's default_timeout_s)
+    default_timeout_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        if (
+            self.dispatch_concurrency is not None
+            and self.dispatch_concurrency < 1
+        ):
+            raise ValueError("dispatch_concurrency must be at least 1")
+
+
+class _Flight:
+    """One logical engine execution and the waiters coalesced onto it."""
+
+    __slots__ = (
+        "key", "query", "ask_kwargs", "deadline", "tenant", "priority",
+        "context", "future", "state", "dispatched", "waiters", "seq",
+        "expiry_key", "admitted_mono",
+    )
+
+    def __init__(self, key, query, ask_kwargs, deadline, tenant, priority,
+                 context, future):
+        self.key = key
+        self.query = query
+        self.ask_kwargs = ask_kwargs
+        self.deadline = deadline
+        self.tenant = tenant
+        self.priority = priority
+        self.context = context
+        self.future = future
+        #: "pending" (queued) -> "dispatched" (executing) -> "done"
+        self.state = "pending"
+        #: whether service.submit was attempted (the service then owns
+        #: the leader's trace, including synchronous shed traces)
+        self.dispatched = False
+        self.waiters = 1
+        self.seq = 0
+        self.expiry_key = math.inf
+        self.admitted_mono = 0.0
+
+    @property
+    def rank(self) -> int:
+        return _RANK[self.priority]
+
+    @property
+    def leader_trace_id(self) -> Optional[str]:
+        return self.context.trace_id if self.context is not None else None
+
+
+class AsyncFrontDoor:
+    """Coalescing, priority-scheduling asyncio façade over one
+    :class:`~repro.service.PrecisService`.
+
+    All coroutine methods must run on one event loop (state is
+    loop-confined by design). The front door does not own the wrapped
+    service: closing the front door drains its own queue but leaves the
+    service running unless ``close(close_service=True)``.
+    """
+
+    def __init__(
+        self,
+        service: PrecisService,
+        config: Optional[FrontDoorConfig] = None,
+    ):
+        self.service = service
+        self.config = config if config is not None else FrontDoorConfig()
+        self.metrics = FrontDoorMetrics(service.metrics.registry)
+        self._flights: dict[Any, _Flight] = {}
+        self._heap: list[tuple[int, float, int, _Flight]] = []
+        self._seq = 0
+        self._pending_count = 0
+        self._closed = False
+        self._started = False
+        self._work: Optional[asyncio.Event] = None
+        self._dispatchers: list[asyncio.Task] = []
+
+    # ------------------------------------------------------------- submit
+
+    async def submit(
+        self,
+        query,
+        deadline: Optional[Deadline] = None,
+        timeout_s: Optional[float] = None,
+        tenant: Optional[str] = None,
+        priority: str = PRIORITY_INTERACTIVE,
+        **ask_kwargs: Any,
+    ):
+        """Answer one ask through the front door; returns the
+        :class:`~repro.core.answer.PrecisAnswer` (or raises the shed /
+        failure exception the execution produced).
+
+        Deadline resolution: explicit *deadline* > *timeout_s* >
+        ``FrontDoorConfig.default_timeout_s`` > the wrapped service's
+        ``default_timeout_s`` > none. *priority* must be
+        ``"interactive"`` or ``"batch"``. Remaining keyword arguments
+        go to :meth:`~repro.core.engine.PrecisEngine.ask` and take part
+        in the coalescing signature (an argument the signature cannot
+        canonicalize — e.g. a *tuple_weigher* — disables coalescing for
+        that request only).
+        """
+        if priority not in _RANK:
+            raise ValueError(
+                f"priority must be one of {sorted(_RANK)}, got {priority!r}"
+            )
+        self._ensure_started()
+        start = time.monotonic()
+        context: Optional[TraceContext] = None
+        if self.service.traces is not None:
+            context = TraceContext.mint(
+                query=getattr(query, "text", None) or str(query),
+                tenant=tenant,
+                priority=priority,
+            )
+        if self._closed:
+            self.metrics.shed("closed", priority)
+            self._record_trace(context, "shed_closed")
+            raise ServiceClosed("front door is closed")
+        deadline = self._resolve_deadline(deadline, timeout_s)
+        if context is not None and deadline.expires():
+            context.deadline_s = deadline.remaining()
+        self.metrics.admitted(priority)
+        # Shed-on-stale at submit: an already-expired request neither
+        # executes nor joins a flight — running it could only produce
+        # an empty degraded shell, and coalescing it would hand it an
+        # answer past its deadline anyway.
+        if (
+            self.config.shed_stale
+            and deadline.expires()
+            and deadline.expired()
+        ):
+            self.metrics.shed("stale", priority)
+            self._record_trace(context, "shed_stale")
+            raise StaleRequest(0.0)
+
+        key = self._coalesce_key(query, ask_kwargs) if self.config.coalesce else None
+        flight = self._flights.get(key) if key is not None else None
+        if flight is not None and flight.state != "done":
+            # -------- follower: identical ask already in flight
+            self.metrics.coalesced(priority)
+            flight.waiters += 1
+            self._maybe_upgrade(flight, priority)
+            return await self._join(
+                flight, deadline, priority, context, start, follower=True
+            )
+        # ------------ leader: admit a fresh flight
+        flight = self._admit(
+            query, ask_kwargs, key, deadline, tenant, priority, context,
+            start,
+        )
+        return await self._join(
+            flight, deadline, priority, context, start, follower=False
+        )
+
+    async def ask(self, query, **kwargs: Any):
+        """Alias of :meth:`submit` (symmetry with PrecisService)."""
+        return await self.submit(query, **kwargs)
+
+    def _resolve_deadline(
+        self, deadline: Optional[Deadline], timeout_s: Optional[float]
+    ) -> Deadline:
+        if deadline is not None:
+            return deadline
+        seconds = (
+            timeout_s
+            if timeout_s is not None
+            else (
+                self.config.default_timeout_s
+                if self.config.default_timeout_s is not None
+                else self.service.config.default_timeout_s
+            )
+        )
+        return Deadline.after(seconds) if seconds is not None else NO_DEADLINE
+
+    def _coalesce_key(self, query, ask_kwargs) -> Optional[tuple]:
+        """The flight key of one submission: the engine's canonical ask
+        signature, or None when the call must not be coalesced."""
+        engine = self.service.engines[0]
+        try:
+            return engine.ask_signature(query, **ask_kwargs)
+        except TypeError:
+            # an argument the signature doesn't canonicalize (tracer=,
+            # unknown kwarg...): run it uncoalesced, the engine will
+            # surface any real error
+            return None
+
+    # ---------------------------------------------------------- admission
+
+    def _admit(
+        self, query, ask_kwargs, key, deadline, tenant, priority, context,
+        start,
+    ) -> _Flight:
+        if self._pending_count >= self.config.max_pending:
+            if not self._preempt_for(priority):
+                self.metrics.shed("full", priority)
+                self._record_trace(context, "shed_full")
+                raise QueueFull(self.config.max_pending)
+        flight = _Flight(
+            key, query, dict(ask_kwargs), deadline, tenant, priority,
+            context, asyncio.get_running_loop().create_future(),
+        )
+        self._seq += 1
+        flight.seq = self._seq
+        flight.admitted_mono = start
+        flight.expiry_key = (
+            deadline.remaining() if deadline.expires() else math.inf
+        )
+        if key is not None:
+            self._flights[key] = flight
+        self._pending_count += 1
+        self.metrics.pending.add(1)
+        heapq.heappush(
+            self._heap,
+            (flight.rank, flight.expiry_key, flight.seq, flight),
+        )
+        self._work.set()
+        return flight
+
+    def _maybe_upgrade(self, flight: _Flight, priority: str) -> None:
+        """An interactive follower joining a pending batch flight makes
+        the flight interactive — the most urgent waiter sets the class,
+        so a duplicate ask is never stuck behind the batch backlog."""
+        if flight.state != "pending" or _RANK[priority] >= flight.rank:
+            return
+        flight.priority = priority
+        heapq.heappush(
+            self._heap,
+            (flight.rank, flight.expiry_key, flight.seq, flight),
+        )
+        self._work.set()
+
+    def _preempt_for(self, priority: str) -> bool:
+        """Full queue + interactive arrival: evict the least-urgent
+        pending *batch* flight (latest deadline, latest arrival) to
+        make room. Counted once per evicted flight; every coalesced
+        waiter of the victim sees QueueFull."""
+        if not self.config.preempt_batch or priority != PRIORITY_INTERACTIVE:
+            return False
+        victim: Optional[_Flight] = None
+        victim_order: tuple = ()
+        for __, expiry, seq, flight in self._heap:
+            if flight.state == "pending" and flight.rank == _RANK[PRIORITY_BATCH]:
+                order = (expiry, seq)
+                if victim is None or order > victim_order:
+                    victim, victim_order = flight, order
+        if victim is None:
+            return False
+        self._pending_count -= 1
+        self.metrics.shed("preempted", victim.priority)
+        self._resolve_flight(
+            victim, error=QueueFull(self.config.max_pending)
+        )
+        return True
+
+    # ---------------------------------------------------------- waiting
+
+    async def _join(
+        self,
+        flight: _Flight,
+        deadline: Deadline,
+        priority: str,
+        context: Optional[TraceContext],
+        start: float,
+        follower: bool,
+    ):
+        coalesced_into = flight.leader_trace_id if follower else None
+        try:
+            answer = await self._wait(flight, deadline, follower, start)
+        except _FollowerStale as exc:
+            # waiter-level shed: this follower's own deadline, nobody
+            # else's — the leader execution continues for the rest
+            self.metrics.shed("stale_follower", priority)
+            self._record_trace(
+                context, "shed_stale", coalesced_into=coalesced_into
+            )
+            raise StaleRequest(exc.waited_s) from None
+        except (QueueFull, StaleRequest, ServiceClosed,
+                TenantQuotaExceeded) as exc:
+            # flight-level shed, already counted once per logical
+            # execution; every waiter still reports its own trace
+            if follower or not flight.dispatched:
+                self._record_trace(
+                    context,
+                    _shed_outcome(exc),
+                    coalesced_into=coalesced_into,
+                    error=exc,
+                )
+            raise
+        except BaseException as exc:
+            self.metrics.failed(priority, type(exc).__name__)
+            if follower or not flight.dispatched:
+                self._record_trace(
+                    context, "failed", coalesced_into=coalesced_into,
+                    error=exc,
+                )
+            raise
+        elapsed = time.monotonic() - start
+        self.metrics.answered(priority, degraded=answer.degraded)
+        self.metrics.latency(
+            elapsed,
+            priority,
+            trace_id=context.trace_id if context is not None else None,
+        )
+        if follower:
+            self._record_trace(
+                context,
+                "degraded" if answer.degraded else "answered",
+                coalesced_into=coalesced_into,
+            )
+        return answer
+
+    async def _wait(
+        self, flight: _Flight, deadline: Deadline, follower: bool,
+        start: float,
+    ):
+        """Await the flight's outcome; a follower is additionally bound
+        by its *own* deadline (the leader's execution deadline may be
+        looser)."""
+        if not (follower and self.config.shed_stale and deadline.expires()):
+            return await asyncio.shield(flight.future)
+        remaining = deadline.remaining()
+        try:
+            answer = await asyncio.wait_for(
+                asyncio.shield(flight.future), timeout=remaining
+            )
+        except asyncio.TimeoutError:
+            raise _FollowerStale(time.monotonic() - start) from None
+        if deadline.expired():
+            # injectable clocks / boundary races: the wall timeout may
+            # not have fired, but the follower's own deadline has — it
+            # is never served past it
+            raise _FollowerStale(time.monotonic() - start)
+        return answer
+
+    # ---------------------------------------------------------- dispatch
+
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        loop = asyncio.get_running_loop()
+        self._work = asyncio.Event()
+        n = (
+            self.config.dispatch_concurrency
+            if self.config.dispatch_concurrency is not None
+            else self.service.workers
+        )
+        self._dispatchers = [
+            loop.create_task(self._dispatch_loop(), name=f"frontdoor-{i}")
+            for i in range(n)
+        ]
+        self._started = True
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            flight = await self._next_flight()
+            if flight is None:
+                return
+            await self._execute(flight)
+
+    async def _next_flight(self) -> Optional[_Flight]:
+        while True:
+            while self._heap:
+                rank, __, __, flight = heapq.heappop(self._heap)
+                if flight.state != "pending" or rank != flight.rank:
+                    continue  # resolved, executing, or upgraded duplicate
+                flight.state = "dispatched"
+                self._pending_count -= 1
+                return flight
+            if self._closed:
+                return None
+            self._work.clear()
+            await self._work.wait()
+
+    async def _execute(self, flight: _Flight) -> None:
+        # stale at dispatch: the flight's deadline ran out while queued
+        if (
+            self.config.shed_stale
+            and flight.deadline.expires()
+            and flight.deadline.expired()
+        ):
+            self.metrics.shed("stale", flight.priority)
+            self._resolve_flight(
+                flight,
+                error=StaleRequest(
+                    time.monotonic() - flight.admitted_mono
+                ),
+            )
+            return
+        flight.dispatched = True
+        try:
+            future = self.service.submit(
+                flight.query,
+                deadline=flight.deadline,
+                tenant=flight.tenant,
+                priority=flight.priority,
+                context=flight.context,
+                **flight.ask_kwargs,
+            )
+        except ServiceError as exc:
+            # synchronous admission shed (queue full / tenant quota /
+            # closed): the service counted and traced it once; mirror
+            # one front-door shed per logical execution
+            self.metrics.shed(_shed_reason(exc), flight.priority)
+            self._resolve_flight(flight, error=exc)
+            return
+        except BaseException as exc:  # pragma: no cover — defensive
+            self._resolve_flight(flight, error=exc)
+            return
+        self.metrics.executed()
+        try:
+            answer = await asyncio.wrap_future(future)
+        except StaleRequest as exc:
+            # expired inside the service queue (only possible when
+            # dispatch_concurrency exceeds the worker count)
+            self.metrics.shed("stale", flight.priority)
+            self._resolve_flight(flight, error=exc)
+            return
+        except BaseException as exc:
+            self._resolve_flight(flight, error=exc)
+            return
+        self._resolve_flight(flight, result=answer)
+
+    def _resolve_flight(self, flight: _Flight, result=None, error=None):
+        """Fan one outcome out to every waiter, exactly once."""
+        if flight.state == "done":
+            return
+        flight.state = "done"
+        if (
+            flight.key is not None
+            and self._flights.get(flight.key) is flight
+        ):
+            del self._flights[flight.key]
+        self.metrics.pending.add(-1)
+        if error is not None:
+            flight.future.set_exception(error)
+        else:
+            flight.future.set_result(result)
+
+    # ---------------------------------------------------------- tracing
+
+    def _record_trace(
+        self,
+        context: Optional[TraceContext],
+        outcome: str,
+        coalesced_into: Optional[str] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """One waiter's front-door-side trace: a synthetic ``request``
+        root with a ``coalesced`` (follower) or ``frontdoor`` (own
+        queueing) child. Leader outcomes that reached the service are
+        traced by the service itself and not repeated here."""
+        buffer = self.service.traces
+        if buffer is None or context is None:
+            return
+        duration = max(time.perf_counter() - context.submitted_mono, 0.0)
+        root = synthetic_span("request", context.submitted_wall, duration)
+        child = "coalesced" if coalesced_into is not None else "frontdoor"
+        root.children.append(
+            synthetic_span(child, context.submitted_wall, duration)
+        )
+        buffer.offer(
+            RequestTrace(
+                context=context,
+                root=root,
+                outcome=outcome,
+                duration_s=duration,
+                queue_wait_s=duration if outcome.startswith("shed") else 0.0,
+                error=type(error).__name__ if error is not None else None,
+                worker="frontdoor",
+                coalesced_into=coalesced_into,
+            )
+        )
+
+    # ---------------------------------------------------------- lifecycle
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def pending(self) -> int:
+        """Flights admitted but not yet resolved (pending + executing)."""
+        return int(self.metrics.pending.value)
+
+    async def close(self, close_service: bool = False) -> None:
+        """Stop admitting, drain pending flights, stop the dispatchers.
+
+        Flights already admitted are executed (or shed stale) to
+        completion, so no waiter is ever stranded. Idempotent. Pass
+        ``close_service=True`` to also close the wrapped
+        :class:`PrecisService` afterwards."""
+        self._closed = True
+        if self._started:
+            self._work.set()
+            await asyncio.gather(*self._dispatchers)
+        if close_service:
+            self.service.close()
+
+    async def __aenter__(self) -> "AsyncFrontDoor":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def __repr__(self):
+        return (
+            f"AsyncFrontDoor({self.service!r}, pending={self.pending()}, "
+            f"coalesce={self.config.coalesce}"
+            f"{', closed' if self._closed else ''})"
+        )
+
+
+def _shed_reason(exc: BaseException) -> str:
+    if isinstance(exc, QueueFull):
+        return "full"
+    if isinstance(exc, TenantQuotaExceeded):
+        return "tenant_quota"
+    if isinstance(exc, StaleRequest):
+        return "stale"
+    return "closed"
+
+
+def _shed_outcome(exc: BaseException) -> str:
+    return f"shed_{_shed_reason(exc)}"

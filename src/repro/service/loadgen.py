@@ -1,0 +1,300 @@
+"""Open-loop arrival generator for the async front door.
+
+The closed-loop harness (:func:`repro.service.bench.run_serve_bench`)
+measures *capacity*: N clients issue the next request only after the
+previous answer, so offered load self-throttles to whatever the stack
+sustains and overload never really happens. Real keyword-search traffic
+is **open-loop**: users arrive by their own clock, independent of how
+the backlog is doing, and a system at 2x its capacity must shed — the
+interesting regime for coalescing and priorities is exactly the one a
+closed loop cannot reach (Schroeder et al.'s closed/open distinction).
+
+:func:`run_open_loop` therefore precomputes a Poisson arrival schedule
+(seeded, exponential inter-arrivals at ``arrival_rate``) and fires each
+request at its scheduled instant whether or not earlier ones resolved.
+Each arrival draws a priority class (``batch_fraction``) and a query:
+with probability ``duplicate_fraction`` the *hot* query (the coalescing
+target), otherwise one of the rest — so the duplicate share of the
+offered stream is directly configurable. The payload reports goodput
+(non-degraded answers per second of makespan), shed rate, the
+coalescing hit rate (followers / offered, read from the front door's
+own counters) and per-class latency percentiles.
+
+:func:`run_frontdoor_bench` packages the A/B experiment the benchmark
+gate wants: the same schedule replayed against a fresh service twice —
+coalescing on, then off — reporting both payloads and the goodput
+ratio.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.engine import PrecisEngine
+from ..obs.context import TraceBuffer
+from .bench import percentile
+from .errors import (
+    QueueFull,
+    ServiceClosed,
+    StaleRequest,
+    TenantQuotaExceeded,
+)
+from .frontdoor import (
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
+    AsyncFrontDoor,
+    FrontDoorConfig,
+)
+from .service import PrecisService, ServiceConfig
+
+__all__ = ["OpenLoopConfig", "run_open_loop", "run_frontdoor_bench"]
+
+
+@dataclass(frozen=True)
+class OpenLoopConfig:
+    """One open-loop run: the offered stream, not the system under it."""
+
+    #: mean offered load, requests/second (Poisson arrivals)
+    arrival_rate: float
+    #: length of the arrival schedule, seconds (the run itself lasts
+    #: until the last outstanding request resolves)
+    duration_s: float = 2.0
+    #: share of arrivals aimed at the hot query — the coalescable mass
+    duplicate_fraction: float = 0.5
+    #: share of arrivals classed ``batch`` (the rest ``interactive``)
+    batch_fraction: float = 0.0
+    #: per-request deadline (None = none); expired requests shed or
+    #: degrade instead of queueing forever
+    deadline_ms: Optional[float] = None
+    #: RNG seed — the schedule is fully deterministic given the config
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        for name in ("duplicate_fraction", "batch_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+
+
+def _schedule(
+    config: OpenLoopConfig, n_queries: int
+) -> list[tuple[float, int, str]]:
+    """The precomputed arrival list: (offset_s, query_index, priority).
+
+    Query index 0 is the hot (duplicate) target; the rest of the
+    catalog is drawn uniformly. Precomputing keeps the stream identical
+    across the coalescing-on and coalescing-off arms of an A/B run."""
+    rng = random.Random(config.seed)
+    arrivals: list[tuple[float, int, str]] = []
+    t = rng.expovariate(config.arrival_rate)
+    while t < config.duration_s:
+        if n_queries > 1 and rng.random() >= config.duplicate_fraction:
+            index = rng.randrange(1, n_queries)
+        else:
+            index = 0
+        priority = (
+            PRIORITY_BATCH
+            if rng.random() < config.batch_fraction
+            else PRIORITY_INTERACTIVE
+        )
+        arrivals.append((t, index, priority))
+        t += rng.expovariate(config.arrival_rate)
+    return arrivals
+
+
+def _counter_total(registry, name: str) -> float:
+    """Sum of one counter family across label sets."""
+    total = 0.0
+    for key, value in registry.snapshot()["counters"].items():
+        if key == name or key.startswith(name + "{"):
+            total += value
+    return total
+
+
+async def run_open_loop(
+    frontdoor: AsyncFrontDoor,
+    queries: Sequence[str],
+    config: OpenLoopConfig,
+) -> dict:
+    """Offer the configured Poisson stream to *frontdoor*; returns the
+    results payload once every arrival has resolved."""
+    if not queries:
+        raise ValueError("run_open_loop needs at least one query")
+    loop = asyncio.get_running_loop()
+    arrivals = _schedule(config, len(queries))
+    registry = frontdoor.metrics.registry
+    coalesced_before = _counter_total(
+        registry, "precis_frontdoor_coalesced_total"
+    )
+
+    records: list[tuple[str, str, float]] = []  # (priority, outcome, s)
+
+    async def one(query: str, priority: str) -> None:
+        t0 = loop.time()
+        try:
+            answer = await frontdoor.submit(
+                query,
+                timeout_s=(
+                    config.deadline_ms / 1000.0
+                    if config.deadline_ms is not None
+                    else None
+                ),
+                priority=priority,
+            )
+        except StaleRequest:
+            records.append((priority, "shed_stale", loop.time() - t0))
+        except QueueFull:
+            records.append((priority, "shed_full", loop.time() - t0))
+        except TenantQuotaExceeded:
+            records.append((priority, "shed_tenant_quota", loop.time() - t0))
+        except ServiceClosed:
+            records.append((priority, "shed_closed", loop.time() - t0))
+        except Exception:  # noqa: BLE001 — tallied, not propagated
+            records.append((priority, "failed", loop.time() - t0))
+        else:
+            records.append(
+                (
+                    priority,
+                    "degraded" if answer.degraded else "answered",
+                    loop.time() - t0,
+                )
+            )
+
+    start = loop.time()
+    tasks: list[asyncio.Task] = []
+    for offset, index, priority in arrivals:
+        delay = (start + offset) - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        # fire and move on: an open loop never waits for completions
+        tasks.append(
+            loop.create_task(one(queries[index], priority))
+        )
+    if tasks:
+        await asyncio.gather(*tasks)
+    elapsed = max(loop.time() - start, 1e-9)
+
+    followers = (
+        _counter_total(registry, "precis_frontdoor_coalesced_total")
+        - coalesced_before
+    )
+    offered = len(arrivals)
+    outcomes = {
+        key: 0
+        for key in (
+            "answered",
+            "degraded",
+            "shed_stale",
+            "shed_full",
+            "shed_tenant_quota",
+            "shed_closed",
+            "failed",
+        )
+    }
+    per_class: dict[str, dict] = {}
+    latencies: dict[str, list[float]] = {}
+    for priority, outcome, seconds in records:
+        outcomes[outcome] += 1
+        bucket = per_class.setdefault(
+            priority,
+            {"offered": 0, "answered": 0, "degraded": 0, "shed": 0,
+             "failed": 0},
+        )
+        bucket["offered"] += 1
+        if outcome in ("answered", "degraded"):
+            bucket["answered"] += 1
+            if outcome == "degraded":
+                bucket["degraded"] += 1
+            latencies.setdefault(priority, []).append(seconds)
+        elif outcome == "failed":
+            bucket["failed"] += 1
+        else:
+            bucket["shed"] += 1
+    for priority, values in latencies.items():
+        per_class[priority]["latency_ms"] = {
+            "p50": percentile(values, 50) * 1e3,
+            "p95": percentile(values, 95) * 1e3,
+            "p99": percentile(values, 99) * 1e3,
+            "max": max(values) * 1e3,
+        }
+    shed = sum(v for k, v in outcomes.items() if k.startswith("shed_"))
+    return {
+        "arrival_rate": config.arrival_rate,
+        "duration_s": config.duration_s,
+        "duplicate_fraction": config.duplicate_fraction,
+        "batch_fraction": config.batch_fraction,
+        "deadline_ms": config.deadline_ms,
+        "seed": config.seed,
+        "offered": offered,
+        "elapsed_s": elapsed,
+        "coalesce": frontdoor.config.coalesce,
+        "outcomes": outcomes,
+        # user-visible answers per second of makespan, partials excluded
+        "goodput_rps": outcomes["answered"] / elapsed,
+        "shed_rate": shed / offered if offered else 0.0,
+        "coalesce_hit_rate": followers / offered if offered else 0.0,
+        "classes": per_class,
+    }
+
+
+def run_frontdoor_bench(
+    engine: PrecisEngine,
+    queries: Sequence[str],
+    config: OpenLoopConfig,
+    workers: int = 2,
+    queue_depth: Optional[int] = None,
+    max_pending: int = 256,
+    compare_coalescing: bool = True,
+    traces: Optional[TraceBuffer] = None,
+) -> dict:
+    """The front-door experiment: one open-loop run with coalescing on
+    and (optionally) an identical run against a fresh stack with
+    coalescing off, so the gate can assert the goodput ratio. The
+    arrival schedule is identical in both arms (same seed)."""
+
+    def arm(coalesce: bool) -> dict:
+        service = PrecisService(
+            engine,
+            config=ServiceConfig(
+                workers=workers,
+                queue_depth=queue_depth if queue_depth is not None else 64,
+            ),
+            traces=traces if coalesce else None,
+        )
+
+        async def run() -> dict:
+            frontdoor = AsyncFrontDoor(
+                service,
+                FrontDoorConfig(max_pending=max_pending, coalesce=coalesce),
+            )
+            try:
+                return await run_open_loop(frontdoor, queries, config)
+            finally:
+                await frontdoor.close()
+
+        try:
+            return asyncio.run(run())
+        finally:
+            service.close()
+
+    started = time.perf_counter()
+    payload: dict = {"workers": workers, "max_pending": max_pending}
+    payload["coalesced"] = arm(coalesce=True)
+    if compare_coalescing:
+        payload["uncoalesced"] = arm(coalesce=False)
+        baseline = payload["uncoalesced"]["goodput_rps"]
+        payload["goodput_ratio"] = (
+            payload["coalesced"]["goodput_rps"] / baseline
+            if baseline > 0
+            else float("inf")
+        )
+    payload["total_seconds"] = time.perf_counter() - started
+    return payload

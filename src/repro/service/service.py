@@ -181,6 +181,7 @@ class PrecisService:
         timeout_s: Optional[float] = None,
         tenant: Optional[str] = None,
         priority: str = "interactive",
+        context: Optional[TraceContext] = None,
         **ask_kwargs: Any,
     ) -> "Future":
         """Enqueue one ask; returns the :class:`Future` of its answer.
@@ -196,9 +197,16 @@ class PrecisService:
         (:class:`~repro.service.errors.TenantQuotaExceeded`).
 
         *priority* is a label carried on the request's trace context
-        (``"interactive"`` / ``"batch"``) — recorded for the async
-        front door's priority classes; admission does not act on it
-        yet.
+        (``"interactive"`` / ``"batch"``). This layer's FIFO admission
+        does not act on it — priority scheduling lives in the async
+        front door (:mod:`repro.service.frontdoor`), which orders its
+        own queue and dispatches here one request per idle worker.
+
+        *context* is a pre-minted :class:`~repro.obs.context.
+        TraceContext` to adopt instead of minting one — the front door
+        passes the context it created at its own admission time, so
+        the request's trace spans the full journey (front-door queue
+        included) under one id.
 
         When the service carries a :class:`~repro.obs.context.
         TraceBuffer`, this call mints the request's
@@ -209,8 +217,9 @@ class PrecisService:
         :class:`QueueFull` when the admission queue is full under the
         shed-on-full policy.
         """
-        context = None
-        if self.traces is not None:
+        if self.traces is None:
+            context = None
+        elif context is None:
             context = TraceContext.mint(
                 query=getattr(query, "text", None) or str(query),
                 tenant=tenant,
@@ -504,6 +513,13 @@ class PrecisService:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def workers(self) -> int:
+        """Size of the worker pool (the front door's default dispatch
+        concurrency: one in-flight request per worker keeps priority
+        ordering in the front door's queue, not this FIFO one)."""
+        return len(self._threads)
 
     def queue_depth(self) -> float:
         """Current value of the queue-depth gauge (admitted, unanswered)."""

@@ -1,0 +1,201 @@
+"""FrontDoorHTTP: the stdlib wire adapter over the async front door.
+
+Each test runs a real server on an ephemeral port and talks to it with
+a raw asyncio client (helpers.http_get) — no web framework on either
+side of the socket.
+"""
+
+import asyncio
+import contextlib
+from urllib.parse import quote
+
+import pytest
+
+from repro.core import PrecisEngine, WeightThreshold
+from repro.datasets import movies_graph, paper_instance
+from repro.service import (
+    AsyncFrontDoor,
+    FrontDoorHTTP,
+    PrecisService,
+    ServiceConfig,
+)
+
+from .frontdoor_helpers import http_get, run
+
+QUERY = '"Woody Allen"'
+Q = quote(QUERY)
+
+
+@pytest.fixture()
+def engine():
+    return PrecisEngine(paper_instance(), graph=movies_graph())
+
+
+@pytest.fixture()
+def service(engine):
+    svc = PrecisService(
+        engine, config=ServiceConfig(workers=1, queue_depth=8)
+    )
+    yield svc
+    svc.close()
+
+
+@contextlib.asynccontextmanager
+async def serving(service):
+    async with AsyncFrontDoor(service) as frontdoor:
+        async with FrontDoorHTTP(frontdoor, port=0) as http:
+            yield http
+
+
+class TestAsk:
+    def test_ask_returns_engine_answer(self, engine, service):
+        async def go():
+            async with serving(service) as http:
+                return await http_get(http.host, http.port, f"/ask?q={Q}")
+
+        status, body = run(go())
+        assert status == 200
+        assert body == engine.ask(QUERY).to_dict()
+
+    def test_ask_parameters_reach_the_engine(self, engine, service):
+        async def go():
+            async with serving(service) as http:
+                return await http_get(
+                    http.host,
+                    http.port,
+                    f"/ask?q={Q}&degree_weight=0.5&priority=batch",
+                )
+
+        status, body = run(go())
+        assert status == 200
+        assert body == engine.ask(QUERY, degree=WeightThreshold(0.5)).to_dict()
+
+    def test_translate_zero_drops_narrative(self, service):
+        async def go():
+            async with serving(service) as http:
+                return await http_get(
+                    http.host, http.port, f"/ask?q={Q}&translate=0"
+                )
+
+        status, body = run(go())
+        assert status == 200
+        assert body["narrative"] is None
+
+    def test_missing_query_is_400(self, service):
+        async def go():
+            async with serving(service) as http:
+                return await http_get(http.host, http.port, "/ask")
+
+        status, body = run(go())
+        assert status == 400
+        assert "'q'" in body["error"]
+
+    def test_unparseable_parameter_is_400(self, service):
+        async def go():
+            async with serving(service) as http:
+                return await http_get(
+                    http.host,
+                    http.port,
+                    f"/ask?q={Q}&degree_weight=heavy",
+                )
+
+        status, body = run(go())
+        assert status == 400
+        assert "degree_weight" in body["error"]
+
+    def test_unknown_priority_is_400(self, service):
+        async def go():
+            async with serving(service) as http:
+                return await http_get(
+                    http.host, http.port, f"/ask?q={Q}&priority=urgent"
+                )
+
+        status, body = run(go())
+        assert status == 400
+        assert "priority" in body["error"]
+
+    def test_expired_deadline_is_408(self, service):
+        async def go():
+            async with serving(service) as http:
+                return await http_get(
+                    http.host, http.port, f"/ask?q={Q}&deadline_ms=-1"
+                )
+
+        status, body = run(go())
+        assert status == 408
+        assert body["error"] == "StaleRequest"
+
+
+class TestRoutes:
+    def test_unknown_route_is_404(self, service):
+        async def go():
+            async with serving(service) as http:
+                return await http_get(http.host, http.port, "/nope")
+
+        status, __ = run(go())
+        assert status == 404
+
+    def test_method_not_allowed(self, service):
+        async def go():
+            async with serving(service) as http:
+                return await http_get(
+                    http.host, http.port, f"/ask?q={Q}", method="PUT"
+                )
+
+        status, __ = run(go())
+        assert status == 405
+
+    def test_healthz(self, service):
+        async def go():
+            async with serving(service) as http:
+                return await http_get(http.host, http.port, "/healthz")
+
+        status, body = run(go())
+        assert status == 200
+        assert body == {"status": "ok", "pending": 0, "closed": False}
+
+    def test_metrics_exposes_both_families(self, service):
+        async def go():
+            async with serving(service) as http:
+                await http_get(http.host, http.port, f"/ask?q={Q}")
+                return await http_get(http.host, http.port, "/metrics")
+
+        status, text = run(go())
+        assert status == 200
+        assert "precis_frontdoor_requests_total" in text
+        assert "precis_service_requests_total" in text
+
+    def test_shutdown_resolves_serve_until_shutdown(self, service):
+        async def go():
+            async with serving(service) as http:
+                waiter = asyncio.ensure_future(
+                    http.serve_until_shutdown()
+                )
+                status, body = await http_get(
+                    http.host, http.port, "/shutdown"
+                )
+                await asyncio.wait_for(waiter, timeout=10)
+                return status, body
+
+        status, body = run(go())
+        assert status == 200
+        assert body == {"status": "shutting down"}
+
+    def test_malformed_request_line_is_400(self, service):
+        async def go():
+            async with serving(service) as http:
+                reader, writer = await asyncio.open_connection(
+                    http.host, http.port
+                )
+                writer.write(b"NONSENSE\r\n\r\n")
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+                return raw
+
+        raw = run(go())
+        assert raw.startswith(b"HTTP/1.1 400")
